@@ -1,0 +1,62 @@
+// All-to-one profiles (beyond the paper): dist(S, T, ·) for every source S
+// via one SPCS run on the time-reversed timetable, versus answering the
+// same question with |S| forward one-to-all runs. The symmetric trick the
+// paper's machinery makes essentially free.
+#include <iostream>
+
+#include "algo/all_to_one.hpp"
+#include "algo/parallel_spcs.hpp"
+#include "bench_common.hpp"
+#include "util/format.hpp"
+#include "util/timer.hpp"
+
+namespace pconn::bench {
+namespace {
+
+void run_network(gen::Preset preset) {
+  Network net = load_network(preset);
+  print_network_header(net);
+
+  const int queries = std::max(3, num_queries() / 4);
+  std::vector<StationId> targets = random_stations(net.tt, queries, 2468);
+
+  ParallelSpcsOptions opt;
+  opt.threads = 2;
+  AllToOneProfiles backward(net.tt, opt);
+  ParallelSpcs forward(net.tt, net.graph, opt);
+
+  backward.all_to_one(targets[0]);  // warm the reversed workspaces
+  QueryStats total;
+  Timer timer;
+  for (StationId t : targets) total += backward.all_to_one(t).stats;
+  double all_to_one_ms = timer.elapsed_ms() / queries;
+
+  // Reference: one forward one-to-all costs about the same, but answering
+  // dist(·, T, ·) forward would need one run per source.
+  forward.one_to_all(targets[0]);
+  Timer fwd_timer;
+  QueryStats fwd;
+  for (StationId t : targets) fwd += forward.one_to_all(t).stats;
+  double forward_ms = fwd_timer.elapsed_ms() / queries;
+
+  std::cout << "  all-to-one: " << format_count(total.settled / queries)
+            << " settled, " << fixed(all_to_one_ms, 1)
+            << " ms | one forward one-to-all: "
+            << format_count(fwd.settled / queries) << " settled, "
+            << fixed(forward_ms, 1) << " ms | naive all-to-one would cost ~"
+            << format_count(static_cast<std::uint64_t>(
+                   forward_ms * net.tt.num_stations()))
+            << " ms\n";
+}
+
+}  // namespace
+}  // namespace pconn::bench
+
+int main() {
+  std::cout << "All-to-one profile queries via the reversed timetable "
+               "(beyond the paper)\n";
+  for (pconn::gen::Preset p : pconn::gen::kAllPresets) {
+    pconn::bench::run_network(p);
+  }
+  return 0;
+}

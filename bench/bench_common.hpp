@@ -1,0 +1,77 @@
+// Shared infrastructure for the table-reproduction benches.
+//
+// Scale and query counts are tunable via environment variables so the suite
+// stays usable both on CI boxes and for longer calibration runs:
+//   PCONN_SCALE    multiplies every preset's station count (default 1.0 =
+//                  the calibrated bench size, NOT the paper's full size);
+//   PCONN_QUERIES  random queries per measurement (default 12; the paper
+//                  averaged 1000 on a dedicated machine).
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "gen/generator.hpp"
+#include "graph/td_graph.hpp"
+#include "timetable/timetable.hpp"
+#include "util/format.hpp"
+#include "util/rng.hpp"
+
+namespace pconn::bench {
+
+inline double env_double(const char* name, double def) {
+  const char* v = std::getenv(name);
+  return v ? std::atof(v) : def;
+}
+
+inline int env_int(const char* name, int def) {
+  const char* v = std::getenv(name);
+  return v ? std::atoi(v) : def;
+}
+
+inline double scale() { return env_double("PCONN_SCALE", 1.0); }
+inline int num_queries() { return env_int("PCONN_QUERIES", 12); }
+
+struct Network {
+  gen::Preset preset;
+  Timetable tt;
+  TdGraph graph;
+};
+
+inline Network load_network(gen::Preset p) {
+  Timetable tt = gen::make_preset(p, scale(), 1);
+  TdGraph g = TdGraph::build(tt);
+  return Network{p, std::move(tt), std::move(g)};
+}
+
+inline void print_network_header(const Network& n) {
+  std::cout << "\n== " << gen::preset_name(n.preset) << ": "
+            << format_count(n.tt.num_stations()) << " stations, "
+            << format_count(n.tt.num_connections())
+            << " elementary connections, "
+            << format_count(n.tt.num_routes()) << " routes, avg "
+            << static_cast<int>(n.tt.avg_outgoing_connections())
+            << " conns/station ==\n";
+}
+
+/// Deterministic random stations for query mixes.
+inline std::vector<StationId> random_stations(const Timetable& tt, int count,
+                                              std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<StationId> out;
+  out.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    out.push_back(static_cast<StationId>(rng.next_below(tt.num_stations())));
+  }
+  return out;
+}
+
+inline std::string fixed(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+}  // namespace pconn::bench

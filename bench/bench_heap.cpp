@@ -1,0 +1,51 @@
+// Microbenchmark: binary vs 4-ary addressable heap under a Dijkstra-like
+// mixed workload. The paper uses a binary heap; this quantifies what the
+// choice costs on modern cache hierarchies.
+#include <benchmark/benchmark.h>
+
+#include "util/heap.hpp"
+#include "util/rng.hpp"
+
+namespace pconn {
+namespace {
+
+template <unsigned Arity>
+void BM_HeapDijkstraMix(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  DAryHeap<std::uint64_t, Arity> heap(n);
+  for (auto _ : state) {
+    // Seed with a tenth of the ids, then interleave pops with pushes and
+    // decrease-keys, the way a profile search drives its queue.
+    for (std::uint32_t i = 0; i < n / 10; ++i) {
+      heap.push(i, rng.next_below(1 << 20));
+    }
+    std::uint32_t next_id = static_cast<std::uint32_t>(n / 10);
+    while (!heap.empty()) {
+      auto [id, key] = heap.pop();
+      benchmark::DoNotOptimize(id);
+      if (next_id < n && rng.next_bool(0.6)) {
+        heap.push(next_id++, key + rng.next_below(1000));
+      }
+      if (!heap.empty() && rng.next_bool(0.3)) {
+        std::uint32_t target = heap.top_id();
+        heap.decrease_key(target, heap.key_of(target) == 0
+                                      ? 0
+                                      : heap.key_of(target) - 1);
+      }
+    }
+    heap.clear();
+  }
+}
+
+void BM_BinaryHeap(benchmark::State& state) { BM_HeapDijkstraMix<2>(state); }
+void BM_QuaternaryHeap(benchmark::State& state) {
+  BM_HeapDijkstraMix<4>(state);
+}
+BENCHMARK(BM_BinaryHeap)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+BENCHMARK(BM_QuaternaryHeap)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+}  // namespace
+}  // namespace pconn
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Model comparison for plain time queries: the realistic time-dependent
+// route model (this paper's substrate, [23]) vs the realistic time-expanded
+// event model ([7]). The TD model's graph is far smaller (route nodes
+// instead of one node per event); the TE model buys constant edge weights
+// with a much larger node count.
+#include <iostream>
+
+#include "algo/te_query.hpp"
+#include "algo/time_query.hpp"
+#include "bench_common.hpp"
+#include "graph/te_graph.hpp"
+#include "util/format.hpp"
+#include "util/timer.hpp"
+
+namespace pconn::bench {
+namespace {
+
+void run_network(gen::Preset preset) {
+  Network net = load_network(preset);
+  TeGraph te = TeGraph::build(net.tt);
+  print_network_header(net);
+  std::cout << "  TD graph: " << format_count(net.graph.num_nodes())
+            << " nodes, " << format_count(net.graph.num_edges()) << " edges, "
+            << format_bytes(net.graph.memory_bytes()) << "\n"
+            << "  TE graph: " << format_count(te.num_nodes()) << " nodes, "
+            << format_count(te.num_edges()) << " edges, "
+            << format_bytes(te.memory_bytes()) << "\n";
+
+  const int queries = num_queries() * 4;  // time queries are cheap
+  std::vector<StationId> sources = random_stations(net.tt, queries, 4711);
+  std::vector<StationId> targets = random_stations(net.tt, queries, 1147);
+  Rng rng(31);
+  std::vector<Time> times;
+  for (int i = 0; i < queries; ++i) {
+    times.push_back(static_cast<Time>(rng.next_below(net.tt.period())));
+  }
+
+  TablePrinter table({"model", "settled", "time [ms]"});
+  {
+    TimeQuery q(net.tt, net.graph);
+    QueryStats total;
+    Timer timer;
+    for (int i = 0; i < queries; ++i) {
+      q.run(sources[i], times[i], targets[i]);
+      total += q.stats();
+    }
+    table.add_row({"time-dependent", format_count(total.settled / queries),
+                   fixed(timer.elapsed_ms() / queries, 2)});
+  }
+  {
+    TeTimeQuery q(te);
+    QueryStats total;
+    Timer timer;
+    for (int i = 0; i < queries; ++i) {
+      q.run(sources[i], times[i], targets[i]);
+      total += q.stats();
+    }
+    table.add_row({"time-expanded", format_count(total.settled / queries),
+                   fixed(timer.elapsed_ms() / queries, 2)});
+  }
+  table.print();
+}
+
+}  // namespace
+}  // namespace pconn::bench
+
+int main() {
+  std::cout << "Model comparison ([7]/[23]): station-to-station time queries "
+               "on the time-dependent vs time-expanded model\n";
+  for (pconn::gen::Preset p : pconn::gen::kAllPresets) {
+    pconn::bench::run_network(p);
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Ablation for Section 3.2, "Choice of the Partition": equal time-slots vs
+// equal number of connections. Reports the partition imbalance (max subset
+// over ideal subset size) and the resulting one-to-all query time; rush
+// hours and the night break make the time-slot split lopsided, which is
+// exactly why the paper settles on equal connection counts.
+#include <iostream>
+
+#include "algo/parallel_spcs.hpp"
+#include "bench_common.hpp"
+#include "util/format.hpp"
+#include "util/timer.hpp"
+
+namespace pconn::bench {
+namespace {
+
+void run_network(gen::Preset preset) {
+  Network net = load_network(preset);
+  print_network_header(net);
+
+  const int queries = std::max(4, num_queries() / 2);
+  std::vector<StationId> sources = random_stations(net.tt, queries, 4242);
+
+  TablePrinter table({"strategy", "p", "imbalance", "time [ms]",
+                      "thread spread [ms]"});
+  for (PartitionStrategy strat : {PartitionStrategy::kEqualTimeSlots,
+                                  PartitionStrategy::kEqualConnections,
+                                  PartitionStrategy::kKMeans}) {
+    const char* name = strat == PartitionStrategy::kEqualTimeSlots
+                           ? "equal time-slots"
+                       : strat == PartitionStrategy::kEqualConnections
+                           ? "equal connections"
+                           : "k-means";
+    for (unsigned p : {2u, 4u, 8u}) {
+      ParallelSpcsOptions opt;
+      opt.threads = p;
+      opt.partition = strat;
+      ParallelSpcs spcs(net.tt, net.graph, opt);
+      double imbalance = 0.0, spread = 0.0;
+      Timer timer;
+      for (StationId s : sources) {
+        OneToAllResult res = spcs.one_to_all(s);
+        imbalance += partition_imbalance(spcs.last_boundaries());
+        spread += res.max_thread_ms - res.min_thread_ms;
+      }
+      table.add_row({name, std::to_string(p),
+                     fixed(imbalance / queries, 2),
+                     fixed(timer.elapsed_ms() / queries, 1),
+                     fixed(spread / queries, 1)});
+    }
+  }
+  table.print();
+}
+
+}  // namespace
+}  // namespace pconn::bench
+
+int main() {
+  std::cout << "Partition-strategy ablation (Section 3.2): imbalance and "
+               "query time\n";
+  for (pconn::gen::Preset p : pconn::gen::kAllPresets) {
+    pconn::bench::run_network(p);
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Scale-sensitivity sweep: how the CS-vs-LC contest evolves with network
+// size. The paper's full-size inputs (up to 5M elementary connections) put
+// LC at a 1.3-2.9x time disadvantage; at bench scale the constant factors
+// still favor LC's cache-friendly merges. This sweep shows the trend: LC's
+// per-query work (label points) grows faster than CS's settled connections
+// as networks grow, because node labels get re-popped and merged
+// repeatedly while connection-setting touches each (node, connection) pair
+// at most once.
+#include <iostream>
+
+#include "algo/lc_profile.hpp"
+#include "algo/parallel_spcs.hpp"
+#include "bench_common.hpp"
+#include "util/format.hpp"
+#include "util/timer.hpp"
+
+namespace pconn::bench {
+namespace {
+
+void run_scale(gen::Preset preset, double s) {
+  Timetable tt = gen::make_preset(preset, s, 1);
+  TdGraph g = TdGraph::build(tt);
+  const int queries = std::max(3, num_queries() / 4);
+  std::vector<StationId> sources = random_stations(tt, queries, 555);
+
+  ParallelSpcsOptions opt;
+  opt.threads = 1;
+  ParallelSpcs spcs(tt, g, opt);
+  LcProfileQuery lc(tt, g);
+  spcs.one_to_all(sources[0]);  // warm allocations out of the timing
+  lc.run(sources[0]);
+
+  QueryStats cs_total, lc_total;
+  Timer t1;
+  for (StationId src : sources) cs_total += spcs.one_to_all(src).stats;
+  double cs_ms = t1.elapsed_ms() / queries;
+  Timer t2;
+  for (StationId src : sources) {
+    lc.run(src);
+    lc_total += lc.stats();
+  }
+  double lc_ms = t2.elapsed_ms() / queries;
+
+  std::cout << "  scale " << fixed(s, 2) << ": " << format_count(tt.num_stations())
+            << " stations, " << format_count(tt.num_connections())
+            << " conns | CS " << format_count(cs_total.settled / queries)
+            << " settled, " << fixed(cs_ms, 1) << " ms | LC "
+            << format_count(lc_total.label_points / queries) << " points, "
+            << fixed(lc_ms, 1) << " ms | LC/CS work "
+            << fixed(static_cast<double>(lc_total.label_points) /
+                         static_cast<double>(cs_total.settled),
+                     2)
+            << "x, time " << fixed(lc_ms / cs_ms, 2) << "x\n";
+}
+
+}  // namespace
+}  // namespace pconn::bench
+
+int main() {
+  std::cout << "Scale sweep: CS vs LC as networks grow (paper-size inputs "
+               "are ~10-20x the 1.0 scale)\n";
+  for (pconn::gen::Preset p :
+       {pconn::gen::Preset::kLosAngelesLike, pconn::gen::Preset::kEuropeLike}) {
+    std::cout << "\n== " << pconn::gen::preset_name(p) << " ==\n";
+    for (double s : {0.25, 0.5, 1.0, 2.0}) {
+      pconn::bench::run_scale(p, s);
+    }
+  }
+  return 0;
+}

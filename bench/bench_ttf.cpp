@@ -1,0 +1,82 @@
+// Microbenchmarks for the piecewise-linear function machinery (paper
+// Figure 2 / Section 2): building (with domination pruning), evaluation,
+// profile merging and connection reduction. [5] observed that profile-
+// search running time hinges on these operations.
+#include <benchmark/benchmark.h>
+
+#include "graph/profile.hpp"
+#include "graph/ttf.hpp"
+#include "util/rng.hpp"
+
+namespace pconn {
+namespace {
+
+std::vector<TtfPoint> random_points(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TtfPoint> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({static_cast<Time>(rng.next_below(kDayseconds)),
+                   static_cast<Time>(60 + rng.next_below(7200))});
+  }
+  return pts;
+}
+
+Profile random_profile(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Time> deps;
+  for (std::size_t i = 0; i < n; ++i) {
+    deps.push_back(static_cast<Time>(rng.next_below(kDayseconds)));
+  }
+  std::sort(deps.begin(), deps.end());
+  Profile p;
+  for (Time d : deps) {
+    p.push_back({d, d + 300 + static_cast<Time>(rng.next_below(14400))});
+  }
+  return p;
+}
+
+void BM_TtfBuild(benchmark::State& state) {
+  auto pts = random_points(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    Ttf f = Ttf::build(pts, kDayseconds);
+    benchmark::DoNotOptimize(f);
+  }
+}
+BENCHMARK(BM_TtfBuild)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_TtfEval(benchmark::State& state) {
+  Ttf f = Ttf::build(random_points(static_cast<std::size_t>(state.range(0)), 2),
+                     kDayseconds);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.eval(static_cast<Time>(rng.next_below(2 * kDayseconds))));
+  }
+}
+BENCHMARK(BM_TtfEval)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_ReduceProfile(benchmark::State& state) {
+  Profile raw = random_profile(static_cast<std::size_t>(state.range(0)), 4);
+  for (auto _ : state) {
+    Profile red = reduce_profile(raw, kDayseconds);
+    benchmark::DoNotOptimize(red);
+  }
+}
+BENCHMARK(BM_ReduceProfile)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_EvalProfile(benchmark::State& state) {
+  Profile red = reduce_profile(
+      random_profile(static_cast<std::size_t>(state.range(0)), 5), kDayseconds);
+  Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval_profile(
+        red, static_cast<Time>(rng.next_below(kDayseconds)), kDayseconds));
+  }
+}
+BENCHMARK(BM_EvalProfile)->Arg(16)->Arg(128)->Arg(1024);
+
+}  // namespace
+}  // namespace pconn
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+// Network dashboard: loads a GTFS directory (pass it as argv[1]) or
+// generates a preset, then prints the structural statistics the paper's
+// evaluation leans on — size, connections per station, degree distribution,
+// departure histogram — and demonstrates the GTFS round trip.
+#include <algorithm>
+#include <filesystem>
+#include <iostream>
+#include <vector>
+
+#include "gen/generator.hpp"
+#include "graph/station_graph.hpp"
+#include "graph/td_graph.hpp"
+#include "timetable/gtfs.hpp"
+#include "timetable/validation.hpp"
+#include "util/format.hpp"
+
+using namespace pconn;
+
+int main(int argc, char** argv) {
+  Timetable tt;
+  if (argc > 1) {
+    std::cout << "Loading GTFS feed from " << argv[1] << "\n";
+    tt = gtfs::load(argv[1]);
+  } else {
+    std::cout << "No GTFS directory given; generating the washington-like "
+                 "preset (pass a GTFS path to inspect real data)\n";
+    tt = gen::make_preset(gen::Preset::kWashingtonLike, 0.5, 1);
+  }
+
+  ValidationReport rep = validate(tt);
+  std::cout << "Validation: "
+            << (rep.ok() ? "OK"
+                         : std::to_string(rep.problems.size()) + " problems")
+            << "\n\n";
+
+  TdGraph g = TdGraph::build(tt);
+  StationGraph sg = StationGraph::build(tt);
+
+  std::cout << "Stations:                " << format_count(tt.num_stations())
+            << "\nTrips:                   " << format_count(tt.num_trips())
+            << "\nRoutes:                  " << format_count(tt.num_routes())
+            << "\nElementary connections:  "
+            << format_count(tt.num_connections())
+            << "\nConnections per station: "
+            << static_cast<int>(tt.avg_outgoing_connections())
+            << "\nGraph nodes:             " << format_count(g.num_nodes())
+            << "\nGraph edges:             " << format_count(g.num_edges())
+            << "\nGraph memory:            " << format_bytes(g.memory_bytes())
+            << "\n\n";
+
+  // Degree distribution in the station graph (drives the paper's deg > k
+  // transfer-station rule).
+  std::vector<std::size_t> degree_hist;
+  for (StationId s = 0; s < tt.num_stations(); ++s) {
+    std::size_t d = sg.degree(s);
+    if (d >= degree_hist.size()) degree_hist.resize(d + 1, 0);
+    degree_hist[d]++;
+  }
+  std::cout << "Station-graph degree histogram:\n";
+  for (std::size_t d = 0; d < degree_hist.size(); ++d) {
+    if (degree_hist[d] == 0) continue;
+    std::cout << "  deg " << d << ": " << degree_hist[d] << " stations\n";
+  }
+
+  // Departure histogram by hour — rush hours and the night break, the
+  // structure that breaks the equal-time-slots partition (Section 3.2).
+  std::vector<std::size_t> by_hour(24, 0);
+  for (const Connection& c : tt.connections()) {
+    by_hour[(c.dep % kDayseconds) / 3600]++;
+  }
+  std::size_t peak = *std::max_element(by_hour.begin(), by_hour.end());
+  std::cout << "\nDepartures by hour (each # is " << std::max<std::size_t>(peak / 40, 1)
+            << " connections):\n";
+  for (int h = 0; h < 24; ++h) {
+    std::cout << (h < 10 ? " 0" : " ") << h << ":00 ";
+    std::cout << std::string(by_hour[h] / std::max<std::size_t>(peak / 40, 1),
+                             '#')
+              << " " << by_hour[h] << "\n";
+  }
+
+  // Busiest stations by outgoing connections.
+  std::vector<StationId> ids(tt.num_stations());
+  for (StationId s = 0; s < tt.num_stations(); ++s) ids[s] = s;
+  std::sort(ids.begin(), ids.end(), [&](StationId a, StationId b) {
+    return tt.outgoing(a).size() > tt.outgoing(b).size();
+  });
+  std::cout << "\nBusiest stations:\n";
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, ids.size()); ++i) {
+    std::cout << "  " << tt.station_name(ids[i]) << ": "
+              << tt.outgoing(ids[i]).size() << " departures/day\n";
+  }
+
+  // Round-trip through GTFS to demonstrate the data path.
+  if (argc <= 1) {
+    auto dir = std::filesystem::temp_directory_path() / "pconn_dashboard_gtfs";
+    gtfs::write(tt, dir);
+    Timetable back = gtfs::load(dir);
+    std::cout << "\nGTFS round trip to " << dir.string() << ": "
+              << format_count(back.num_connections())
+              << " connections reloaded ("
+              << (back.num_connections() == tt.num_connections() ? "match"
+                                                                 : "MISMATCH")
+              << ")\n";
+    std::filesystem::remove_all(dir);
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Multi-criteria trip options (the paper's Section 6 future work realized
+// for time queries): Pareto trade-offs between arrival time and number of
+// transfers, plus "last possible departure" deadline queries on profiles.
+#include <iostream>
+
+#include "algo/mc_query.hpp"
+#include "algo/parallel_spcs.hpp"
+#include "algo/journey.hpp"
+#include "gen/generator.hpp"
+#include "util/format.hpp"
+
+using namespace pconn;
+
+int main() {
+  gen::RailwayConfig cfg;
+  cfg.hubs = 8;
+  cfg.extra_hub_links = 3;
+  cfg.intercity_stops = 2;
+  cfg.regional_lines_per_hub = 2;
+  cfg.regional_length = 5;
+  cfg.seed = 99;
+  cfg.name = "pareto";
+  Timetable tt = gen::make_railway(cfg);
+  TdGraph g = TdGraph::build(tt);
+
+  // A regional stop near hub 0; destination: a regional stop near hub 4.
+  StationId from = kInvalidStation, to = kInvalidStation;
+  for (StationId s = cfg.hubs; s < tt.num_stations(); ++s) {
+    if (tt.station_name(s).find(" R0.0-") != std::string::npos &&
+        from == kInvalidStation) {
+      from = s;
+    }
+    if (tt.station_name(s).find(" R4.0-") != std::string::npos) to = s;
+  }
+
+  std::cout << "Trip options " << tt.station_name(from) << " -> "
+            << tt.station_name(to) << ", ready at 08:00\n\n";
+
+  McTimeQuery mc(tt, g);
+  mc.run(from, 8 * 3600);
+  auto front = mc.pareto(to);
+  if (front.empty()) {
+    std::cout << "unreachable\n";
+    return 0;
+  }
+  std::cout << "Pareto front (arrival vs vehicles boarded):\n";
+  for (const McLabel& l : front) {
+    std::cout << "  arrive " << format_clock(l.arr) << " with " << l.boards
+              << " vehicle" << (l.boards == 1 ? "" : "s") << " ("
+              << (l.boards == 0 ? 0 : l.boards - 1) << " transfer"
+              << (l.boards == 2 ? "" : "s") << ")\n";
+  }
+
+  // Deadline query on the full-day profile: latest departure that still
+  // arrives by 18:00.
+  ParallelSpcsOptions opt;
+  opt.threads = 2;
+  ParallelSpcs spcs(tt, g, opt);
+  StationQueryResult profile = spcs.station_to_station(from, to);
+  Time deadline = 18 * 3600;
+  std::uint32_t idx = latest_departure_by(profile.profile, deadline);
+  std::cout << "\nTo arrive by " << format_clock(deadline) << ": ";
+  if (idx == kNoConn) {
+    std::cout << "no connection makes it.\n";
+  } else {
+    const ProfilePoint& p = profile.profile[idx];
+    std::cout << "leave at " << format_clock(p.dep) << " (arrive "
+              << format_clock(p.arr) << ")\n";
+    auto journeys =
+        profile_journeys(tt, g, {p}, from, to);
+    if (!journeys.empty()) {
+      std::cout << "\n" << describe_journey(tt, journeys.front());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Quickstart: build a timetable by hand, run a profile query, evaluate it,
+// and extract a concrete journey.
+//
+// Mirrors the paper's running example: piecewise-linear travel-time
+// functions represented by connection points (Figure 2), computed for all
+// departure times of the day in one SPCS run.
+#include <iostream>
+
+#include "algo/journey.hpp"
+#include "algo/parallel_spcs.hpp"
+#include "algo/time_query.hpp"
+#include "timetable/builder.hpp"
+#include "util/format.hpp"
+
+using namespace pconn;
+
+int main() {
+  // A three-station toy network: a stopping line A -> B -> C and a slower
+  // direct line A -> C.
+  TimetableBuilder builder;
+  StationId a = builder.add_station("Airport", 60);
+  StationId b = builder.add_station("Brook St", 120);
+  StationId c = builder.add_station("Central", 60);
+
+  using St = TimetableBuilder::StopTime;
+  for (Time t = 8 * 3600; t <= 11 * 3600; t += 3600) {
+    builder.add_trip(std::vector<St>{
+        {a, t, t}, {b, t + 600, t + 660}, {c, t + 1260, t + 1260}});
+  }
+  for (Time t = 8 * 3600 + 1800; t <= 11 * 3600 + 1800; t += 3600) {
+    builder.add_trip(std::vector<St>{{a, t, t}, {c, t + 2100, t + 2100}});
+  }
+  Timetable tt = builder.finalize();
+  TdGraph graph = TdGraph::build(tt);
+
+  std::cout << "Network: " << tt.num_stations() << " stations, "
+            << tt.num_trips() << " trips, " << tt.num_connections()
+            << " elementary connections, " << tt.num_routes() << " routes\n\n";
+
+  // One-to-all profile search: every best connection of the day at once.
+  ParallelSpcsOptions opt;
+  opt.threads = 2;
+  ParallelSpcs spcs(tt, graph, opt);
+  OneToAllResult result = spcs.one_to_all(a);
+
+  std::cout << "Travel-time profile " << tt.station_name(a) << " -> "
+            << tt.station_name(c) << " (one connection point per useful "
+            << "departure):\n";
+  for (const ProfilePoint& p : result.profiles[c]) {
+    std::cout << "  depart " << format_clock(p.dep) << "  arrive "
+              << format_clock(p.arr) << "  (travel "
+              << (p.arr - p.dep) / 60 << " min)\n";
+  }
+
+  // Evaluate the profile like a timetable information system would.
+  Time when = 8 * 3600 + 300;  // 08:05
+  Time arrival = eval_profile(result.profiles[c], when, tt.period());
+  std::cout << "\nReady at " << format_clock(when) << " -> arrive "
+            << format_clock(arrival) << "\n";
+
+  // And extract the actual journey for that departure.
+  TimeQuery tq(tt, graph);
+  tq.run(a, when);
+  if (auto j = extract_journey(tt, graph, tq, a, when, c)) {
+    std::cout << "\n" << describe_journey(tt, *j);
+  }
+
+  std::cout << "\nQuery work: " << result.stats.settled
+            << " settled connections in " << result.stats.time_ms << " ms\n";
+  return 0;
+}

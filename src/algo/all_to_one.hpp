@@ -1,0 +1,34 @@
+// All-to-one profile search: dist(S, T, ·) for a fixed target T and every
+// source S in one run — the mirror image of the paper's one-to-all query,
+// obtained by running parallel SPCS on the time-reversed timetable and
+// mapping the resulting profiles back onto the forward clock.
+//
+// The returned profiles are exactly the forward Pareto sets: for every
+// source the (departure, arrival) pairs equal those of a forward
+// one_to_all(S) at T (the test suite asserts this transposition).
+#pragma once
+
+#include "algo/parallel_spcs.hpp"
+#include "timetable/reverse.hpp"
+
+namespace pconn {
+
+class AllToOneProfiles {
+ public:
+  /// Builds the reversed timetable and graph once; queries reuse them.
+  AllToOneProfiles(const Timetable& tt, ParallelSpcsOptions opt);
+
+  /// Profiles dist(S, target, ·) for every station S, reduced and on the
+  /// forward clock (departure at S in [0, period), absolute arrival at T).
+  OneToAllResult all_to_one(StationId target);
+
+  const Timetable& reverse_timetable() const { return reverse_tt_; }
+
+ private:
+  Time period_;
+  Timetable reverse_tt_;
+  TdGraph reverse_graph_;
+  ParallelSpcs spcs_;
+};
+
+}  // namespace pconn

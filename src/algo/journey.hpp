@@ -1,0 +1,66 @@
+// Journey extraction: turns the parent pointers of a time query into a
+// human-readable itinerary (legs with trains, boarding/alighting stations
+// and times). Used by the example applications.
+//
+// Note on semantics: the realistic time-dependent model does not track
+// which physical train you sit in between route nodes of the same route —
+// switching to another train of the same route at a shared stop is free
+// (standard behaviour of the model [23]). Legs are therefore split whenever
+// the trip actually used changes, even mid-route.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "algo/time_query.hpp"
+#include "graph/profile.hpp"
+#include "graph/td_graph.hpp"
+#include "timetable/timetable.hpp"
+
+namespace pconn {
+
+struct JourneyLeg {
+  TrainId train = 0;
+  RouteId route = 0;
+  StationId from = kInvalidStation;
+  StationId to = kInvalidStation;
+  Time dep = 0;  // absolute departure at `from`
+  Time arr = 0;  // absolute arrival at `to`
+};
+
+struct Journey {
+  StationId source = kInvalidStation;
+  StationId target = kInvalidStation;
+  Time departure = 0;  // requested earliest departure
+  Time arrival = kInfTime;
+  std::vector<JourneyLeg> legs;
+
+  std::size_t num_transfers() const {
+    return legs.empty() ? 0 : legs.size() - 1;
+  }
+};
+
+/// Reconstructs the journey to `target` after q.run(source, departure).
+/// std::nullopt if the target is unreachable.
+std::optional<Journey> extract_journey(const Timetable& tt, const TdGraph& g,
+                                       const TimeQuery& q, StationId source,
+                                       Time departure, StationId target);
+
+/// Multi-line plain-text rendering for the examples.
+std::string describe_journey(const Timetable& tt, const Journey& j);
+
+/// Materializes the concrete journey behind every connection point of a
+/// reduced profile dist(source, target, ·): one time query per point.
+/// Points whose journey cannot be reconstructed (never happens for
+/// profiles produced by the engines in this library) are skipped.
+std::vector<Journey> profile_journeys(const Timetable& tt, const TdGraph& g,
+                                      const Profile& profile, StationId source,
+                                      StationId target);
+
+/// The latest profile point that still reaches the target by `deadline`
+/// (absolute time), i.e. "when is the last bus I can take?". Returns
+/// kNoConn when no point makes it.
+std::uint32_t latest_departure_by(const Profile& profile, Time deadline);
+
+}  // namespace pconn

@@ -1,0 +1,99 @@
+#include "algo/lc_profile.hpp"
+
+#include <algorithm>
+
+namespace pconn {
+
+Profile merge_profiles(const Profile& a, const Profile& b, Time period) {
+  Profile u;
+  u.reserve(a.size() + b.size());
+  std::merge(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(u),
+             [](const ProfilePoint& x, const ProfilePoint& y) {
+               return x.dep != y.dep ? x.dep < y.dep : x.arr < y.arr;
+             });
+  return reduce_profile(u, period);
+}
+
+LcProfileQuery::LcProfileQuery(const Timetable& tt, const TdGraph& g)
+    : tt_(tt), g_(g) {
+  heap_.reset_capacity(g.num_nodes());
+  labels_.resize(g.num_nodes());
+  dirty_.assign(g.num_nodes(), 0);
+}
+
+void LcProfileQuery::run(StationId s) {
+  stats_ = QueryStats{};
+  heap_.clear();
+  for (NodeId v : touched_) {
+    labels_[v].clear();
+    dirty_[v] = 0;
+  }
+  touched_.clear();
+  auto touch = [&](NodeId v) {
+    if (!dirty_[v]) {
+      dirty_[v] = 1;
+      touched_.push_back(v);
+    }
+  };
+
+  const NodeId src = g_.station_node(s);
+  // Initial label: departing S at any outgoing-connection time costs
+  // nothing yet — profile points (dep, dep).
+  {
+    Profile init;
+    for (const Connection& c : tt_.outgoing(s)) {
+      if (init.empty() || init.back().dep != c.dep) {
+        init.push_back({c.dep, c.dep});
+      }
+    }
+    if (init.empty()) return;
+    labels_[src] = reduce_profile(init, tt_.period());
+    touch(src);
+    heap_.push(src, labels_[src].front().arr);
+    stats_.pushed++;
+  }
+
+  while (!heap_.empty()) {
+    auto [v, key] = heap_.pop();
+    stats_.settled++;
+    stats_.label_points += labels_[v].size();
+
+    for (const TdGraph::Edge& e : g_.out_edges(v)) {
+      // Link: run every profile point through the edge. Boarding at the
+      // source itself is free (same convention as TimeQuery / SPCS).
+      Profile cand;
+      cand.reserve(labels_[v].size());
+      Time cand_min = kInfTime;
+      for (const ProfilePoint& p : labels_[v]) {
+        Time t = (v == src && e.ttf == kNoTtf) ? p.arr : g_.arrival_via(e, p.arr);
+        if (t == kInfTime) continue;
+        cand.push_back({p.dep, t});
+        cand_min = std::min(cand_min, t);
+      }
+      if (cand.empty()) continue;
+      stats_.relaxed++;
+
+      Profile merged = labels_[e.head].empty()
+                           ? reduce_profile(cand, tt_.period())
+                           : merge_profiles(labels_[e.head], cand, tt_.period());
+      if (merged == labels_[e.head]) continue;
+      labels_[e.head] = std::move(merged);
+      touch(e.head);
+      if (heap_.contains(e.head)) {
+        if (cand_min < heap_.key_of(e.head)) {
+          heap_.decrease_key(e.head, cand_min);
+          stats_.decreased++;
+        }
+      } else {
+        heap_.push(e.head, cand_min);
+        stats_.pushed++;
+      }
+    }
+  }
+}
+
+const Profile& LcProfileQuery::profile(StationId t) const {
+  return labels_[g_.station_node(t)];
+}
+
+}  // namespace pconn

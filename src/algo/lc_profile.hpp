@@ -1,0 +1,49 @@
+// Label-correcting profile search — the classical baseline the paper
+// compares against in Table 1 (Section 2, "Computing Distances", after [5]).
+//
+// Instead of one label per (node, connection), whole travel-time profiles
+// are propagated: every node carries a reduced (FIFO) profile; relaxing an
+// edge links the tail profile with the edge function and min-merges it into
+// the head profile. Nodes whose profile improves are (re)inserted into the
+// queue — label-setting is lost, hence "label-correcting".
+//
+// The paper's Table 1 LC work metric is the sum of the sizes of the labels
+// taken from the queue; QueryStats::label_points reports exactly that.
+#pragma once
+
+#include <vector>
+
+#include "algo/counters.hpp"
+#include "graph/profile.hpp"
+#include "graph/td_graph.hpp"
+#include "timetable/timetable.hpp"
+#include "util/heap.hpp"
+
+namespace pconn {
+
+/// Pointwise minimum of two reduced profiles, as a reduced profile.
+Profile merge_profiles(const Profile& a, const Profile& b, Time period);
+
+class LcProfileQuery {
+ public:
+  LcProfileQuery(const Timetable& tt, const TdGraph& g);
+
+  /// One-to-all profile search from s. Results valid until the next run.
+  void run(StationId s);
+
+  /// Reduced profile dist(S, t, ·) of the last run.
+  const Profile& profile(StationId t) const;
+
+  const QueryStats& stats() const { return stats_; }
+
+ private:
+  const Timetable& tt_;
+  const TdGraph& g_;
+  BinaryHeap<Time> heap_;
+  std::vector<Profile> labels_;      // per node
+  std::vector<NodeId> touched_;      // nodes whose label must be cleared
+  std::vector<std::uint8_t> dirty_;  // membership flag for touched_
+  QueryStats stats_;
+};
+
+}  // namespace pconn

@@ -1,0 +1,78 @@
+#include "algo/mc_query.hpp"
+
+#include <queue>
+
+namespace pconn {
+
+namespace {
+
+struct QueueEntry {
+  Time arr;
+  std::uint32_t boards;
+  NodeId node;
+  // Lexicographic min-order on (arr, boards).
+  bool operator>(const QueueEntry& o) const {
+    if (arr != o.arr) return arr > o.arr;
+    return boards > o.boards;
+  }
+};
+
+}  // namespace
+
+McTimeQuery::McTimeQuery(const Timetable& tt, const TdGraph& g)
+    : tt_(tt), g_(g) {
+  fronts_.resize(g.num_nodes());
+  min_boards_.assign(g.num_nodes(),
+                     std::numeric_limits<std::uint32_t>::max());
+}
+
+void McTimeQuery::run(StationId source, Time departure,
+                      std::uint32_t max_boards) {
+  stats_ = QueryStats{};
+  for (NodeId v : touched_) fronts_[v].clear();
+  touched_.clear();
+  min_boards_.clear();
+
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue;
+  const NodeId src = g_.station_node(source);
+  queue.push({departure, 0, src});
+  stats_.pushed++;
+
+  while (!queue.empty()) {
+    QueueEntry top = queue.top();
+    queue.pop();
+    stats_.settled++;
+    // Lexicographic pop order: Pareto-new iff it improves the boarding
+    // minimum at the node.
+    if (top.boards >= min_boards_.get(top.node)) continue;
+    min_boards_.set(top.node, top.boards);
+    if (fronts_[top.node].empty()) touched_.push_back(top.node);
+    fronts_[top.node].push_back({top.arr, top.boards});
+
+    for (const TdGraph::Edge& e : g_.out_edges(top.node)) {
+      const bool boarding =
+          g_.is_station_node(top.node) && e.ttf == kNoTtf;
+      std::uint32_t boards = top.boards + (boarding ? 1 : 0);
+      if (boards > max_boards) continue;
+      // Boarding at the source itself is free of the transfer time but
+      // still counts as boarding a vehicle.
+      Time t = (top.node == src && e.ttf == kNoTtf)
+                   ? top.arr
+                   : g_.arrival_via(e, top.arr);
+      if (t == kInfTime) continue;
+      stats_.relaxed++;
+      if (boards >= min_boards_.get(e.head)) continue;  // dominated already
+      queue.push({t, boards, e.head});
+      stats_.pushed++;
+    }
+  }
+}
+
+std::span<const McLabel> McTimeQuery::pareto(StationId s) const {
+  const auto& f = fronts_[g_.station_node(s)];
+  return {f.data(), f.size()};
+}
+
+}  // namespace pconn

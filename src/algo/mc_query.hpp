@@ -1,0 +1,57 @@
+// Multi-criteria time queries — the paper's future-work direction
+// (Section 6: "it will be interesting to incorporate multi-criteria
+// connections, e.g., minimizing the number of transfers").
+//
+// Computes, for a fixed departure time, the Pareto front over
+// (arrival time, number of boardings) at every station: the classic
+// Martins-style multi-label Dijkstra specialized to two criteria. Labels
+// are popped in lexicographic (arrival, boardings) order, so a popped
+// label is Pareto-optimal iff its boarding count beats the best seen at
+// its node — dominance tests are O(1) against a per-node minimum.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "algo/counters.hpp"
+#include "graph/td_graph.hpp"
+#include "timetable/timetable.hpp"
+#include "util/epoch_array.hpp"
+
+namespace pconn {
+
+struct McLabel {
+  Time arr;               // absolute arrival
+  std::uint32_t boards;   // vehicles boarded so far (transfers = boards - 1)
+  bool operator==(const McLabel&) const = default;
+};
+
+class McTimeQuery {
+ public:
+  McTimeQuery(const Timetable& tt, const TdGraph& g);
+
+  /// Pareto search from `source` at absolute time `departure`. Journeys
+  /// with more than `max_boards` boardings are cut off (they are almost
+  /// never Pareto-optimal in practice and bounding them guarantees
+  /// termination on free-transfer cycles).
+  void run(StationId source, Time departure, std::uint32_t max_boards = 16);
+
+  /// Pareto front at a station: arrival strictly increasing, boardings
+  /// strictly decreasing. Empty if unreachable. The front's first entry is
+  /// the earliest arrival (equals TimeQuery), the last the fewest-boarding
+  /// alternative.
+  std::span<const McLabel> pareto(StationId s) const;
+
+  const QueryStats& stats() const { return stats_; }
+
+ private:
+  const Timetable& tt_;
+  const TdGraph& g_;
+  // Per node: permanent Pareto labels (contiguous storage rebuilt per run).
+  std::vector<std::vector<McLabel>> fronts_;
+  EpochArray<std::uint32_t> min_boards_;
+  QueryStats stats_;
+  std::vector<NodeId> touched_;
+};
+
+}  // namespace pconn

@@ -1,0 +1,83 @@
+#include "algo/parallel_spcs.hpp"
+
+#include "util/timer.hpp"
+
+namespace pconn {
+
+ParallelSpcs::ParallelSpcs(const Timetable& tt, const TdGraph& g,
+                           ParallelSpcsOptions opt)
+    : tt_(tt), g_(g), opt_(opt), pool_(opt.threads), states_(opt.threads) {}
+
+ParallelSpcs::~ParallelSpcs() = default;
+
+void ParallelSpcs::run_partitioned(StationId s, const RangeFn& fn) {
+  auto conns = tt_.outgoing(s);
+  boundaries_ =
+      partition_connections(conns, opt_.threads, opt_.partition, tt_.period());
+  pool_.run([&](std::size_t t) { fn(t, boundaries_[t], boundaries_[t + 1]); });
+}
+
+Profile ParallelSpcs::assemble_profile(StationId s, StationId t) const {
+  auto conns = tt_.outgoing(s);
+  const NodeId tn = g_.station_node(t);
+  Profile raw;
+  raw.reserve(conns.size());
+  for (std::size_t th = 0; th < states_.size(); ++th) {
+    const std::uint32_t lo = boundaries_[th], hi = boundaries_[th + 1];
+    for (std::uint32_t li = 0; li + lo < hi; ++li) {
+      raw.push_back({conns[lo + li].dep, states_[th].arrival(tn, li)});
+    }
+  }
+  return reduce_profile(raw, tt_.period());
+}
+
+OneToAllResult ParallelSpcs::one_to_all(StationId s) {
+  OneToAllResult res;
+  Timer total;
+  std::vector<double> thread_ms(opt_.threads, 0.0);
+
+  run_partitioned(s, [&](std::size_t t, std::uint32_t lo, std::uint32_t hi) {
+    Timer timer;
+    NoHook hook;
+    SpcsOptions o{.self_pruning = opt_.self_pruning,
+                  .stopping_criterion = false,
+                  .prune_on_relax = opt_.prune_on_relax};
+    states_[t].run(g_, tt_, tt_.outgoing(s), lo, hi, kInvalidStation, o, hook);
+    thread_ms[t] = timer.elapsed_ms();
+  });
+
+  // Merge + connection reduction by the master thread (paper Section 3.2).
+  res.profiles.resize(tt_.num_stations());
+  for (StationId v = 0; v < tt_.num_stations(); ++v) {
+    res.profiles[v] = assemble_profile(s, v);
+  }
+
+  for (std::size_t t = 0; t < states_.size(); ++t) {
+    res.stats += states_[t].stats();
+    res.max_thread_ms = std::max(res.max_thread_ms, thread_ms[t]);
+    res.min_thread_ms =
+        t == 0 ? thread_ms[t] : std::min(res.min_thread_ms, thread_ms[t]);
+  }
+  res.stats.time_ms = total.elapsed_ms();
+  return res;
+}
+
+StationQueryResult ParallelSpcs::station_to_station(StationId s, StationId t) {
+  StationQueryResult res;
+  Timer total;
+
+  run_partitioned(s, [&](std::size_t th, std::uint32_t lo, std::uint32_t hi) {
+    NoHook hook;
+    SpcsOptions o{.self_pruning = opt_.self_pruning,
+                  .stopping_criterion = opt_.stopping_criterion,
+                  .prune_on_relax = opt_.prune_on_relax};
+    states_[th].run(g_, tt_, tt_.outgoing(s), lo, hi, t, o, hook);
+  });
+
+  res.profile = assemble_profile(s, t);
+  for (const SpcsThreadState& st : states_) res.stats += st.stats();
+  res.stats.time_ms = total.elapsed_ms();
+  return res;
+}
+
+}  // namespace pconn

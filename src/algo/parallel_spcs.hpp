@@ -1,0 +1,91 @@
+// Parallel driver for SPCS (paper Section 3.2).
+//
+// conn(S) is partitioned into p contiguous ranges; each thread runs the
+// sequential self-pruning connection-setting algorithm on its range with
+// fully thread-local state (labels, maxconn, queue). Threads never prune
+// across ranges — exactly the paper's design — so the merged label vector
+// need not be FIFO and the final profiles are obtained with the connection
+// reduction.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "algo/counters.hpp"
+#include "algo/partition.hpp"
+#include "algo/spcs.hpp"
+#include "graph/profile.hpp"
+#include "graph/td_graph.hpp"
+#include "timetable/timetable.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pconn {
+
+struct ParallelSpcsOptions {
+  unsigned threads = 1;
+  PartitionStrategy partition = PartitionStrategy::kEqualConnections;
+  bool self_pruning = true;
+  bool stopping_criterion = true;  // station-to-station queries only
+  bool prune_on_relax = false;     // see SpcsOptions::prune_on_relax
+};
+
+struct OneToAllResult {
+  /// Reduced profile dist(S, T, ·) for every station T.
+  std::vector<Profile> profiles;
+  /// Work summed over threads; time_ms is the wall clock of the whole query.
+  QueryStats stats;
+  /// Wall clock of the slowest / fastest thread (balance reporting).
+  double max_thread_ms = 0.0;
+  double min_thread_ms = 0.0;
+};
+
+struct StationQueryResult {
+  Profile profile;  // reduced dist(S, T, ·)
+  QueryStats stats;
+};
+
+class ParallelSpcs {
+ public:
+  ParallelSpcs(const Timetable& tt, const TdGraph& g,
+               ParallelSpcsOptions opt);
+  ~ParallelSpcs();
+
+  /// One-to-all profile query from S, including merge and reduction.
+  OneToAllResult one_to_all(StationId s);
+
+  /// Station-to-station profile query with the per-thread stopping
+  /// criterion. (Distance-table pruning lives in s2s::S2sQueryEngine, which
+  /// drives the same thread states with a settle hook.)
+  StationQueryResult station_to_station(StationId s, StationId t);
+
+  const ParallelSpcsOptions& options() const { return opt_; }
+  const Timetable& timetable() const { return tt_; }
+  const TdGraph& graph() const { return g_; }
+
+  /// Access for the s2s engine: runs fn(thread, lo, hi) on every thread in
+  /// parallel with the conn(S) partition boundaries precomputed for `s`.
+  using RangeFn =
+      std::function<void(std::size_t thread, std::uint32_t lo, std::uint32_t hi)>;
+  void run_partitioned(StationId s, const RangeFn& fn);
+
+  SpcsThreadState& thread_state(std::size_t i) { return states_[i]; }
+  const std::vector<std::uint32_t>& last_boundaries() const {
+    return boundaries_;
+  }
+
+  /// Assembles the reduced profile of station `t` from the per-thread
+  /// labels of the last run from source `s` (shared by one_to_all and the
+  /// s2s engines).
+  Profile assemble_profile(StationId s, StationId t) const;
+
+ private:
+  const Timetable& tt_;
+  const TdGraph& g_;
+  ParallelSpcsOptions opt_;
+  ThreadPool pool_;
+  std::vector<SpcsThreadState> states_;
+  std::vector<std::uint32_t> boundaries_;
+};
+
+}  // namespace pconn

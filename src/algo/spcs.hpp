@@ -1,0 +1,248 @@
+// SPCS — the Self-Pruning Connection-Setting profile search
+// (paper Section 3), the system's core contribution.
+//
+// One SpcsThreadState runs the sequential algorithm over a contiguous range
+// [lo, hi) of conn(S). Running it with the full range reproduces the
+// sequential algorithm; the parallel driver (parallel_spcs.hpp) gives each
+// thread its own state and partition range, which keeps self-pruning and
+// all labels thread-local exactly as in the paper.
+//
+// Queue items are (node, connection) pairs keyed by *arrival time*; for
+// every connection index the search is label-setting ("connection-setting").
+// Self-pruning (Theorem 1) discards a popped item (v, i) when a
+// later-departing connection j > i already settled v, since j then arrives
+// no later while leaving later. The stopping criterion (Theorem 2) and the
+// distance-table rules (Theorems 3/4) plug in through a SettleHook.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "algo/counters.hpp"
+#include "graph/td_graph.hpp"
+#include "timetable/timetable.hpp"
+#include "util/epoch_array.hpp"
+#include "util/heap.hpp"
+
+namespace pconn {
+
+struct SpcsOptions {
+  bool self_pruning = true;
+  /// Per-thread stopping criterion; only effective with a target station.
+  bool stopping_criterion = true;
+  /// Engineering refinement beyond the paper: apply the self-pruning test
+  /// already at relax time. If a later connection j > i has settled the
+  /// head node w, then (pop keys being monotone within a thread) that
+  /// settled arrival is <= any arrival we could push for (w, i) now, so
+  /// (w, i) would be self-pruned at its pop anyway — skip the queue
+  /// operations entirely. Results are unchanged; Table 1 runs with this
+  /// OFF to match the paper's settled-connection accounting.
+  bool prune_on_relax = false;
+};
+
+/// Verdict of a SettleHook for a popped-and-settled queue item.
+enum class SettleAction {
+  kRelax,       // normal processing
+  kPruneNode,   // Theorem 3: do not relax this node for this connection
+  kFinishConn,  // Theorem 4: optimal arrival at the target is known; stop
+                // this connection entirely (the hook records the arrival)
+};
+
+/// No-op hook: plain SPCS.
+struct NoHook {
+  /// Whether on_settle should be invoked at all.
+  static constexpr bool kWantsSettle = false;
+  /// Whether the engine must maintain "has a transfer-station ancestor"
+  /// bits and per-connection counts of queue items without one (needed for
+  /// the gamma lower bound of target pruning, Theorem 4).
+  static constexpr bool kWantsAncestors = false;
+  bool is_transfer(StationId) const { return false; }
+  SettleAction on_settle(NodeId, ConnIndex, Time, bool) {
+    return SettleAction::kRelax;
+  }
+};
+
+class SpcsThreadState {
+ public:
+  /// Queue keys are composite: (arrival << kKeyShift) | (W - 1 - li).
+  /// Arrival-time ties are broken towards the HIGHER connection index —
+  /// under the FIFO property a later connection can only arrive *equally*
+  /// early, so ties are precisely where self-pruning fires, and popping the
+  /// later connection first lets it prune all earlier ones at that node.
+  static constexpr unsigned kKeyShift = 20;
+  /// Arrival label arr(v, i) for the local connection index i in [0, width):
+  /// the settled arrival time, or kInfTime when unreached or pruned.
+  Time arrival(NodeId v, std::uint32_t local) const {
+    return arr_.get(static_cast<std::size_t>(v) * width_ + local);
+  }
+
+  std::uint32_t width() const { return width_; }
+  const QueryStats& stats() const { return stats_; }
+
+  /// Runs SPCS for connections [lo, hi) of `conns` (= conn(S), sorted by
+  /// departure). If `target` is a valid station, the stopping criterion is
+  /// applied (per thread) and relaxing stops at the target's station node.
+  template <typename Hook>
+  void run(const TdGraph& g, const Timetable& tt,
+           std::span<const Connection> conns, std::uint32_t lo,
+           std::uint32_t hi, StationId target, const SpcsOptions& opt,
+           Hook& hook) {
+    assert(lo <= hi && hi <= conns.size());
+    stats_ = QueryStats{};
+    const std::uint32_t W = hi - lo;
+    width_ = W;
+    const std::size_t slots = static_cast<std::size_t>(g.num_nodes()) * W;
+    if (heap_.capacity() < slots) heap_.reset_capacity(slots);
+    arr_.ensure_and_clear(slots, kInfTime);
+    if (opt.self_pruning) maxconn_.ensure_and_clear(g.num_nodes(), -1);
+    if constexpr (Hook::kWantsAncestors) {
+      anc_.ensure_and_clear(slots, 0);
+      noanc_.assign(W, 0);
+    }
+    done_.assign(W, 0);
+
+    const NodeId target_node =
+        target == kInvalidStation ? kInvalidNode : g.station_node(target);
+
+    assert(slots <= std::numeric_limits<std::uint32_t>::max());
+    assert(W < (1u << kKeyShift));
+    const auto make_key = [W](Time arr, std::uint32_t li) {
+      return (static_cast<std::uint64_t>(arr) << kKeyShift) | (W - 1 - li);
+    };
+    for (std::uint32_t li = 0; li < W; ++li) {
+      const Connection& c = conns[lo + li];
+      NodeId r = g.departure_node(tt, c);
+      heap_.push(static_cast<std::uint32_t>(
+                     static_cast<std::uint64_t>(r) * W + li),
+                 make_key(c.dep, li));
+      stats_.pushed++;
+      if constexpr (Hook::kWantsAncestors) noanc_[li]++;
+    }
+
+    std::int64_t tm = -1;  // stopping criterion: max conn index settled at T
+
+    while (!heap_.empty()) {
+      auto [id, packed] = heap_.pop();
+      const Time key = static_cast<Time>(packed >> kKeyShift);
+      const NodeId v = static_cast<NodeId>(id / W);
+      const std::uint32_t li = static_cast<std::uint32_t>(id % W);
+      stats_.settled++;
+
+      bool had_anc = true;
+      if constexpr (Hook::kWantsAncestors) {
+        had_anc = anc_.get(id) != 0;
+        if (!had_anc) noanc_[li]--;
+      }
+
+      arr_.set(id, key);  // marks (v, li) settled
+
+      if (done_[li]) {  // connection finished by target pruning
+        stats_.table_pruned++;
+        arr_.set(id, kInfTime);
+        continue;
+      }
+      if (target_node != kInvalidNode && opt.stopping_criterion &&
+          static_cast<std::int64_t>(li) <= tm) {
+        stats_.stop_pruned++;
+        arr_.set(id, kInfTime);
+        continue;
+      }
+      if (opt.self_pruning) {
+        if (static_cast<std::int32_t>(li) <= maxconn_.get(v)) {
+          stats_.self_pruned++;
+          arr_.set(id, kInfTime);
+          continue;
+        }
+        maxconn_.set(v, static_cast<std::int32_t>(li));
+      }
+      if (v == target_node) {
+        // arr(T, li) is final; paths through T never improve arrivals at T.
+        tm = std::max<std::int64_t>(tm, li);
+        if (opt.stopping_criterion && tm + 1 == W) {
+          heap_.clear();
+          break;
+        }
+        continue;
+      }
+      if constexpr (Hook::kWantsSettle) {
+        bool gamma_valid = false;
+        if constexpr (Hook::kWantsAncestors) gamma_valid = noanc_[li] == 0;
+        SettleAction action = hook.on_settle(v, li, key, gamma_valid);
+        if (action == SettleAction::kPruneNode) {
+          stats_.table_pruned++;
+          continue;
+        }
+        if (action == SettleAction::kFinishConn) {
+          done_[li] = 1;
+          continue;
+        }
+      }
+
+      for (const TdGraph::Edge& e : g.out_edges(v)) {
+        const Time t = g.arrival_via(e, key);
+        if (t == kInfTime) continue;
+        const std::uint32_t wid = static_cast<std::uint32_t>(
+            static_cast<std::uint64_t>(e.head) * W + li);
+        if (arr_.touched(wid)) continue;  // already settled for li
+        if (opt.self_pruning && opt.prune_on_relax &&
+            static_cast<std::int32_t>(li) <= maxconn_.get(e.head)) {
+          stats_.relax_pruned++;
+          continue;
+        }
+        stats_.relaxed++;
+        const std::uint64_t new_key = make_key(t, li);
+        bool improved;
+        const bool contained = heap_.contains(wid);
+        if (!contained) {
+          heap_.push(wid, new_key);
+          stats_.pushed++;
+          improved = true;
+        } else if (new_key < heap_.key_of(wid)) {
+          heap_.decrease_key(wid, new_key);
+          stats_.decreased++;
+          improved = true;
+        } else {
+          improved = false;
+        }
+        if constexpr (Hook::kWantsAncestors) {
+          if (improved) {
+            const std::uint8_t new_anc =
+                (had_anc || hook.is_transfer(g.station_of(v))) ? 1 : 0;
+            if (!contained) {
+              anc_.set(wid, new_anc);
+              if (!new_anc) noanc_[li]++;
+            } else {
+              const std::uint8_t old_anc = anc_.get(wid);
+              if (old_anc != new_anc) {
+                anc_.set(wid, new_anc);
+                if (new_anc) {
+                  noanc_[li]--;
+                } else {
+                  noanc_[li]++;
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+ private:
+  // Heap ids address the (node, local connection) lattice: id = v * W + li.
+  // Keys are the composite (arrival, reversed connection index) described
+  // at kKeyShift.
+  DAryHeap<std::uint64_t> heap_;
+  EpochArray<Time> arr_;
+  EpochArray<std::int32_t> maxconn_;
+  EpochArray<std::uint8_t> anc_;
+  std::vector<std::uint32_t> noanc_;
+  std::vector<std::uint8_t> done_;
+  std::uint32_t width_ = 0;
+  QueryStats stats_;
+};
+
+}  // namespace pconn

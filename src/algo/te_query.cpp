@@ -1,0 +1,71 @@
+#include "algo/te_query.hpp"
+
+namespace pconn {
+
+TeTimeQuery::TeTimeQuery(const TeGraph& g) : g_(g) {
+  heap_.reset_capacity(g.num_nodes());
+  dist_.assign(g.num_nodes(), kInfTime);
+  // Station count is not stored in TeGraph; size lazily on first run.
+}
+
+void TeTimeQuery::run(StationId source, Time departure, StationId target) {
+  stats_ = QueryStats{};
+  heap_.clear();
+  dist_.clear();
+  source_ = source;
+  departure_ = departure;
+
+  // Track per-station earliest settled arrival events. Station count is
+  // implied by node payloads; size the array once on the first run.
+  if (best_arrival_.size() == 0) {
+    StationId max_station = source;
+    for (NodeId v = 0; v < g_.num_nodes(); ++v) {
+      max_station = std::max(max_station, g_.node(v).station);
+    }
+    best_arrival_.assign(static_cast<std::size_t>(max_station) + 1, kInfTime);
+  }
+  best_arrival_.clear();
+
+  auto [entry, wait] = g_.entry_node(source, departure);
+  if (entry == kInvalidNode) return;  // no departures at the source at all
+  dist_.set(entry, departure + wait);
+  heap_.push(entry, departure + wait);
+  stats_.pushed++;
+
+  Time target_best = kInfTime;
+  while (!heap_.empty()) {
+    if (target != kInvalidStation && heap_.top_key() >= target_best) break;
+    auto [v, key] = heap_.pop();
+    stats_.settled++;
+    const TeGraph::Node& node = g_.node(v);
+    if (node.kind == TeGraph::NodeKind::kArrival) {
+      if (key < best_arrival_.get(node.station)) {
+        best_arrival_.set(node.station, key);
+        if (node.station == target) target_best = key;
+      }
+      // Arrival events still relax (stay-seated / off-train edges).
+    }
+    for (const TeGraph::Edge& e : g_.out_edges(v)) {
+      Time t = key + e.weight;
+      stats_.relaxed++;
+      if (t < dist_.get(e.head)) {
+        if (heap_.contains(e.head)) {
+          heap_.decrease_key(e.head, t);
+          stats_.decreased++;
+        } else {
+          heap_.push(e.head, t);
+          stats_.pushed++;
+        }
+        dist_.set(e.head, t);
+      }
+    }
+  }
+  heap_.clear();
+}
+
+Time TeTimeQuery::arrival_at(StationId s) const {
+  if (s == source_) return departure_;
+  return s < best_arrival_.size() ? best_arrival_.get(s) : kInfTime;
+}
+
+}  // namespace pconn

@@ -1,0 +1,59 @@
+#include "algo/time_query.hpp"
+
+namespace pconn {
+
+TimeQuery::TimeQuery(const Timetable& tt, const TdGraph& g) : tt_(tt), g_(g) {
+  heap_.reset_capacity(g.num_nodes());
+  dist_.assign(g.num_nodes(), kInfTime);
+  parent_.assign(g.num_nodes(), kInvalidNode);
+  settled_.assign(g.num_nodes(), 0);
+}
+
+void TimeQuery::run(StationId source, Time departure, StationId target) {
+  stats_ = QueryStats{};
+  heap_.clear();
+  dist_.clear();
+  parent_.clear();
+  settled_.clear();
+
+  const NodeId src = g_.station_node(source);
+  dist_.set(src, departure);
+  heap_.push(src, departure);
+  stats_.pushed++;
+
+  while (!heap_.empty()) {
+    auto [v, key] = heap_.pop();
+    stats_.settled++;
+    settled_.set(v, 1);
+    if (target != kInvalidStation && v == g_.station_node(target)) break;
+    for (const TdGraph::Edge& e : g_.out_edges(v)) {
+      // No transfer penalty for the very first boarding at the source.
+      Time t = (v == src && e.ttf == kNoTtf) ? key : g_.arrival_via(e, key);
+      if (t == kInfTime) continue;
+      stats_.relaxed++;
+      if (settled_.get(e.head)) continue;
+      if (t < dist_.get(e.head)) {
+        if (heap_.contains(e.head)) {
+          heap_.decrease_key(e.head, t);
+          stats_.decreased++;
+        } else {
+          heap_.push(e.head, t);
+          stats_.pushed++;
+        }
+        dist_.set(e.head, t);
+        parent_.set(e.head, v);
+      }
+    }
+  }
+  heap_.clear();
+}
+
+Time TimeQuery::arrival_at(StationId s) const {
+  return dist_.get(g_.station_node(s));
+}
+
+Time TimeQuery::arrival_at_node(NodeId v) const { return dist_.get(v); }
+
+NodeId TimeQuery::parent(NodeId v) const { return parent_.get(v); }
+
+}  // namespace pconn

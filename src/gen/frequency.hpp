@@ -1,0 +1,48 @@
+// Time-of-day service frequency model.
+//
+// The paper's equal-time-slots partition fails precisely because departures
+// are "not distributed uniformly over the day due to rush hours and
+// operational breaks at night" (Section 3.2). This profile reproduces that
+// shape: a morning and an evening peak, reduced evening service, and a night
+// break, all as multiplicative factors on a base headway.
+#pragma once
+
+#include <cstdint>
+
+#include "timetable/types.hpp"
+
+namespace pconn::gen {
+
+struct FrequencyProfile {
+  Time service_start = 5 * 3600;        // first departure of the day
+  Time service_end = 24 * 3600 + 1800;  // last departure (may pass midnight)
+  Time base_headway = 600;              // midday headway in seconds
+
+  // Multipliers on base_headway (smaller = more frequent).
+  double peak_factor = 0.4;     // rush hours
+  double evening_factor = 2.0;  // after ~20:00
+  double early_factor = 1.5;    // before ~6:30
+
+  Time am_peak_begin = 7 * 3600, am_peak_end = 9 * 3600;
+  Time pm_peak_begin = 16 * 3600 + 1800, pm_peak_end = 19 * 3600;
+
+  /// Headway to the next departure when the previous one left at t
+  /// (t is an absolute time that may exceed the period for overnight spans).
+  Time headway_at(Time t) const {
+    Time tod = t % kDayseconds;
+    double factor = 1.0;
+    if (tod < 6 * 3600 + 1800) {
+      factor = early_factor;
+    } else if (tod >= am_peak_begin && tod < am_peak_end) {
+      factor = peak_factor;
+    } else if (tod >= pm_peak_begin && tod < pm_peak_end) {
+      factor = peak_factor;
+    } else if (tod >= 20 * 3600) {
+      factor = evening_factor;
+    }
+    double h = static_cast<double>(base_headway) * factor;
+    return h < 60.0 ? 60 : static_cast<Time>(h);
+  }
+};
+
+}  // namespace pconn::gen

@@ -1,0 +1,371 @@
+#include "gen/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "timetable/builder.hpp"
+#include "util/rng.hpp"
+
+namespace pconn::gen {
+
+namespace {
+
+/// A physical line: a station sequence plus a fixed scheduled run time per
+/// hop. Trips in both directions are emitted from it.
+struct Line {
+  std::vector<StationId> stops;
+  std::vector<Time> hop_base;  // size stops.size() - 1
+};
+
+/// Smoothed rush-hour level in [0, 1]: 1 inside the peaks, 0 elsewhere,
+/// with 45-minute linear ramps. Keeping the ramps gentle bounds the speed
+/// difference between consecutive trips so that in-route overtaking (and
+/// hence route splitting in the builder) stays rare.
+double rush_level(Time t, const FrequencyProfile& f) {
+  constexpr double kRamp = 2700.0;
+  double tod = static_cast<double>(t % kDayseconds);
+  auto window = [&](Time b, Time e) {
+    double begin = static_cast<double>(b), end = static_cast<double>(e);
+    if (tod <= begin - kRamp || tod >= end + kRamp) return 0.0;
+    if (tod >= begin && tod <= end) return 1.0;
+    if (tod < begin) return (tod - (begin - kRamp)) / kRamp;
+    return ((end + kRamp) - tod) / kRamp;
+  };
+  return std::max(window(f.am_peak_begin, f.am_peak_end),
+                  window(f.pm_peak_begin, f.pm_peak_end));
+}
+
+/// Emits all trips of `line` (both directions) into the builder.
+void emit_trips(TimetableBuilder& builder, const Line& line,
+                const FrequencyProfile& freq, Time dwell, double rush_slowdown,
+                Rng& rng) {
+  for (int dir = 0; dir < 2; ++dir) {
+    std::vector<StationId> stops = line.stops;
+    std::vector<Time> hops = line.hop_base;
+    if (dir == 1) {
+      std::reverse(stops.begin(), stops.end());
+      std::reverse(hops.begin(), hops.end());
+    }
+    // Offset the two directions so they do not depart in lockstep.
+    Time t = freq.service_start +
+             static_cast<Time>(rng.next_below(freq.headway_at(freq.service_start)));
+    while (t <= freq.service_end) {
+      double m = 1.0 + (rush_slowdown - 1.0) * rush_level(t, freq);
+      std::vector<TimetableBuilder::StopTime> trip;
+      trip.reserve(stops.size());
+      Time now = t;
+      for (std::size_t k = 0; k < stops.size(); ++k) {
+        TimetableBuilder::StopTime st;
+        st.station = stops[k];
+        st.arrival = now;
+        st.departure = (k + 1 < stops.size()) ? now + (k == 0 ? 0 : dwell) : now;
+        trip.push_back(st);
+        if (k + 1 < stops.size()) {
+          Time ride = static_cast<Time>(
+              std::max(30.0, std::round(static_cast<double>(hops[k]) * m)));
+          now = trip.back().departure + ride;
+        }
+      }
+      builder.add_trip(trip);
+      Time headway = freq.headway_at(t);
+      double jitter = 0.9 + 0.2 * rng.next_double();
+      t += std::max<Time>(60, static_cast<Time>(headway * jitter));
+    }
+  }
+}
+
+Time jittered_hop(Time base, double jitter, Rng& rng) {
+  double f = 1.0 + jitter * (2.0 * rng.next_double() - 1.0);
+  return static_cast<Time>(std::max(30.0, std::round(base * f)));
+}
+
+}  // namespace
+
+Timetable make_bus_city(const BusCityConfig& cfg) {
+  if (cfg.districts_x < 1 || cfg.districts_y < 1 || cfg.district_w < 2 ||
+      cfg.district_h < 2) {
+    throw std::invalid_argument(
+        "bus city: needs >= 1x1 districts of at least 2x2 stops");
+  }
+  Rng rng(cfg.seed);
+  TimetableBuilder builder;
+
+  const std::uint32_t DX = cfg.districts_x, DY = cfg.districts_y;
+  const std::uint32_t W = cfg.district_w, H = cfg.district_h;
+
+  // District stop grids; the hub is the central stop of each district.
+  std::vector<std::vector<StationId>> district(DX * DY);
+  std::vector<StationId> hub(DX * DY);
+  for (std::uint32_t dy = 0; dy < DY; ++dy) {
+    for (std::uint32_t dx = 0; dx < DX; ++dx) {
+      auto& stops = district[dy * DX + dx];
+      stops.resize(W * H);
+      for (std::uint32_t r = 0; r < H; ++r) {
+        for (std::uint32_t c = 0; c < W; ++c) {
+          stops[r * W + c] = builder.add_station(
+              cfg.name + " d" + std::to_string(dx) + "." + std::to_string(dy) +
+                  " " + std::to_string(r) + "/" + std::to_string(c),
+              cfg.transfer_seconds);
+        }
+      }
+      hub[dy * DX + dx] = stops[(H / 2) * W + (W / 2)];
+    }
+  }
+
+  std::vector<Line> local_lines;
+  // Local lines: the rows and columns of every district grid. Columns all
+  // cross the hub row; rows cross the hub column — every stop is at most
+  // one local transfer away from the hub, and the hub is the only stop
+  // shared with the arterial network.
+  for (std::uint32_t d = 0; d < DX * DY; ++d) {
+    const auto& stops = district[d];
+    for (std::uint32_t r = 0; r < H; ++r) {
+      Line l;
+      for (std::uint32_t c = 0; c < W; ++c) l.stops.push_back(stops[r * W + c]);
+      for (std::uint32_t c = 0; c + 1 < W; ++c) {
+        l.hop_base.push_back(
+            jittered_hop(cfg.hop_seconds, cfg.hop_jitter, rng));
+      }
+      local_lines.push_back(std::move(l));
+    }
+    for (std::uint32_t c = 0; c < W; ++c) {
+      Line l;
+      for (std::uint32_t r = 0; r < H; ++r) l.stops.push_back(stops[r * W + c]);
+      for (std::uint32_t r = 0; r + 1 < H; ++r) {
+        l.hop_base.push_back(
+            jittered_hop(cfg.hop_seconds, cfg.hop_jitter, rng));
+      }
+      local_lines.push_back(std::move(l));
+    }
+  }
+
+  // Arterials: horizontal and vertical hub chains with arterial-only stops
+  // between consecutive hubs.
+  std::vector<Line> arterials;
+  auto make_arterial = [&](const std::vector<StationId>& hubs_on_line,
+                           std::uint32_t tag) {
+    Line l;
+    for (std::size_t i = 0; i < hubs_on_line.size(); ++i) {
+      l.stops.push_back(hubs_on_line[i]);
+      if (i + 1 < hubs_on_line.size()) {
+        for (std::uint32_t k = 0; k < cfg.arterial_stops; ++k) {
+          l.stops.push_back(builder.add_station(
+              cfg.name + " art" + std::to_string(tag) + "-" +
+                  std::to_string(i) + "." + std::to_string(k),
+              cfg.transfer_seconds));
+        }
+      }
+    }
+    for (std::size_t k = 0; k + 1 < l.stops.size(); ++k) {
+      l.hop_base.push_back(
+          jittered_hop(cfg.arterial_hop_seconds, cfg.hop_jitter, rng));
+    }
+    arterials.push_back(std::move(l));
+  };
+  std::uint32_t tag = 0;
+  for (std::uint32_t dy = 0; dy < DY && DX > 1; ++dy) {
+    std::vector<StationId> hubs;
+    for (std::uint32_t dx = 0; dx < DX; ++dx) hubs.push_back(hub[dy * DX + dx]);
+    make_arterial(hubs, tag++);
+  }
+  for (std::uint32_t dx = 0; dx < DX && DY > 1; ++dx) {
+    std::vector<StationId> hubs;
+    for (std::uint32_t dy = 0; dy < DY; ++dy) hubs.push_back(hub[dy * DX + dx]);
+    make_arterial(hubs, tag++);
+  }
+
+  // Express overlays: hub-only lines along random arterial rows/columns.
+  std::vector<Line> expresses;
+  for (std::uint32_t e = 0; e < cfg.express_lines && DX * DY > 2; ++e) {
+    bool horizontal = rng.next_bool(0.5) ? DX > 1 : false;
+    if (DY <= 1) horizontal = true;
+    Line l;
+    if (horizontal && DX > 1) {
+      std::uint32_t dy = static_cast<std::uint32_t>(rng.next_below(DY));
+      for (std::uint32_t dx = 0; dx < DX; ++dx) {
+        l.stops.push_back(hub[dy * DX + dx]);
+      }
+    } else {
+      std::uint32_t dx = static_cast<std::uint32_t>(rng.next_below(DX));
+      for (std::uint32_t dy = 0; dy < DY; ++dy) {
+        l.stops.push_back(hub[dy * DX + dx]);
+      }
+    }
+    if (l.stops.size() < 2) continue;
+    for (std::size_t k = 0; k + 1 < l.stops.size(); ++k) {
+      l.hop_base.push_back(jittered_hop(
+          cfg.arterial_hop_seconds * (cfg.arterial_stops + 1) * 4 / 5,
+          cfg.hop_jitter, rng));
+    }
+    expresses.push_back(std::move(l));
+  }
+
+  for (const Line& l : local_lines) {
+    emit_trips(builder, l, cfg.frequency, cfg.dwell_seconds, cfg.rush_slowdown,
+               rng);
+  }
+  for (const Line& l : arterials) {
+    emit_trips(builder, l, cfg.arterial_frequency, cfg.dwell_seconds,
+               cfg.rush_slowdown, rng);
+  }
+  for (const Line& l : expresses) {
+    emit_trips(builder, l, cfg.arterial_frequency, cfg.dwell_seconds,
+               cfg.rush_slowdown, rng);
+  }
+  return builder.finalize();
+}
+
+Timetable make_railway(const RailwayConfig& cfg) {
+  if (cfg.hubs < 3) throw std::invalid_argument("railway: needs >= 3 hubs");
+  Rng rng(cfg.seed);
+  TimetableBuilder builder;
+
+  std::vector<StationId> hubs;
+  hubs.reserve(cfg.hubs);
+  for (std::uint32_t h = 0; h < cfg.hubs; ++h) {
+    hubs.push_back(builder.add_station(cfg.name + " Hbf " + std::to_string(h),
+                                       cfg.hub_transfer_seconds));
+  }
+
+  // Hub links: a ring plus random chords.
+  std::set<std::pair<std::uint32_t, std::uint32_t>> links;
+  for (std::uint32_t h = 0; h < cfg.hubs; ++h) {
+    std::uint32_t a = h, b = (h + 1) % cfg.hubs;
+    links.insert({std::min(a, b), std::max(a, b)});
+  }
+  std::uint32_t added = 0, attempts = 0;
+  while (added < cfg.extra_hub_links && attempts < cfg.extra_hub_links * 20) {
+    ++attempts;
+    auto a = static_cast<std::uint32_t>(rng.next_below(cfg.hubs));
+    auto b = static_cast<std::uint32_t>(rng.next_below(cfg.hubs));
+    if (a == b) continue;
+    if (links.insert({std::min(a, b), std::max(a, b)}).second) ++added;
+  }
+
+  std::vector<Line> lines;
+  std::uint32_t link_no = 0;
+  for (auto [a, b] : links) {
+    Line l;
+    l.stops.push_back(hubs[a]);
+    for (std::uint32_t i = 0; i < cfg.intercity_stops; ++i) {
+      l.stops.push_back(builder.add_station(
+          cfg.name + " IC" + std::to_string(link_no) + "-" + std::to_string(i),
+          cfg.minor_transfer_seconds));
+    }
+    l.stops.push_back(hubs[b]);
+    for (std::size_t k = 0; k + 1 < l.stops.size(); ++k) {
+      l.hop_base.push_back(
+          jittered_hop(cfg.intercity_hop_seconds, cfg.hop_jitter, rng));
+    }
+    lines.push_back(std::move(l));
+    ++link_no;
+  }
+
+  std::vector<Line> regional;
+  for (std::uint32_t h = 0; h < cfg.hubs; ++h) {
+    for (std::uint32_t rl = 0; rl < cfg.regional_lines_per_hub; ++rl) {
+      Line l;
+      l.stops.push_back(hubs[h]);
+      for (std::uint32_t i = 0; i < cfg.regional_length; ++i) {
+        l.stops.push_back(builder.add_station(
+            cfg.name + " R" + std::to_string(h) + "." + std::to_string(rl) +
+                "-" + std::to_string(i),
+            cfg.minor_transfer_seconds));
+      }
+      for (std::size_t k = 0; k + 1 < l.stops.size(); ++k) {
+        l.hop_base.push_back(
+            jittered_hop(cfg.regional_hop_seconds, cfg.hop_jitter, rng));
+      }
+      regional.push_back(std::move(l));
+    }
+  }
+
+  // Railways do not suffer bus-style traffic slowdowns; keep schedules flat.
+  for (const Line& l : lines) {
+    emit_trips(builder, l, cfg.intercity_frequency, cfg.dwell_seconds, 1.0,
+               rng);
+  }
+  for (const Line& l : regional) {
+    emit_trips(builder, l, cfg.regional_frequency, cfg.dwell_seconds, 1.0, rng);
+  }
+  return builder.finalize();
+}
+
+const char* preset_name(Preset p) {
+  switch (p) {
+    case Preset::kOahuLike: return "oahu-like";
+    case Preset::kLosAngelesLike: return "losangeles-like";
+    case Preset::kWashingtonLike: return "washington-like";
+    case Preset::kGermanyLike: return "germany-like";
+    case Preset::kEuropeLike: return "europe-like";
+  }
+  return "?";
+}
+
+Timetable make_preset(Preset p, double scale, std::uint64_t seed) {
+  double lin = std::sqrt(scale);  // bus grids scale by linear dimension
+  auto dim = [&](double v) {
+    return static_cast<std::uint32_t>(std::max(2.0, std::round(v * lin)));
+  };
+  switch (p) {
+    case Preset::kOahuLike: {
+      BusCityConfig c;
+      c.name = "oahu";
+      c.districts_x = dim(4);
+      c.districts_y = dim(3);
+      c.express_lines = 4;
+      c.frequency.base_headway = 660;
+      c.seed = seed;
+      return make_bus_city(c);
+    }
+    case Preset::kLosAngelesLike: {
+      BusCityConfig c;
+      c.name = "la";
+      c.districts_x = dim(8);
+      c.districts_y = dim(5);
+      c.express_lines = 10;
+      c.frequency.base_headway = 660;
+      c.seed = seed + 1;
+      return make_bus_city(c);
+    }
+    case Preset::kWashingtonLike: {
+      BusCityConfig c;
+      c.name = "dc";
+      c.districts_x = dim(6);
+      c.districts_y = dim(5);
+      c.express_lines = 6;
+      c.frequency.base_headway = 720;
+      c.seed = seed + 2;
+      return make_bus_city(c);
+    }
+    case Preset::kGermanyLike: {
+      RailwayConfig c;
+      c.name = "de";
+      c.hubs = static_cast<std::uint32_t>(std::max(3.0, std::round(12 * scale)));
+      c.extra_hub_links = 6;
+      c.intercity_stops = 3;
+      c.regional_lines_per_hub = 3;
+      c.regional_length = 7;
+      c.seed = seed + 3;
+      return make_railway(c);
+    }
+    case Preset::kEuropeLike: {
+      RailwayConfig c;
+      c.name = "eu";
+      c.hubs = static_cast<std::uint32_t>(std::max(3.0, std::round(30 * scale)));
+      c.extra_hub_links = 15;
+      c.intercity_stops = 4;
+      c.regional_lines_per_hub = 4;
+      c.regional_length = 9;
+      c.regional_frequency.base_headway = 2400;
+      c.seed = seed + 4;
+      return make_railway(c);
+    }
+  }
+  throw std::invalid_argument("unknown preset");
+}
+
+}  // namespace pconn::gen

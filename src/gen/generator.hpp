@@ -1,0 +1,98 @@
+// Synthetic public-transportation networks.
+//
+// Substitution (see DESIGN.md §4): the paper evaluates on GTFS feeds (Oahu,
+// Los Angeles, Washington D.C.) and proprietary HaCon railway data (Germany,
+// Europe). Neither is shippable, so this module synthesizes networks with
+// the structural statistics that drive the paper's results:
+//   * bus cities — dense grids, many routes per station, a high
+//     connections-per-station ratio, rush-hour departure clustering, and
+//     traffic-dependent hop times;
+//   * railways — hub-and-spoke topologies with far fewer connections per
+//     station (the property the paper uses to explain Europe's weaker
+//     multi-core scaling).
+// All generation is deterministic in the seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "gen/frequency.hpp"
+#include "timetable/timetable.hpp"
+
+namespace pconn::gen {
+
+// A bus city is a grid of *districts*. Every district is a small stop grid
+// served by its own local lines (rows and columns), all of which cross the
+// district's central hub stop; hubs of adjacent districts are linked by
+// arterial lines (with a few arterial-only stops in between), and express
+// overlays run along arterials stopping at hubs only. Leaving a district
+// therefore always passes its hub — the separator structure that real bus
+// networks exhibit and that transfer-station selection (paper Section 4)
+// depends on; a uniform grid has no such separators and defeats
+// distance-table pruning entirely.
+struct BusCityConfig {
+  std::uint32_t districts_x = 4;
+  std::uint32_t districts_y = 3;
+  std::uint32_t district_w = 4;      // stops per district, horizontally
+  std::uint32_t district_h = 4;      // stops per district, vertically
+  std::uint32_t arterial_stops = 1;  // arterial-only stops between two hubs
+  std::uint32_t express_lines = 4;   // hub-only overlays along arterials
+
+  Time hop_seconds = 150;           // local hop
+  Time arterial_hop_seconds = 210;  // hop on arterial segments
+  double hop_jitter = 0.25;         // relative jitter on hop times
+  double rush_slowdown = 1.35;      // hops take this much longer in rush hour
+  Time dwell_seconds = 20;          // stop dwell time
+  Time transfer_seconds = 90;       // T(S) for every stop
+
+  FrequencyProfile frequency;          // local lines
+  FrequencyProfile arterial_frequency{.base_headway = 480, .peak_factor = 0.5};
+  std::uint64_t seed = 1;
+  std::string name = "bus-city";
+};
+
+struct RailwayConfig {
+  std::uint32_t hubs = 12;
+  std::uint32_t extra_hub_links = 6;    // chords beyond the hub ring
+  std::uint32_t intercity_stops = 3;    // intermediate stations per hub link
+  std::uint32_t regional_lines_per_hub = 3;
+  std::uint32_t regional_length = 7;    // stations per regional line (w/o hub)
+
+  Time intercity_hop_seconds = 1500;    // ~25 min between intercity stops
+  Time regional_hop_seconds = 420;      // ~7 min between regional stops
+  double hop_jitter = 0.2;
+  Time dwell_seconds = 60;
+  Time hub_transfer_seconds = 300;      // T(S) at hubs
+  Time minor_transfer_seconds = 120;    // T(S) elsewhere
+
+  FrequencyProfile intercity_frequency{.base_headway = 3600,
+                                       .peak_factor = 0.75};
+  FrequencyProfile regional_frequency{.base_headway = 1800,
+                                      .peak_factor = 0.5};
+  std::uint64_t seed = 1;
+  std::string name = "railway";
+};
+
+Timetable make_bus_city(const BusCityConfig& cfg);
+Timetable make_railway(const RailwayConfig& cfg);
+
+/// The five evaluation networks of the paper, scaled to bench-friendly
+/// sizes. `scale` multiplies the station count (1.0 = our calibrated
+/// default, NOT the paper's full size; see DESIGN.md §4).
+enum class Preset {
+  kOahuLike,        // compact, very dense bus network
+  kLosAngelesLike,  // large dense bus network
+  kWashingtonLike,  // large bus network, slightly sparser
+  kGermanyLike,     // national railway
+  kEuropeLike,      // continental railway: many stations, few conns/station
+};
+
+constexpr Preset kAllPresets[] = {
+    Preset::kOahuLike, Preset::kLosAngelesLike, Preset::kWashingtonLike,
+    Preset::kGermanyLike, Preset::kEuropeLike};
+
+const char* preset_name(Preset p);
+
+Timetable make_preset(Preset p, double scale = 1.0, std::uint64_t seed = 1);
+
+}  // namespace pconn::gen

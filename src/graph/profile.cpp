@@ -1,0 +1,73 @@
+#include "graph/profile.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pconn {
+
+Profile reduce_profile(const Profile& raw, Time period) {
+  Profile out;
+  out.reserve(raw.size());
+  // Backward scan: keep a point only if it arrives strictly earlier than
+  // every kept point departing later the same day.
+  Time min_arr = kInfTime;
+  for (std::size_t i = raw.size(); i-- > 0;) {
+    const ProfilePoint& p = raw[i];
+    if (p.arr == kInfTime) continue;
+    assert(p.dep < period && p.arr >= p.dep);
+    assert(i == 0 || raw[i - 1].dep <= p.dep);  // input sorted by departure
+    if (p.arr < min_arr) {
+      out.push_back(p);
+      min_arr = p.arr;
+    }
+  }
+  std::reverse(out.begin(), out.end());
+  // Equal departures can survive the scan (arrivals are strictly increasing
+  // afterwards, so the first of an equal-departure run is the best): dedup.
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const ProfilePoint& a, const ProfilePoint& b) {
+                          return a.dep == b.dep;
+                        }),
+            out.end());
+
+  // Cyclic pass: a late-evening point may still be dominated by an
+  // early-morning departure of the next period. After the linear scan,
+  // arrivals increase with departures, so the earliest arrival is
+  // out.front().arr and only tail points can be dominated by it + period.
+  if (out.size() > 1) {
+    const Time wrap_min = out.front().arr + period;
+    while (out.size() > 1 && out.back().arr >= wrap_min) out.pop_back();
+  }
+  return out;
+}
+
+std::uint32_t profile_point_used(const Profile& profile, Time t, Time period) {
+  if (profile.empty()) return kNoConn;
+  Time tau = t % period;
+  auto it = std::lower_bound(
+      profile.begin(), profile.end(), tau,
+      [](const ProfilePoint& p, Time v) { return p.dep < v; });
+  if (it == profile.end()) it = profile.begin();
+  return static_cast<std::uint32_t>(it - profile.begin());
+}
+
+Time eval_profile(const Profile& profile, Time t, Time period) {
+  std::uint32_t i = profile_point_used(profile, t, period);
+  if (i == kNoConn) return kInfTime;
+  const ProfilePoint& p = profile[i];
+  return t + delta(t, p.dep, period) + (p.arr - p.dep);
+}
+
+bool profile_is_fifo(const Profile& profile, Time period) {
+  for (const ProfilePoint& a : profile) {
+    for (const ProfilePoint& b : profile) {
+      Time travel_a = eval_profile(profile, a.dep, period) - a.dep;
+      Time via_b = delta(a.dep, b.dep, period) +
+                   (eval_profile(profile, b.dep, period) - b.dep);
+      if (travel_a > via_b) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace pconn

@@ -1,0 +1,43 @@
+// Travel-time profiles dist(S, T, ·) and the paper's connection reduction.
+//
+// A profile is the result side of a profile query: a sequence of
+// (departure at S, arrival at T) pairs, one per *useful* outgoing
+// connection, sorted by departure. Departures lie in [0, period); arrivals
+// are absolute (>= dep, may exceed the period).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "timetable/types.hpp"
+
+namespace pconn {
+
+struct ProfilePoint {
+  Time dep;  // departure at the source, in [0, period)
+  Time arr;  // absolute arrival at the target for that departure
+  bool operator==(const ProfilePoint&) const = default;
+};
+
+using Profile = std::vector<ProfilePoint>;
+
+/// The paper's connection reduction (Section 3.1): scan backward keeping
+/// the minimum arrival; drop every point whose arrival is not strictly
+/// earlier than the best later-departing alternative. Points with
+/// arr == kInfTime (pruned connections) are dropped up front. A final
+/// cyclic pass removes tail points dominated by next-day departures, so the
+/// result is FIFO as a periodic function. Input must be sorted by dep.
+Profile reduce_profile(const Profile& raw, Time period);
+
+/// Earliest absolute arrival when departing the source at absolute time t.
+/// The profile must be reduced (FIFO); returns kInfTime for empty profiles.
+Time eval_profile(const Profile& profile, Time t, Time period);
+
+/// Index of the profile point eval_profile would use (kNoConn if empty).
+std::uint32_t profile_point_used(const Profile& profile, Time t, Time period);
+
+/// FIFO check over a reduced profile (test helper): departing later never
+/// yields a strictly earlier arrival, cyclically.
+bool profile_is_fifo(const Profile& profile, Time period);
+
+}  // namespace pconn

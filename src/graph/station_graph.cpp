@@ -1,0 +1,56 @@
+#include "graph/station_graph.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+
+namespace pconn {
+
+StationGraph StationGraph::build(const Timetable& tt) {
+  // Aggregate elementary connections per ordered station pair.
+  std::map<std::pair<StationId, StationId>, Edge> agg;
+  for (const Connection& c : tt.connections()) {
+    auto key = std::make_pair(c.from, c.to);
+    auto it = agg.find(key);
+    if (it == agg.end()) {
+      agg.emplace(key, Edge{c.to, c.duration(), 1});
+    } else {
+      it->second.min_ride = std::min(it->second.min_ride, c.duration());
+      it->second.num_conns++;
+    }
+  }
+
+  StationGraph g;
+  const std::size_t n = tt.num_stations();
+  g.fwd_begin_.assign(n + 1, 0);
+  g.rev_begin_.assign(n + 1, 0);
+  for (const auto& [key, e] : agg) {
+    g.fwd_begin_[key.first + 1]++;
+    g.rev_begin_[key.second + 1]++;
+  }
+  std::partial_sum(g.fwd_begin_.begin(), g.fwd_begin_.end(),
+                   g.fwd_begin_.begin());
+  std::partial_sum(g.rev_begin_.begin(), g.rev_begin_.end(),
+                   g.rev_begin_.begin());
+  g.fwd_.resize(g.fwd_begin_.back());
+  g.rev_.resize(g.rev_begin_.back());
+  std::vector<std::uint32_t> fpos(g.fwd_begin_.begin(), g.fwd_begin_.end() - 1);
+  std::vector<std::uint32_t> rpos(g.rev_begin_.begin(), g.rev_begin_.end() - 1);
+  for (const auto& [key, e] : agg) {
+    g.fwd_[fpos[key.first]++] = e;
+    Edge rev_edge = e;
+    rev_edge.head = key.first;  // reverse edge points back to the tail
+    g.rev_[rpos[key.second]++] = rev_edge;
+  }
+  return g;
+}
+
+std::size_t StationGraph::degree(StationId s) const {
+  std::set<StationId> neigh;
+  for (const Edge& e : out_edges(s)) neigh.insert(e.head);
+  for (const Edge& e : in_edges(s)) neigh.insert(e.head);
+  return neigh.size();
+}
+
+}  // namespace pconn

@@ -1,0 +1,49 @@
+// The station graph G_S (paper Section 4): an edge (S1, S2) whenever at
+// least one train runs from S1 directly to S2. Carries per-edge lower
+// bounds (fastest ride) for the static contraction used in transfer-station
+// selection, and the reverse adjacency for the via-station DFS.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "timetable/timetable.hpp"
+
+namespace pconn {
+
+class StationGraph {
+ public:
+  struct Edge {
+    StationId head;
+    Time min_ride;            // fastest elementary connection on this edge
+    std::uint32_t num_conns;  // how many elementary connections back it
+  };
+
+  static StationGraph build(const Timetable& tt);
+
+  std::size_t num_stations() const { return fwd_begin_.size() - 1; }
+
+  std::span<const Edge> out_edges(StationId s) const {
+    return {fwd_.data() + fwd_begin_[s], fwd_.data() + fwd_begin_[s + 1]};
+  }
+  std::span<const Edge> in_edges(StationId s) const {
+    return {rev_.data() + rev_begin_[s], rev_.data() + rev_begin_[s + 1]};
+  }
+
+  std::size_t out_degree(StationId s) const {
+    return fwd_begin_[s + 1] - fwd_begin_[s];
+  }
+  std::size_t in_degree(StationId s) const {
+    return rev_begin_[s + 1] - rev_begin_[s];
+  }
+  /// Undirected degree: number of distinct neighbors in either direction
+  /// (the paper's "degree in the station graph" for deg > k selection).
+  std::size_t degree(StationId s) const;
+
+ private:
+  std::vector<std::uint32_t> fwd_begin_, rev_begin_;
+  std::vector<Edge> fwd_, rev_;
+};
+
+}  // namespace pconn

@@ -1,0 +1,76 @@
+#include "graph/td_graph.hpp"
+
+#include <numeric>
+
+namespace pconn {
+
+TdGraph TdGraph::build(const Timetable& tt) {
+  TdGraph g;
+  g.num_stations_ = tt.num_stations();
+  g.period_ = tt.period();
+
+  // Node numbering: stations first, then route nodes grouped by route.
+  g.station_of_.resize(tt.num_stations());
+  for (StationId s = 0; s < tt.num_stations(); ++s) g.station_of_[s] = s;
+  g.route_node_begin_.resize(tt.num_routes());
+  for (RouteId r = 0; r < tt.num_routes(); ++r) {
+    g.route_node_begin_[r] = static_cast<NodeId>(g.station_of_.size());
+    for (StationId s : tt.route(r).stops) g.station_of_.push_back(s);
+  }
+
+  std::vector<std::vector<Edge>> adj(g.station_of_.size());
+
+  for (RouteId r = 0; r < tt.num_routes(); ++r) {
+    const Route& route = tt.route(r);
+    const std::size_t n = route.stops.size();
+    for (std::size_t k = 0; k < n; ++k) {
+      NodeId rn = g.route_node(r, static_cast<std::uint32_t>(k));
+      StationId s = route.stops[k];
+      // Alighting is free.
+      adj[rn].push_back({g.station_node(s), kNoTtf, 0});
+      // Boarding pays the transfer time; boarding at the terminus is useless.
+      if (k + 1 < n) {
+        adj[g.station_node(s)].push_back({rn, kNoTtf, tt.transfer_time(s)});
+      }
+      // Travel edge with one connection point per trip.
+      if (k + 1 < n) {
+        std::vector<TtfPoint> pts;
+        pts.reserve(route.trips.size());
+        for (TrainId t : route.trips) {
+          const Trip& trip = tt.trip(t);
+          Time dep = trip.departures[k] % tt.period();
+          Time dur = trip.arrivals[k + 1] - trip.departures[k];
+          pts.push_back({dep, dur});
+        }
+        std::uint32_t ttf_idx = static_cast<std::uint32_t>(g.ttfs_.size());
+        g.ttfs_.push_back(Ttf::build(std::move(pts), tt.period()));
+        adj[rn].push_back(
+            {g.route_node(r, static_cast<std::uint32_t>(k + 1)), ttf_idx, 0});
+      }
+    }
+  }
+
+  g.edge_begin_.assign(g.station_of_.size() + 1, 0);
+  for (std::size_t v = 0; v < adj.size(); ++v) {
+    g.edge_begin_[v + 1] = static_cast<std::uint32_t>(adj[v].size());
+  }
+  std::partial_sum(g.edge_begin_.begin(), g.edge_begin_.end(),
+                   g.edge_begin_.begin());
+  g.edges_.reserve(g.edge_begin_.back());
+  for (auto& out : adj) {
+    g.edges_.insert(g.edges_.end(), out.begin(), out.end());
+  }
+  return g;
+}
+
+std::size_t TdGraph::memory_bytes() const {
+  std::size_t bytes = 0;
+  bytes += station_of_.size() * sizeof(StationId);
+  bytes += route_node_begin_.size() * sizeof(NodeId);
+  bytes += edge_begin_.size() * sizeof(std::uint32_t);
+  bytes += edges_.size() * sizeof(Edge);
+  for (const Ttf& f : ttfs_) bytes += f.size() * sizeof(TtfPoint);
+  return bytes;
+}
+
+}  // namespace pconn

@@ -1,0 +1,77 @@
+// The realistic time-dependent model (Pyrga et al. [23], paper Section 2).
+//
+// For every station a *station node*; for every route and every position
+// along that route a *route node*. Edges:
+//   * board:  station  -> route node, constant weight T(S) (transfer time);
+//   * alight: route node -> station, constant weight 0;
+//   * travel: route node -> next route node of the same route, a
+//     time-dependent Ttf holding one connection point per trip.
+// Transfers between trains therefore cost exactly T(S); staying seated is
+// free. Query algorithms that start at a station S skip the boarding cost
+// at S itself (the paper's SPCS starts directly on route nodes).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/ttf.hpp"
+#include "timetable/timetable.hpp"
+
+namespace pconn {
+
+constexpr std::uint32_t kNoTtf = std::numeric_limits<std::uint32_t>::max();
+
+class TdGraph {
+ public:
+  struct Edge {
+    NodeId head;
+    std::uint32_t ttf;  // kNoTtf => constant `weight`
+    Time weight;        // used only when ttf == kNoTtf
+  };
+
+  static TdGraph build(const Timetable& tt);
+
+  NodeId num_nodes() const { return static_cast<NodeId>(station_of_.size()); }
+  std::size_t num_edges() const { return edges_.size(); }
+  std::size_t num_stations() const { return num_stations_; }
+  Time period() const { return period_; }
+
+  bool is_station_node(NodeId v) const { return v < num_stations_; }
+  /// st(u): the station a node belongs to.
+  StationId station_of(NodeId v) const { return station_of_[v]; }
+  NodeId station_node(StationId s) const { return s; }
+  NodeId route_node(RouteId r, std::uint32_t pos) const {
+    return route_node_begin_[r] + pos;
+  }
+  /// The route node an elementary connection departs from.
+  NodeId departure_node(const Timetable& tt, const Connection& c) const {
+    return route_node(tt.trip(c.train).route, c.pos);
+  }
+
+  std::span<const Edge> out_edges(NodeId v) const {
+    return {edges_.data() + edge_begin_[v], edges_.data() + edge_begin_[v + 1]};
+  }
+
+  const Ttf& ttf(std::uint32_t idx) const { return ttfs_[idx]; }
+
+  /// Absolute arrival at e.head when reaching the tail at absolute time t.
+  Time arrival_via(const Edge& e, Time t) const {
+    if (e.ttf == kNoTtf) return t + e.weight;
+    return ttfs_[e.ttf].arrival(t);
+  }
+
+  /// Rough memory footprint of the structure in bytes (bench reporting).
+  std::size_t memory_bytes() const;
+
+ private:
+  std::size_t num_stations_ = 0;
+  Time period_ = kDayseconds;
+  std::vector<StationId> station_of_;          // per node
+  std::vector<NodeId> route_node_begin_;       // per route
+  std::vector<std::uint32_t> edge_begin_;      // CSR offsets, num_nodes()+1
+  std::vector<Edge> edges_;
+  std::vector<Ttf> ttfs_;
+};
+
+}  // namespace pconn

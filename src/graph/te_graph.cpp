@@ -1,0 +1,166 @@
+#include "graph/te_graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace pconn {
+
+namespace {
+
+/// First element of `times` (sorted, cyclic) at or after `target`; returns
+/// its index and the wait from `target`.
+std::pair<std::size_t, Time> next_cyclic(const std::vector<Time>& times,
+                                         Time target, Time period) {
+  auto it = std::lower_bound(times.begin(), times.end(), target);
+  if (it == times.end()) {
+    return {0, period - target + times.front()};
+  }
+  return {static_cast<std::size_t>(it - times.begin()), *it - target};
+}
+
+}  // namespace
+
+TeGraph TeGraph::build(const Timetable& tt) {
+  TeGraph g;
+  g.period_ = tt.period();
+  const std::size_t ns = tt.num_stations();
+
+  // Transfer nodes: one per distinct departure time per station.
+  std::vector<std::vector<Time>> dep_times(ns);
+  for (StationId s = 0; s < ns; ++s) {
+    for (const Connection& c : tt.outgoing(s)) {
+      if (dep_times[s].empty() || dep_times[s].back() != c.dep) {
+        dep_times[s].push_back(c.dep);
+      }
+    }
+  }
+
+  std::vector<std::vector<NodeId>> transfer(ns);
+  g.transfer_begin_.assign(ns + 1, 0);
+  for (StationId s = 0; s < ns; ++s) {
+    for (Time t : dep_times[s]) {
+      transfer[s].push_back(static_cast<NodeId>(g.nodes_.size()));
+      g.nodes_.push_back({s, t, NodeKind::kTransfer});
+    }
+  }
+
+  // Departure and arrival events per elementary connection; remember the
+  // departure event of each (trip, position) for stay-seated edges.
+  const auto& conns = tt.connections();
+  std::vector<NodeId> dep_event(conns.size()), arr_event(conns.size());
+  std::vector<std::vector<NodeId>> trip_dep(tt.num_trips());
+  for (TrainId t = 0; t < tt.num_trips(); ++t) {
+    trip_dep[t].assign(tt.route(tt.trip(t).route).stops.size(), kInvalidNode);
+  }
+  for (std::size_t i = 0; i < conns.size(); ++i) {
+    const Connection& c = conns[i];
+    dep_event[i] = static_cast<NodeId>(g.nodes_.size());
+    g.nodes_.push_back({c.from, c.dep, NodeKind::kDeparture});
+    arr_event[i] = static_cast<NodeId>(g.nodes_.size());
+    g.nodes_.push_back({c.to, c.arr % tt.period(), NodeKind::kArrival});
+    trip_dep[c.train][c.pos] = dep_event[i];
+  }
+
+  std::vector<std::vector<Edge>> adj(g.nodes_.size());
+
+  // Waiting chain (cyclic) and boarding edges.
+  for (StationId s = 0; s < ns; ++s) {
+    const auto& chain = transfer[s];
+    for (std::size_t k = 0; k + 1 < chain.size(); ++k) {
+      adj[chain[k]].push_back(
+          {chain[k + 1], dep_times[s][k + 1] - dep_times[s][k]});
+    }
+    if (chain.size() > 1) {
+      adj[chain.back()].push_back(
+          {chain.front(), tt.period() - dep_times[s].back() + dep_times[s][0]});
+    }
+  }
+  for (std::size_t i = 0; i < conns.size(); ++i) {
+    const Connection& c = conns[i];
+    auto [idx, wait] = next_cyclic(dep_times[c.from], c.dep, tt.period());
+    // The departure's own time is a transfer node, so wait == 0.
+    adj[transfer[c.from][idx]].push_back({dep_event[i], 0});
+    // Ride edge.
+    adj[dep_event[i]].push_back({arr_event[i], c.arr - c.dep});
+  }
+
+  // Stay-seated and off-train edges from every arrival event.
+  for (std::size_t i = 0; i < conns.size(); ++i) {
+    const Connection& c = conns[i];
+    const Trip& trip = tt.trip(c.train);
+    // Stay seated: dwell until the same trip departs from c.to.
+    if (c.pos + 1 < trip_dep[c.train].size() &&
+        trip_dep[c.train][c.pos + 1] != kInvalidNode) {
+      Time dwell = trip.departures[c.pos + 1] - trip.arrivals[c.pos + 1];
+      adj[arr_event[i]].push_back({trip_dep[c.train][c.pos + 1], dwell});
+    }
+    // Off-train: wait out T(S), then join the transfer chain.
+    if (!dep_times[c.to].empty()) {
+      Time ready = (c.arr + tt.transfer_time(c.to)) % tt.period();
+      auto [idx, wait] = next_cyclic(dep_times[c.to], ready, tt.period());
+      adj[arr_event[i]].push_back(
+          {transfer[c.to][idx], tt.transfer_time(c.to) + wait});
+    }
+  }
+
+  // Flatten to CSR.
+  g.edge_begin_.assign(g.nodes_.size() + 1, 0);
+  for (std::size_t v = 0; v < adj.size(); ++v) {
+    g.edge_begin_[v + 1] = static_cast<std::uint32_t>(adj[v].size());
+  }
+  std::partial_sum(g.edge_begin_.begin(), g.edge_begin_.end(),
+                   g.edge_begin_.begin());
+  g.edges_.reserve(g.edge_begin_.back());
+  for (auto& out : adj) g.edges_.insert(g.edges_.end(), out.begin(), out.end());
+
+  // Station indexes.
+  g.arrival_begin_.assign(ns + 1, 0);
+  for (std::size_t i = 0; i < conns.size(); ++i) {
+    g.arrival_begin_[conns[i].to + 1]++;
+  }
+  std::partial_sum(g.arrival_begin_.begin(), g.arrival_begin_.end(),
+                   g.arrival_begin_.begin());
+  g.arrival_by_station_.resize(conns.size());
+  {
+    std::vector<std::uint32_t> pos(g.arrival_begin_.begin(),
+                                   g.arrival_begin_.end() - 1);
+    for (std::size_t i = 0; i < conns.size(); ++i) {
+      g.arrival_by_station_[pos[conns[i].to]++] = arr_event[i];
+    }
+  }
+  for (StationId s = 0; s < ns; ++s) {
+    g.transfer_begin_[s + 1] =
+        g.transfer_begin_[s] + static_cast<std::uint32_t>(transfer[s].size());
+  }
+  g.transfer_by_station_.reserve(g.transfer_begin_[ns]);
+  for (StationId s = 0; s < ns; ++s) {
+    g.transfer_by_station_.insert(g.transfer_by_station_.end(),
+                                  transfer[s].begin(), transfer[s].end());
+  }
+  return g;
+}
+
+std::pair<NodeId, Time> TeGraph::entry_node(StationId s, Time t) const {
+  auto chain = transfer_nodes(s);
+  if (chain.empty()) return {kInvalidNode, kInfTime};
+  Time tau = t % period_;
+  // Transfer nodes are ordered by time; binary search the chain.
+  auto it = std::lower_bound(
+      chain.begin(), chain.end(), tau,
+      [this](NodeId v, Time value) { return nodes_[v].time < value; });
+  if (it == chain.end()) {
+    return {chain.front(), period_ - tau + nodes_[chain.front()].time};
+  }
+  return {*it, nodes_[*it].time - tau};
+}
+
+std::size_t TeGraph::memory_bytes() const {
+  return nodes_.size() * sizeof(Node) + edges_.size() * sizeof(Edge) +
+         (edge_begin_.size() + transfer_begin_.size() +
+          arrival_begin_.size()) *
+             sizeof(std::uint32_t) +
+         (transfer_by_station_.size() + arrival_by_station_.size()) *
+             sizeof(NodeId);
+}
+
+}  // namespace pconn

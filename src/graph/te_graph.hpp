@@ -1,0 +1,83 @@
+// The realistic time-expanded model — the competing modeling approach the
+// paper discusses ([7], [23]): every timetable *event* becomes a node and
+// all edge weights are plain constants, trading graph size for simplicity.
+//
+// Per station:
+//  * one *transfer node* per distinct departure time, chained cyclically by
+//    waiting edges;
+//  * one *departure event* per elementary connection, entered from the
+//    transfer node of its departure time (weight 0);
+//  * one *arrival event* per elementary connection, with
+//      - a stay-seated edge to the same trip's next departure event, and
+//      - an off-train edge to the first transfer node reachable after
+//        waiting out the station's transfer time T(S).
+//
+// Semantics note: unlike the time-dependent route model, changing between
+// trips of the same route costs T(S) here (you must go through a transfer
+// node). Earliest arrivals therefore satisfy TD <= TE, with equality
+// whenever no same-route overtaking switch is profitable; the test suite
+// exploits both facts.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "timetable/timetable.hpp"
+
+namespace pconn {
+
+class TeGraph {
+ public:
+  enum class NodeKind : std::uint8_t { kTransfer, kDeparture, kArrival };
+
+  struct Node {
+    StationId station;
+    Time time;  // in [0, period)
+    NodeKind kind;
+  };
+
+  struct Edge {
+    NodeId head;
+    Time weight;  // fixed duration
+  };
+
+  static TeGraph build(const Timetable& tt);
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  std::size_t num_edges() const { return edges_.size(); }
+  Time period() const { return period_; }
+  const Node& node(NodeId v) const { return nodes_[v]; }
+
+  std::span<const Edge> out_edges(NodeId v) const {
+    return {edges_.data() + edge_begin_[v], edges_.data() + edge_begin_[v + 1]};
+  }
+
+  /// Transfer nodes of a station, ordered by time (query entry points).
+  std::span<const NodeId> transfer_nodes(StationId s) const {
+    return {transfer_by_station_.data() + transfer_begin_[s],
+            transfer_by_station_.data() + transfer_begin_[s + 1]};
+  }
+
+  /// Arrival events at a station (query exit points).
+  std::span<const NodeId> arrival_nodes(StationId s) const {
+    return {arrival_by_station_.data() + arrival_begin_[s],
+            arrival_by_station_.data() + arrival_begin_[s + 1]};
+  }
+
+  /// First transfer node of `s` departing at or after absolute time t,
+  /// with the waiting duration; kInvalidNode if the station has none.
+  std::pair<NodeId, Time> entry_node(StationId s, Time t) const;
+
+  std::size_t memory_bytes() const;
+
+ private:
+  Time period_ = kDayseconds;
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> edge_begin_;
+  std::vector<Edge> edges_;
+  std::vector<std::uint32_t> transfer_begin_, arrival_begin_;
+  std::vector<NodeId> transfer_by_station_, arrival_by_station_;
+};
+
+}  // namespace pconn

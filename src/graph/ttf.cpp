@@ -1,0 +1,113 @@
+#include "graph/ttf.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pconn {
+
+Ttf Ttf::build(std::vector<TtfPoint> points, Time period) {
+  Ttf f;
+  f.period_ = period;
+  if (points.empty()) return f;
+  for ([[maybe_unused]] const TtfPoint& p : points) assert(p.dep < period);
+
+  std::sort(points.begin(), points.end(),
+            [](const TtfPoint& a, const TtfPoint& b) {
+              return a.dep != b.dep ? a.dep < b.dep : a.dur < b.dur;
+            });
+  // Unique departures: the fastest ride wins (sort order guarantees it
+  // comes first).
+  std::vector<TtfPoint> uniq;
+  uniq.reserve(points.size());
+  for (const TtfPoint& p : points) {
+    if (!uniq.empty() && uniq.back().dep == p.dep) continue;
+    uniq.push_back(p);
+  }
+
+  // Cyclic domination pruning: drop point i when waiting for the next kept
+  // point j (possibly wrapping) arrives no later: Delta(dep_i, dep_j) +
+  // dur_j <= dur_i. Backward circular sweeps until a fixpoint; each kept
+  // point then transitively beats waiting for any later one, which makes
+  // "take the next departure" the optimal policy and eval() O(log n).
+  std::vector<bool> keep(uniq.size(), true);
+  std::size_t kept = uniq.size();
+  bool changed = true;
+  while (changed && kept > 1) {
+    changed = false;
+    // next_kept[i]: first kept index cyclically after i.
+    std::size_t next = std::size_t(-1);
+    for (std::size_t i = 0; i < uniq.size(); ++i) {
+      if (keep[i]) {
+        next = i;
+        break;
+      }
+    }
+    for (std::size_t step = uniq.size(); step-- > 0 && kept > 1;) {
+      std::size_t i = step;
+      if (!keep[i]) continue;
+      // Find the kept successor of i (cyclically). `next` tracks the first
+      // kept point after the current one in this backward sweep.
+      if (next == i) {
+        // recompute: first kept after i
+        std::size_t j = (i + 1) % uniq.size();
+        while (!keep[j]) j = (j + 1) % uniq.size();
+        next = j;
+      }
+      std::size_t j = next;
+      if (j != i) {
+        Time wait = delta(uniq[i].dep, uniq[j].dep, period);
+        if (wait + uniq[j].dur <= uniq[i].dur) {
+          keep[i] = false;
+          --kept;
+          changed = true;
+        }
+      }
+      if (keep[i]) next = i;
+    }
+  }
+
+  f.points_.reserve(kept);
+  for (std::size_t i = 0; i < uniq.size(); ++i) {
+    if (keep[i]) f.points_.push_back(uniq[i]);
+  }
+  return f;
+}
+
+std::size_t Ttf::point_used(Time t) const {
+  assert(!points_.empty());
+  Time tau = t % period_;
+  // First departure >= tau; wraps to the first point of the next period.
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), tau,
+      [](const TtfPoint& p, Time v) { return p.dep < v; });
+  if (it == points_.end()) it = points_.begin();
+  return static_cast<std::size_t>(it - points_.begin());
+}
+
+Time Ttf::eval(Time t) const {
+  if (points_.empty()) return kInfTime;
+  const TtfPoint& p = points_[point_used(t)];
+  return delta(t, p.dep, period_) + p.dur;
+}
+
+Time Ttf::min_duration() const {
+  Time best = kInfTime;
+  for (const TtfPoint& p : points_) best = std::min(best, p.dur);
+  return best;
+}
+
+bool Ttf::is_fifo() const {
+  // FIFO (cyclic): for all t1, t2: f(t1) <= Delta(t1, t2) + f(t2).
+  // It suffices to test t1 at each departure point and t2 at every other
+  // departure point, since f is affine (slope -1 in wait) between points.
+  for (const TtfPoint& a : points_) {
+    for (const TtfPoint& b : points_) {
+      Time lhs = eval(a.dep);
+      Time rhs = delta(a.dep, b.dep, period_) + eval(b.dep);
+      if (lhs > rhs) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace pconn

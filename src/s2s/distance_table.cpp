@@ -1,0 +1,148 @@
+#include "s2s/distance_table.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/timer.hpp"
+
+namespace pconn {
+
+DistanceTable DistanceTable::build(const Timetable& tt, const TdGraph& g,
+                                   std::vector<StationId> transfer_stations,
+                                   const ParallelSpcsOptions& spcs_opt,
+                                   BuildInfo* info) {
+  Timer timer;
+  DistanceTable dt;
+  dt.period_ = tt.period();
+  std::sort(transfer_stations.begin(), transfer_stations.end());
+  transfer_stations.erase(
+      std::unique(transfer_stations.begin(), transfer_stations.end()),
+      transfer_stations.end());
+  dt.stations_ = std::move(transfer_stations);
+  dt.index_.assign(tt.num_stations(), kNoConn);
+  dt.flags_.assign(tt.num_stations(), 0);
+  for (std::size_t i = 0; i < dt.stations_.size(); ++i) {
+    dt.index_[dt.stations_[i]] = static_cast<std::uint32_t>(i);
+    dt.flags_[dt.stations_[i]] = 1;
+  }
+
+  const std::size_t n = dt.stations_.size();
+  dt.table_.assign(n * n, Profile{});
+
+  ParallelSpcsOptions opt = spcs_opt;
+  opt.stopping_criterion = false;
+  ParallelSpcs spcs(tt, g, opt);
+  for (std::size_t row = 0; row < n; ++row) {
+    const StationId src = dt.stations_[row];
+    // Full one-to-all labels, but only transfer-station columns are kept.
+    spcs.run_partitioned(src, [&](std::size_t t, std::uint32_t lo,
+                                  std::uint32_t hi) {
+      NoHook hook;
+      SpcsOptions o{.self_pruning = opt.self_pruning,
+                    .stopping_criterion = false,
+                    .prune_on_relax = opt.prune_on_relax};
+      spcs.thread_state(t).run(g, tt, tt.outgoing(src), lo, hi,
+                               kInvalidStation, o, hook);
+    });
+    for (std::size_t col = 0; col < n; ++col) {
+      if (col == row) continue;
+      dt.table_[row * n + col] =
+          spcs.assemble_profile(src, dt.stations_[col]);
+    }
+  }
+
+  if (info) {
+    info->preprocessing_seconds = timer.elapsed_s();
+    info->table_bytes = dt.memory_bytes();
+  }
+  return dt;
+}
+
+namespace {
+
+constexpr char kDtMagic[4] = {'P', 'C', 'D', 'T'};
+
+void write_u32(std::ostream& out, std::uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out.write(buf, 4);
+}
+
+std::uint32_t read_u32(std::istream& in) {
+  char buf[4];
+  in.read(buf, 4);
+  if (!in) throw std::runtime_error("distance table: truncated stream");
+  std::uint32_t v;
+  std::memcpy(&v, buf, 4);
+  return v;
+}
+
+}  // namespace
+
+void DistanceTable::save(std::ostream& out) const {
+  out.write(kDtMagic, 4);
+  write_u32(out, 1);  // version
+  write_u32(out, period_);
+  write_u32(out, static_cast<std::uint32_t>(index_.size()));
+  write_u32(out, static_cast<std::uint32_t>(stations_.size()));
+  for (StationId s : stations_) write_u32(out, s);
+  for (const Profile& p : table_) {
+    write_u32(out, static_cast<std::uint32_t>(p.size()));
+    for (const ProfilePoint& pt : p) {
+      write_u32(out, pt.dep);
+      write_u32(out, pt.arr);
+    }
+  }
+  if (!out) throw std::runtime_error("distance table: write failure");
+}
+
+DistanceTable DistanceTable::load(std::istream& in) {
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kDtMagic, 4) != 0) {
+    throw std::runtime_error("distance table: bad magic");
+  }
+  if (read_u32(in) != 1) {
+    throw std::runtime_error("distance table: unsupported version");
+  }
+  DistanceTable dt;
+  dt.period_ = read_u32(in);
+  std::uint32_t num_stations = read_u32(in);
+  std::uint32_t n = read_u32(in);
+  if (n > num_stations) throw std::runtime_error("distance table: corrupt");
+  dt.index_.assign(num_stations, kNoConn);
+  dt.flags_.assign(num_stations, 0);
+  dt.stations_.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    StationId s = read_u32(in);
+    if (s >= num_stations) throw std::runtime_error("distance table: corrupt");
+    dt.stations_[i] = s;
+    dt.index_[s] = i;
+    dt.flags_[s] = 1;
+  }
+  dt.table_.resize(static_cast<std::size_t>(n) * n);
+  for (Profile& p : dt.table_) {
+    std::uint32_t points = read_u32(in);
+    if (points > (1u << 24)) throw std::runtime_error("distance table: corrupt");
+    p.resize(points);
+    for (ProfilePoint& pt : p) {
+      pt.dep = read_u32(in);
+      pt.arr = read_u32(in);
+    }
+  }
+  return dt;
+}
+
+std::size_t DistanceTable::memory_bytes() const {
+  std::size_t bytes = index_.size() * sizeof(std::uint32_t) +
+                      flags_.size() + stations_.size() * sizeof(StationId);
+  for (const Profile& p : table_) {
+    bytes += sizeof(Profile) + p.size() * sizeof(ProfilePoint);
+  }
+  return bytes;
+}
+
+}  // namespace pconn

@@ -1,0 +1,52 @@
+// Station-to-station profile queries with all of the paper's Section 4
+// accelerations: stopping criterion, pruning via the distance table
+// (Theorem 3), and target pruning when the target is a transfer station
+// (Theorem 4). Falls back gracefully: local queries and queries without a
+// table run plain parallel SPCS with the stopping criterion.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "algo/parallel_spcs.hpp"
+#include "graph/station_graph.hpp"
+#include "s2s/distance_table.hpp"
+#include "s2s/via.hpp"
+
+namespace pconn {
+
+struct S2sOptions {
+  unsigned threads = 1;
+  PartitionStrategy partition = PartitionStrategy::kEqualConnections;
+  bool self_pruning = true;
+  bool stopping_criterion = true;
+  bool table_pruning = true;    // Theorem 3 (needs a distance table)
+  bool target_pruning = true;   // Theorem 4 (needs target in S_trans)
+  bool prune_on_relax = false;  // see SpcsOptions::prune_on_relax
+};
+
+class S2sQueryEngine {
+ public:
+  /// `dt` may be nullptr (no distance-table acceleration).
+  S2sQueryEngine(const Timetable& tt, const TdGraph& g,
+                 const StationGraph& sg, const DistanceTable* dt,
+                 S2sOptions opt);
+
+  /// Reduced profile dist(S, T, ·) over the whole period.
+  StationQueryResult query(StationId s, StationId t);
+
+  /// Classification of the last query (bench/diagnostics).
+  enum class Kind { kPlain, kLocal, kGlobal, kTargetTransfer, kTableLookup };
+  Kind last_kind() const { return last_kind_; }
+
+ private:
+  const Timetable& tt_;
+  const TdGraph& g_;
+  const StationGraph& sg_;
+  const DistanceTable* dt_;
+  S2sOptions opt_;
+  ParallelSpcs spcs_;
+  Kind last_kind_ = Kind::kPlain;
+};
+
+}  // namespace pconn

@@ -1,0 +1,40 @@
+// Transfer-station selection (paper Section 4, "Selection of Transfer
+// Stations"). Two strategies:
+//  * contraction [12]: iteratively remove the least important station from
+//    a static lower-bound weighting of the station graph, inserting
+//    shortcuts that preserve distances between surviving stations; the
+//    stations still alive after contracting c stations are the important
+//    ones;
+//  * degree: every station with more than k distinct neighbors in the
+//    station graph.
+#pragma once
+
+#include <vector>
+
+#include "graph/station_graph.hpp"
+#include "timetable/timetable.hpp"
+
+namespace pconn {
+
+/// Stations with undirected station-graph degree > k (paper's "deg > k").
+std::vector<StationId> select_transfer_by_degree(const StationGraph& sg,
+                                                 std::size_t k);
+
+struct ContractionOptions {
+  /// Witness searches stop after settling this many nodes; unfinished
+  /// searches conservatively insert the shortcut.
+  std::size_t witness_settle_limit = 40;
+};
+
+/// Contracts stations in importance order (lazy edge-difference heuristic)
+/// until only `keep` survive; returns the survivors. keep >= 1.
+std::vector<StationId> select_transfer_by_contraction(
+    const StationGraph& sg, const Timetable& tt, std::size_t keep,
+    const ContractionOptions& opt = {});
+
+/// Convenience: keep a fraction (e.g. 0.05 for the paper's 5% rows).
+std::vector<StationId> select_transfer_fraction(const StationGraph& sg,
+                                                const Timetable& tt,
+                                                double fraction);
+
+}  // namespace pconn

@@ -1,0 +1,38 @@
+#include "s2s/via.hpp"
+
+#include <algorithm>
+
+namespace pconn {
+
+ViaResult find_via_stations(const StationGraph& sg, StationId source,
+                            StationId target,
+                            const std::vector<std::uint8_t>& is_transfer) {
+  ViaResult res;
+  if (is_transfer[target]) {
+    res.vias = {target};
+    res.local = (source == target);
+    return res;
+  }
+
+  std::vector<std::uint8_t> seen(sg.num_stations(), 0);
+  std::vector<StationId> stack = {target};
+  seen[target] = 1;
+  while (!stack.empty()) {
+    StationId v = stack.back();
+    stack.pop_back();
+    if (v == source) res.local = true;
+    for (const StationGraph::Edge& e : sg.in_edges(v)) {
+      if (seen[e.head]) continue;
+      seen[e.head] = 1;
+      if (is_transfer[e.head]) {
+        res.vias.push_back(e.head);  // touched, not expanded
+      } else {
+        stack.push_back(e.head);
+      }
+    }
+  }
+  std::sort(res.vias.begin(), res.vias.end());
+  return res;
+}
+
+}  // namespace pconn

@@ -1,0 +1,28 @@
+// Local/via station classification (paper Section 4, Figure 3).
+//
+// local(T): stations L with a simple path L -> T through non-transfer
+// stations only. via(T): transfer stations adjacent to T's local region —
+// they separate T (and its local stations) from the rest of the station
+// graph, so every best connection of a *global* query must pass one.
+// Determined on the fly by a DFS on the reverse station graph that prunes
+// at transfer stations (Section 4, "Determining via(T)").
+#pragma once
+
+#include <vector>
+
+#include "graph/station_graph.hpp"
+
+namespace pconn {
+
+struct ViaResult {
+  std::vector<StationId> vias;  // via(T), sorted
+  bool local = false;           // true iff the query S -> T is local
+};
+
+/// `is_transfer` is indexed by station id. If `target` is itself a transfer
+/// station, via(T) = {T} and local(T) is empty (paper's special case).
+ViaResult find_via_stations(const StationGraph& sg, StationId source,
+                            StationId target,
+                            const std::vector<std::uint8_t>& is_transfer);
+
+}  // namespace pconn

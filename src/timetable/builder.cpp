@@ -1,0 +1,158 @@
+#include "timetable/builder.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <stdexcept>
+
+namespace pconn {
+
+TimetableBuilder::TimetableBuilder(Time period) : period_(period) {
+  if (period == 0) throw std::invalid_argument("timetable: period must be > 0");
+}
+
+StationId TimetableBuilder::add_station(std::string name, Time transfer_time) {
+  names_.push_back(std::move(name));
+  transfer_times_.push_back(transfer_time);
+  return static_cast<StationId>(names_.size() - 1);
+}
+
+TrainId TimetableBuilder::add_trip(const std::vector<StopTime>& stops) {
+  if (stops.size() < 2) {
+    throw std::invalid_argument("trip: needs at least 2 stops");
+  }
+  RawTrip t;
+  t.stops.reserve(stops.size());
+  t.arrivals.reserve(stops.size());
+  t.departures.reserve(stops.size());
+  for (std::size_t k = 0; k < stops.size(); ++k) {
+    const StopTime& st = stops[k];
+    if (st.station >= names_.size()) {
+      throw std::invalid_argument("trip: unknown station id");
+    }
+    if (k > 0 && st.station == stops[k - 1].station) {
+      throw std::invalid_argument("trip: immediate self-loop");
+    }
+    Time arr = (k == 0) ? st.departure : st.arrival;
+    Time dep = (k + 1 == stops.size()) ? arr : st.departure;
+    if (dep < arr) {
+      throw std::invalid_argument("trip: departure before arrival at a stop");
+    }
+    if (k > 0) {
+      if (arr < t.departures.back() + 1) {
+        throw std::invalid_argument(
+            "trip: consecutive stops must be at least 1 second apart");
+      }
+    }
+    t.stops.push_back(st.station);
+    t.arrivals.push_back(arr);
+    t.departures.push_back(dep);
+  }
+  // Normalize: first departure into [0, period).
+  Time shift = (t.departures[0] / period_) * period_;
+  if (shift > 0) {
+    for (auto& v : t.arrivals) v -= shift;
+    for (auto& v : t.departures) v -= shift;
+  }
+  raw_trips_.push_back(std::move(t));
+  return static_cast<TrainId>(raw_trips_.size() - 1);
+}
+
+namespace {
+
+/// true iff trip a is component-wise no later than trip b at every stop.
+bool no_later(const std::vector<Time>& a_arr, const std::vector<Time>& a_dep,
+              const std::vector<Time>& b_arr, const std::vector<Time>& b_dep) {
+  for (std::size_t k = 0; k < a_arr.size(); ++k) {
+    if (a_arr[k] > b_arr[k] || a_dep[k] > b_dep[k]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Timetable TimetableBuilder::finalize() {
+  Timetable tt;
+  tt.period_ = period_;
+  tt.station_names_ = std::move(names_);
+  tt.transfer_times_ = std::move(transfer_times_);
+
+  // 1. Group trips by station sequence.
+  std::map<std::vector<StationId>, std::vector<TrainId>> by_sequence;
+  for (std::size_t i = 0; i < raw_trips_.size(); ++i) {
+    by_sequence[raw_trips_[i].stops].push_back(static_cast<TrainId>(i));
+  }
+
+  // 2. Within each group, sort by first departure and split greedily into
+  //    non-overtaking chains. Each chain's last trip is its component-wise
+  //    maximum, so the check against the last trip suffices.
+  tt.trips_.resize(raw_trips_.size());
+  for (auto& [stops, members] : by_sequence) {
+    std::stable_sort(members.begin(), members.end(), [&](TrainId a, TrainId b) {
+      return raw_trips_[a].departures[0] < raw_trips_[b].departures[0];
+    });
+    std::vector<std::vector<TrainId>> chains;
+    for (TrainId id : members) {
+      const RawTrip& rt = raw_trips_[id];
+      bool placed = false;
+      for (auto& chain : chains) {
+        const RawTrip& last = raw_trips_[chain.back()];
+        if (no_later(last.arrivals, last.departures, rt.arrivals,
+                     rt.departures)) {
+          chain.push_back(id);
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) chains.push_back({id});
+    }
+    for (auto& chain : chains) {
+      RouteId rid = static_cast<RouteId>(tt.routes_.size());
+      Route route;
+      route.stops = stops;
+      route.trips = chain;
+      tt.routes_.push_back(std::move(route));
+      for (TrainId id : chain) {
+        Trip& trip = tt.trips_[id];
+        trip.route = rid;
+        trip.arrivals = std::move(raw_trips_[id].arrivals);
+        trip.departures = std::move(raw_trips_[id].departures);
+      }
+    }
+  }
+
+  // 3. Elementary connections, sorted by (from, dep, arr); conn(S) index.
+  tt.connections_.reserve(raw_trips_.empty() ? 0 : raw_trips_.size() * 4);
+  for (std::size_t id = 0; id < tt.trips_.size(); ++id) {
+    const Trip& trip = tt.trips_[id];
+    const Route& route = tt.routes_[trip.route];
+    for (std::size_t k = 0; k + 1 < route.stops.size(); ++k) {
+      Connection c;
+      c.train = static_cast<TrainId>(id);
+      c.from = route.stops[k];
+      c.to = route.stops[k + 1];
+      Time raw_dep = trip.departures[k];
+      Time duration = trip.arrivals[k + 1] - raw_dep;
+      c.dep = raw_dep % period_;
+      c.arr = c.dep + duration;
+      c.pos = static_cast<std::uint32_t>(k);
+      tt.connections_.push_back(c);
+    }
+  }
+  std::sort(tt.connections_.begin(), tt.connections_.end(),
+            [](const Connection& a, const Connection& b) {
+              if (a.from != b.from) return a.from < b.from;
+              if (a.dep != b.dep) return a.dep < b.dep;
+              if (a.arr != b.arr) return a.arr < b.arr;
+              return a.train < b.train;
+            });
+  tt.conn_begin_.assign(tt.station_names_.size() + 1, 0);
+  for (const Connection& c : tt.connections_) tt.conn_begin_[c.from + 1]++;
+  std::partial_sum(tt.conn_begin_.begin(), tt.conn_begin_.end(),
+                   tt.conn_begin_.begin());
+
+  raw_trips_.clear();
+  return tt;
+}
+
+}  // namespace pconn

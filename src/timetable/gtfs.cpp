@@ -1,0 +1,197 @@
+#include "timetable/gtfs.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "timetable/builder.hpp"
+#include "util/csv.hpp"
+
+namespace pconn::gtfs {
+
+Time parse_time(const std::string& text) {
+  unsigned h = 0, m = 0, s = 0;
+  if (std::sscanf(text.c_str(), "%u:%u:%u", &h, &m, &s) != 3 || m >= 60 ||
+      s >= 60) {
+    throw std::runtime_error("gtfs: malformed time '" + text + "'");
+  }
+  return h * 3600 + m * 60 + s;
+}
+
+std::string render_time(Time t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%02u:%02u:%02u", t / 3600, (t / 60) % 60,
+                t % 60);
+  return buf;
+}
+
+namespace {
+
+CsvTable read_table(const std::filesystem::path& file) {
+  std::ifstream in(file);
+  if (!in) throw std::runtime_error("gtfs: cannot open " + file.string());
+  return CsvTable::parse(in);
+}
+
+}  // namespace
+
+Timetable load(const std::filesystem::path& dir, const LoadOptions& opt) {
+  TimetableBuilder builder(opt.period);
+
+  // stops.txt -> stations. Transfer times patched from transfers.txt below,
+  // so collect ids first.
+  CsvTable stops = read_table(dir / "stops.txt");
+  std::map<std::string, StationId> stop_ids;
+  std::vector<std::string> stop_names;
+  for (std::size_t r = 0; r < stops.num_rows(); ++r) {
+    const std::string& id = stops.cell(r, "stop_id");
+    if (stop_ids.count(id)) {
+      throw std::runtime_error("gtfs: duplicate stop_id " + id);
+    }
+    stop_ids[id] = static_cast<StationId>(stop_names.size());
+    stop_names.push_back(stops.cell_or(r, "stop_name", id));
+  }
+
+  std::vector<Time> transfer(stop_names.size(), opt.default_transfer_time);
+  if (std::filesystem::exists(dir / "transfers.txt")) {
+    CsvTable tr = read_table(dir / "transfers.txt");
+    for (std::size_t r = 0; r < tr.num_rows(); ++r) {
+      const std::string& from = tr.cell(r, "from_stop_id");
+      const std::string& to = tr.cell_or(r, "to_stop_id", from);
+      if (from != to) continue;  // pairwise transfers are out of scope
+      auto it = stop_ids.find(from);
+      if (it == stop_ids.end()) continue;
+      std::string mtt = tr.cell_or(r, "min_transfer_time", "");
+      if (!mtt.empty()) transfer[it->second] = static_cast<Time>(std::stoul(mtt));
+    }
+  }
+
+  for (std::size_t i = 0; i < stop_names.size(); ++i) {
+    builder.add_station(stop_names[i], transfer[i]);
+  }
+
+  // calendar.txt: which service ids run on the requested weekday.
+  std::map<std::string, bool> service_active;
+  if (opt.weekday >= 0 && std::filesystem::exists(dir / "calendar.txt")) {
+    static const char* kDays[7] = {"monday",   "tuesday", "wednesday",
+                                   "thursday", "friday",  "saturday",
+                                   "sunday"};
+    CsvTable cal = read_table(dir / "calendar.txt");
+    for (std::size_t r = 0; r < cal.num_rows(); ++r) {
+      service_active[cal.cell(r, "service_id")] =
+          cal.cell_or(r, kDays[opt.weekday % 7], "0") == "1";
+    }
+  }
+
+  // trips.txt gives the set of trip ids; stop_times.txt their schedules.
+  CsvTable trips = read_table(dir / "trips.txt");
+  std::map<std::string, std::size_t> trip_index;
+  std::set<std::string> skipped_trips;
+  for (std::size_t r = 0; r < trips.num_rows(); ++r) {
+    const std::string& id = trips.cell(r, "trip_id");
+    if (trip_index.count(id)) {
+      throw std::runtime_error("gtfs: duplicate trip_id " + id);
+    }
+    if (opt.weekday >= 0) {
+      auto it = service_active.find(trips.cell_or(r, "service_id", ""));
+      if (it != service_active.end() && !it->second) {
+        skipped_trips.insert(id);  // not running on the requested day
+        continue;
+      }
+    }
+    trip_index[id] = trip_index.size();
+  }
+
+  struct Stop {
+    long seq;
+    TimetableBuilder::StopTime st;
+  };
+  std::vector<std::vector<Stop>> schedules(trip_index.size());
+  CsvTable stop_times = read_table(dir / "stop_times.txt");
+  for (std::size_t r = 0; r < stop_times.num_rows(); ++r) {
+    const std::string& trip_id = stop_times.cell(r, "trip_id");
+    auto ti = trip_index.find(trip_id);
+    if (ti == trip_index.end()) {
+      if (skipped_trips.count(trip_id)) continue;  // filtered by calendar
+      throw std::runtime_error("gtfs: stop_times references unknown trip " +
+                               trip_id);
+    }
+    auto si = stop_ids.find(stop_times.cell(r, "stop_id"));
+    if (si == stop_ids.end()) {
+      throw std::runtime_error("gtfs: stop_times references unknown stop");
+    }
+    Stop s;
+    s.seq = std::stol(stop_times.cell(r, "stop_sequence"));
+    s.st.station = si->second;
+    s.st.arrival = parse_time(stop_times.cell(r, "arrival_time"));
+    s.st.departure = parse_time(stop_times.cell(r, "departure_time"));
+    schedules[ti->second].push_back(s);
+  }
+
+  for (auto& sched : schedules) {
+    if (sched.size() < 2) continue;  // degenerate trips are skipped
+    std::stable_sort(sched.begin(), sched.end(),
+                     [](const Stop& a, const Stop& b) { return a.seq < b.seq; });
+    std::vector<TimetableBuilder::StopTime> stops_vec;
+    stops_vec.reserve(sched.size());
+    for (const Stop& s : sched) stops_vec.push_back(s.st);
+    builder.add_trip(stops_vec);
+  }
+
+  return builder.finalize();
+}
+
+void write(const Timetable& tt, const std::filesystem::path& dir) {
+  std::filesystem::create_directories(dir);
+
+  {
+    std::ofstream out(dir / "stops.txt");
+    write_csv_record(out, {"stop_id", "stop_name"});
+    for (StationId s = 0; s < tt.num_stations(); ++s) {
+      write_csv_record(out, {"S" + std::to_string(s), tt.station_name(s)});
+    }
+  }
+  {
+    std::ofstream out(dir / "transfers.txt");
+    write_csv_record(out, {"from_stop_id", "to_stop_id", "transfer_type",
+                           "min_transfer_time"});
+    for (StationId s = 0; s < tt.num_stations(); ++s) {
+      std::string id = "S" + std::to_string(s);
+      write_csv_record(out, {id, id, "2", std::to_string(tt.transfer_time(s))});
+    }
+  }
+  {
+    std::ofstream out(dir / "routes.txt");
+    write_csv_record(out, {"route_id", "route_short_name", "route_type"});
+    for (RouteId r = 0; r < tt.num_routes(); ++r) {
+      write_csv_record(out, {"R" + std::to_string(r), "R" + std::to_string(r),
+                             "3"});
+    }
+  }
+  {
+    std::ofstream trips_out(dir / "trips.txt");
+    std::ofstream st_out(dir / "stop_times.txt");
+    write_csv_record(trips_out, {"route_id", "service_id", "trip_id"});
+    write_csv_record(st_out, {"trip_id", "arrival_time", "departure_time",
+                              "stop_id", "stop_sequence"});
+    for (TrainId t = 0; t < tt.num_trips(); ++t) {
+      const Trip& trip = tt.trip(t);
+      const Route& route = tt.route(trip.route);
+      std::string trip_id = "T" + std::to_string(t);
+      write_csv_record(trips_out,
+                       {"R" + std::to_string(trip.route), "weekday", trip_id});
+      for (std::size_t k = 0; k < route.stops.size(); ++k) {
+        write_csv_record(st_out, {trip_id, render_time(trip.arrivals[k]),
+                                  render_time(trip.departures[k]),
+                                  "S" + std::to_string(route.stops[k]),
+                                  std::to_string(k)});
+      }
+    }
+  }
+}
+
+}  // namespace pconn::gtfs

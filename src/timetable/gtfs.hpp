@@ -1,0 +1,50 @@
+// GTFS-subset I/O.
+//
+// The paper's local networks (Oahu, Los Angeles, Washington D.C.) come from
+// Google Transit Data Feeds. We cannot ship those feeds, but we keep the
+// data path real: this module reads the GTFS files that matter for a single
+// service day (stops.txt, trips.txt, stop_times.txt, optional transfers.txt)
+// and can also write a Timetable back out in the same format, so the loader
+// is exercised round-trip by the synthetic networks.
+//
+// Interpretation notes (documented divergences from full GTFS):
+//  * calendar/service filtering is out of scope: every trip in trips.txt is
+//    assumed active on the modeled day (the paper also models one period);
+//  * transfers.txt rows with from_stop_id == to_stop_id and transfer_type 2
+//    provide the per-station minimum transfer time T(S); everything else is
+//    ignored and `default_transfer_time` applies.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "timetable/timetable.hpp"
+
+namespace pconn::gtfs {
+
+struct LoadOptions {
+  Time period = kDayseconds;
+  Time default_transfer_time = 120;  // seconds, applied when transfers.txt
+                                     // has no row for a stop
+  /// Service-day filter: -1 keeps every trip (the default, matching the
+  /// paper's single modeled period); 0 = Monday ... 6 = Sunday keeps only
+  /// trips whose service_id is active on that weekday per calendar.txt.
+  /// Trips whose service_id has no calendar row are kept either way
+  /// (calendar_dates.txt exceptions are out of scope).
+  int weekday = -1;
+};
+
+/// Parses "HH:MM:SS" (HH may exceed 23 for after-midnight times) into
+/// seconds. Throws std::runtime_error on malformed input.
+Time parse_time(const std::string& text);
+
+/// Renders seconds as "HH:MM:SS" with HH allowed to exceed 23.
+std::string render_time(Time t);
+
+/// Loads <dir>/stops.txt, trips.txt, stop_times.txt[, transfers.txt].
+Timetable load(const std::filesystem::path& dir, const LoadOptions& opt = {});
+
+/// Writes stops.txt, routes.txt, trips.txt, stop_times.txt, transfers.txt.
+void write(const Timetable& tt, const std::filesystem::path& dir);
+
+}  // namespace pconn::gtfs

@@ -1,0 +1,103 @@
+#include "timetable/serialize.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "timetable/builder.hpp"
+
+namespace pconn {
+
+namespace {
+
+constexpr char kMagic[4] = {'P', 'C', 'T', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+void write_u32(std::ostream& out, std::uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out.write(buf, 4);
+}
+
+std::uint32_t read_u32(std::istream& in) {
+  char buf[4];
+  in.read(buf, 4);
+  if (!in) throw std::runtime_error("timetable: truncated stream");
+  std::uint32_t v;
+  std::memcpy(&v, buf, 4);
+  return v;
+}
+
+void write_string(std::ostream& out, const std::string& s) {
+  write_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& in) {
+  std::uint32_t n = read_u32(in);
+  if (n > (1u << 20)) throw std::runtime_error("timetable: absurd string size");
+  std::string s(n, '\0');
+  in.read(s.data(), n);
+  if (!in) throw std::runtime_error("timetable: truncated stream");
+  return s;
+}
+
+}  // namespace
+
+void save_timetable(const Timetable& tt, std::ostream& out) {
+  out.write(kMagic, 4);
+  write_u32(out, kVersion);
+  write_u32(out, tt.period());
+  write_u32(out, static_cast<std::uint32_t>(tt.num_stations()));
+  for (StationId s = 0; s < tt.num_stations(); ++s) {
+    write_string(out, tt.station_name(s));
+    write_u32(out, tt.transfer_time(s));
+  }
+  write_u32(out, static_cast<std::uint32_t>(tt.num_trips()));
+  for (TrainId t = 0; t < tt.num_trips(); ++t) {
+    const Trip& trip = tt.trip(t);
+    const Route& route = tt.route(trip.route);
+    write_u32(out, static_cast<std::uint32_t>(route.stops.size()));
+    for (std::size_t k = 0; k < route.stops.size(); ++k) {
+      write_u32(out, route.stops[k]);
+      write_u32(out, trip.arrivals[k]);
+      write_u32(out, trip.departures[k]);
+    }
+  }
+  if (!out) throw std::runtime_error("timetable: write failure");
+}
+
+Timetable load_timetable(std::istream& in) {
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kMagic, 4) != 0) {
+    throw std::runtime_error("timetable: bad magic");
+  }
+  std::uint32_t version = read_u32(in);
+  if (version != kVersion) {
+    throw std::runtime_error("timetable: unsupported version " +
+                             std::to_string(version));
+  }
+  Time period = read_u32(in);
+  TimetableBuilder builder(period);
+  std::uint32_t stations = read_u32(in);
+  for (std::uint32_t s = 0; s < stations; ++s) {
+    std::string name = read_string(in);
+    Time transfer = read_u32(in);
+    builder.add_station(std::move(name), transfer);
+  }
+  std::uint32_t trips = read_u32(in);
+  for (std::uint32_t t = 0; t < trips; ++t) {
+    std::uint32_t stops = read_u32(in);
+    if (stops > (1u << 20)) throw std::runtime_error("timetable: absurd trip");
+    std::vector<TimetableBuilder::StopTime> seq(stops);
+    for (std::uint32_t k = 0; k < stops; ++k) {
+      seq[k].station = read_u32(in);
+      seq[k].arrival = read_u32(in);
+      seq[k].departure = read_u32(in);
+    }
+    builder.add_trip(seq);
+  }
+  return builder.finalize();
+}
+
+}  // namespace pconn

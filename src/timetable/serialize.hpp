@@ -1,0 +1,24 @@
+// Binary (de)serialization of timetables: lets applications cache parsed
+// GTFS feeds or generated networks instead of rebuilding them per run.
+//
+// Format: little-endian, magic "PCTT" + version, stations (names +
+// transfer times) followed by trips (stop sequences + raw times). Loading
+// replays the trips through TimetableBuilder, so route partitioning and
+// validation are identical to a fresh build.
+#pragma once
+
+#include <istream>
+#include <ostream>
+
+#include "timetable/timetable.hpp"
+
+namespace pconn {
+
+/// Writes `tt` to `out`. Throws std::runtime_error on stream failure.
+void save_timetable(const Timetable& tt, std::ostream& out);
+
+/// Reads a timetable written by save_timetable. Throws std::runtime_error
+/// on bad magic, unsupported version, truncation, or stream failure.
+Timetable load_timetable(std::istream& in);
+
+}  // namespace pconn

@@ -1,0 +1,86 @@
+// Immutable periodic timetable: stations, trains (trips), routes, and the
+// elementary-connection index that the query algorithms consume.
+//
+// Construction goes through TimetableBuilder (builder.hpp), which performs
+// route partitioning and validation; a finalized Timetable is read-only.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "timetable/types.hpp"
+
+namespace pconn {
+
+/// One scheduled vehicle run over the stop sequence of its route.
+/// times[k] = (arrival, departure) at the k-th stop of the route; raw values
+/// that may exceed the period (overnight runs), non-decreasing along the trip.
+struct Trip {
+  RouteId route = 0;
+  std::vector<Time> arrivals;
+  std::vector<Time> departures;
+};
+
+/// Maximal set of trips sharing the same station sequence such that no trip
+/// overtakes another (the refinement that makes per-edge travel-time
+/// functions FIFO, which Section 2 of the paper assumes of all networks).
+struct Route {
+  std::vector<StationId> stops;
+  std::vector<TrainId> trips;  // ordered by departure at the first stop
+};
+
+class Timetable {
+ public:
+  Time period() const { return period_; }
+
+  std::size_t num_stations() const { return station_names_.size(); }
+  std::size_t num_trips() const { return trips_.size(); }
+  std::size_t num_routes() const { return routes_.size(); }
+  std::size_t num_connections() const { return connections_.size(); }
+
+  const std::string& station_name(StationId s) const {
+    return station_names_[s];
+  }
+  /// Minimum transfer time T(S) required to change trains at s.
+  Time transfer_time(StationId s) const { return transfer_times_[s]; }
+
+  const Trip& trip(TrainId t) const { return trips_[t]; }
+  const Route& route(RouteId r) const { return routes_[r]; }
+  const std::vector<Route>& routes() const { return routes_; }
+
+  /// All elementary connections, sorted by (departure station, departure
+  /// time, arrival time).
+  const std::vector<Connection>& connections() const { return connections_; }
+
+  /// conn(S): outgoing connections of `s`, non-decreasing in departure time.
+  std::span<const Connection> outgoing(StationId s) const {
+    return {connections_.data() + conn_begin_[s],
+            connections_.data() + conn_begin_[s + 1]};
+  }
+
+  /// Offset of outgoing(s) within connections().
+  std::uint32_t outgoing_offset(StationId s) const { return conn_begin_[s]; }
+
+  /// Average |conn(S)| over all stations — the statistic the paper uses to
+  /// explain scalability differences between bus and railway networks.
+  double avg_outgoing_connections() const {
+    return num_stations() == 0
+               ? 0.0
+               : static_cast<double>(num_connections()) / num_stations();
+  }
+
+ private:
+  friend class TimetableBuilder;
+
+  Time period_ = kDayseconds;
+  std::vector<std::string> station_names_;
+  std::vector<Time> transfer_times_;
+  std::vector<Trip> trips_;
+  std::vector<Route> routes_;
+  std::vector<Connection> connections_;
+  std::vector<std::uint32_t> conn_begin_;  // size num_stations() + 1
+};
+
+}  // namespace pconn

@@ -1,0 +1,111 @@
+#include "util/csv.hpp"
+
+#include <stdexcept>
+
+namespace pconn {
+
+std::optional<std::vector<std::string>> read_csv_record(std::istream& in) {
+  if (in.peek() == std::char_traits<char>::eof()) return std::nullopt;
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  bool saw_any = false;
+  int ch;
+  while ((ch = in.get()) != std::char_traits<char>::eof()) {
+    char c = static_cast<char>(ch);
+    saw_any = true;
+    if (in_quotes) {
+      if (c == '"') {
+        if (in.peek() == '"') {
+          in.get();
+          field.push_back('"');
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\r') {
+      // swallow; handled by the following '\n' or end of record
+    } else if (c == '\n') {
+      fields.push_back(std::move(field));
+      return fields;
+    } else {
+      field.push_back(c);
+    }
+  }
+  if (!saw_any) return std::nullopt;
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+void write_csv_record(std::ostream& out, const std::vector<std::string>& rec) {
+  for (std::size_t i = 0; i < rec.size(); ++i) {
+    if (i) out << ',';
+    const std::string& f = rec[i];
+    bool need_quotes = f.find_first_of(",\"\n\r") != std::string::npos;
+    if (!need_quotes) {
+      out << f;
+      continue;
+    }
+    out << '"';
+    for (char c : f) {
+      if (c == '"') out << '"';
+      out << c;
+    }
+    out << '"';
+  }
+  out << '\n';
+}
+
+CsvTable CsvTable::parse(std::istream& in) {
+  CsvTable t;
+  auto header = read_csv_record(in);
+  if (!header) throw std::runtime_error("csv: empty input");
+  for (std::size_t i = 0; i < header->size(); ++i) {
+    std::string name = (*header)[i];
+    // Strip a UTF-8 BOM from the first header cell (common in GTFS feeds).
+    if (i == 0 && name.size() >= 3 && name[0] == '\xef' && name[1] == '\xbb' &&
+        name[2] == '\xbf') {
+      name = name.substr(3);
+    }
+    t.col_index_[name] = i;
+  }
+  while (auto rec = read_csv_record(in)) {
+    if (rec->size() == 1 && (*rec)[0].empty()) continue;  // blank line
+    if (rec->size() != header->size()) {
+      throw std::runtime_error("csv: ragged row with " +
+                               std::to_string(rec->size()) + " fields, header has " +
+                               std::to_string(header->size()));
+    }
+    t.rows_.push_back(std::move(*rec));
+  }
+  return t;
+}
+
+bool CsvTable::has_column(const std::string& name) const {
+  return col_index_.count(name) > 0;
+}
+
+const std::string& CsvTable::cell(std::size_t row, const std::string& col) const {
+  auto it = col_index_.find(col);
+  if (it == col_index_.end()) {
+    throw std::runtime_error("csv: unknown column '" + col + "'");
+  }
+  return rows_.at(row)[it->second];
+}
+
+std::string CsvTable::cell_or(std::size_t row, const std::string& col,
+                              const std::string& def) const {
+  auto it = col_index_.find(col);
+  if (it == col_index_.end()) return def;
+  const std::string& v = rows_.at(row)[it->second];
+  return v.empty() ? def : v;
+}
+
+}  // namespace pconn

@@ -1,0 +1,40 @@
+// Minimal RFC-4180-ish CSV reader/writer used by the GTFS-subset loader.
+// Handles quoted fields, embedded commas/quotes/newlines, and CRLF input.
+#pragma once
+
+#include <istream>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pconn {
+
+/// Splits one CSV record; reads additional physical lines when a quoted field
+/// spans a newline. Returns std::nullopt at end of stream.
+std::optional<std::vector<std::string>> read_csv_record(std::istream& in);
+
+/// Escapes and writes one record.
+void write_csv_record(std::ostream& out, const std::vector<std::string>& rec);
+
+/// Header-indexed CSV file: rows accessed by column name.
+class CsvTable {
+ public:
+  /// Parses the whole stream. Throws std::runtime_error on ragged rows.
+  static CsvTable parse(std::istream& in);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  bool has_column(const std::string& name) const;
+  /// Cell by row index and column name; throws if the column is unknown.
+  const std::string& cell(std::size_t row, const std::string& col) const;
+  /// Cell or a default when the column is absent or the cell is empty.
+  std::string cell_or(std::size_t row, const std::string& col,
+                      const std::string& def) const;
+
+ private:
+  std::map<std::string, std::size_t> col_index_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pconn

@@ -1,0 +1,66 @@
+// Epoch-versioned flat array: O(1) logical clear.
+//
+// The profile-search workspaces are reused across the thousands of queries a
+// bench run issues; physically zeroing |V| x |conn(S)| label matrices per
+// query would dominate the measurement. An EpochArray keeps a per-slot
+// version stamp and treats stale slots as holding the default value.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pconn {
+
+template <typename T>
+class EpochArray {
+ public:
+  EpochArray() = default;
+  EpochArray(std::size_t n, T def) { assign(n, def); }
+
+  void assign(std::size_t n, T def) {
+    default_ = def;
+    values_.assign(n, def);
+    epochs_.assign(n, 0);
+    epoch_ = 1;
+  }
+
+  /// Grows to at least n slots (keeping the default) and clears; cheap when
+  /// already large enough. Used by per-query workspaces whose width varies.
+  void ensure_and_clear(std::size_t n, T def) {
+    if (n > values_.size() || default_ != def) {
+      assign(n, def);
+    } else {
+      clear();
+    }
+  }
+
+  std::size_t size() const { return values_.size(); }
+
+  /// Logically resets every slot to the default value.
+  void clear() {
+    ++epoch_;
+    if (epoch_ == 0) {  // wrapped: physically reset once per 2^32 clears
+      std::fill(epochs_.begin(), epochs_.end(), 0);
+      epoch_ = 1;
+    }
+  }
+
+  T get(std::size_t i) const {
+    return epochs_[i] == epoch_ ? values_[i] : default_;
+  }
+
+  void set(std::size_t i, T v) {
+    values_[i] = v;
+    epochs_[i] = epoch_;
+  }
+
+  bool touched(std::size_t i) const { return epochs_[i] == epoch_; }
+
+ private:
+  std::vector<T> values_;
+  std::vector<std::uint32_t> epochs_;
+  std::uint32_t epoch_ = 1;
+  T default_{};
+};
+
+}  // namespace pconn

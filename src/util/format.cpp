@@ -1,0 +1,85 @@
+#include "util/format.hpp"
+
+#include <cstdio>
+#include <iostream>
+
+namespace pconn {
+
+std::string format_clock(std::uint64_t seconds, std::uint32_t period) {
+  std::uint64_t days = period ? seconds / period : 0;
+  std::uint64_t s = period ? seconds % period : seconds;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%02llu:%02llu:%02llu",
+                static_cast<unsigned long long>(s / 3600),
+                static_cast<unsigned long long>((s / 60) % 60),
+                static_cast<unsigned long long>(s % 60));
+  std::string out(buf);
+  if (days > 0) out += "+" + std::to_string(days) + "d";
+  return out;
+}
+
+std::string format_min_sec(double seconds) {
+  auto total = static_cast<std::uint64_t>(seconds + 0.5);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu:%02llu",
+                static_cast<unsigned long long>(total / 60),
+                static_cast<unsigned long long>(total % 60));
+  return buf;
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB"};
+  double v = static_cast<double>(bytes);
+  int u = 0;
+  while (v >= 1024.0 && u < 3) {
+    v /= 1024.0;
+    ++u;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f %s", v, units[u]);
+  return buf;
+}
+
+std::string format_count(std::uint64_t n) {
+  std::string digits = std::to_string(n);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count > 0 && count % 3 == 0) out.push_back(' ');
+    out.push_back(*it);
+    ++count;
+  }
+  return {out.rbegin(), out.rend()};
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::print() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      std::cout << std::string(width[c] - cell.size(), ' ') << cell;
+      std::cout << (c + 1 == width.size() ? "\n" : "  ");
+    }
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + 2;
+  std::cout << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace pconn

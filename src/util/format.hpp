@@ -1,0 +1,37 @@
+// Human-readable formatting of times, durations, byte counts, and simple
+// fixed-width tables (the bench binaries print paper-style rows).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pconn {
+
+/// "hh:mm:ss" from seconds-since-midnight (values past midnight wrap with a
+/// +Nd suffix, e.g. "25:30:00" prints as "01:30:00+1d").
+std::string format_clock(std::uint64_t seconds, std::uint32_t period = 86400);
+
+/// "m:ss" preprocessing-time format used in the paper's Table 2.
+std::string format_min_sec(double seconds);
+
+/// "12.3 MiB" style.
+std::string format_bytes(std::uint64_t bytes);
+
+/// Thousands separators: 4311920 -> "4 311 920" (paper style).
+std::string format_count(std::uint64_t n);
+
+/// Fixed-width table printer.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  /// Renders to stdout with right-aligned columns.
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pconn

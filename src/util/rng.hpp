@@ -1,0 +1,90 @@
+// Deterministic, seedable PRNG (splitmix64 + xoshiro256**).
+//
+// Everything stochastic in this repository — synthetic timetables, query
+// mixes, randomized tests — flows through this generator so runs are
+// reproducible bit for bit across machines and standard-library versions
+// (std::mt19937 distributions are not portable across implementations).
+#pragma once
+
+#include <cstdint>
+
+namespace pconn {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // splitmix64 to spread the seed over the full state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value (xoshiro256**).
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Debiased via rejection from the top of the range.
+    const std::uint64_t threshold = -bound % bound;
+    while (true) {
+      std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform in [lo, hi] (inclusive).
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  bool next_bool(double p_true) { return next_double() < p_true; }
+
+  /// Approximately normal(mu, sigma) via the sum of three uniforms
+  /// (Irwin–Hall); good enough for jittering generator parameters and
+  /// trivially portable.
+  double next_gaussian(double mu, double sigma) {
+    double s = next_double() + next_double() + next_double();
+    return mu + (s - 1.5) * 2.0 * sigma;
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename Vec>
+  void shuffle(Vec& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+}  // namespace pconn

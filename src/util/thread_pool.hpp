@@ -1,0 +1,46 @@
+// Fixed-size thread pool with a fork-join "run p tasks and wait" primitive.
+//
+// The paper's parallelization is strictly fork-join: partition conn(S),
+// run p SPCS instances, barrier, merge. A persistent pool avoids paying
+// thread creation inside the ~millisecond query measurements.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pconn {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (>= 1).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Runs fn(t) for t in [0, num_threads()) — one call per worker plus the
+  /// calling thread (which executes t = 0) — and blocks until all return.
+  /// fn must be safe to invoke concurrently.
+  void run(const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop(std::size_t index);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  std::size_t remaining_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace pconn

@@ -1,0 +1,26 @@
+// Wall-clock timing helpers for query measurement and preprocessing reports.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace pconn {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+  double elapsed_s() const { return elapsed_ms() / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pconn

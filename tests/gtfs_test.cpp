@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "test_util.hpp"
+#include "timetable/gtfs.hpp"
+#include "timetable/validation.hpp"
+
+namespace pconn {
+namespace {
+
+namespace fs = std::filesystem;
+
+class GtfsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("pconn_gtfs_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  fs::path dir_;
+};
+
+TEST_F(GtfsTest, ParseTime) {
+  EXPECT_EQ(gtfs::parse_time("00:00:00"), 0u);
+  EXPECT_EQ(gtfs::parse_time("08:30:15"), 8u * 3600 + 30 * 60 + 15);
+  EXPECT_EQ(gtfs::parse_time("25:10:00"), 25u * 3600 + 600);  // after midnight
+  EXPECT_THROW(gtfs::parse_time("8h30"), std::runtime_error);
+  EXPECT_THROW(gtfs::parse_time("08:61:00"), std::runtime_error);
+}
+
+TEST_F(GtfsTest, RenderTimeRoundTrip) {
+  for (Time t : {0u, 59u, 3600u, 86399u, 90000u}) {
+    EXPECT_EQ(gtfs::parse_time(gtfs::render_time(t)), t);
+  }
+}
+
+TEST_F(GtfsTest, WriteThenLoadPreservesStructure) {
+  Timetable tt = test::small_city(3);
+  gtfs::write(tt, dir_);
+  gtfs::LoadOptions opt;
+  Timetable back = gtfs::load(dir_, opt);
+  EXPECT_EQ(back.num_stations(), tt.num_stations());
+  EXPECT_EQ(back.num_trips(), tt.num_trips());
+  EXPECT_EQ(back.num_connections(), tt.num_connections());
+  EXPECT_EQ(back.num_routes(), tt.num_routes());
+  EXPECT_TRUE(validate(back).ok());
+  // Transfer times survive through transfers.txt.
+  for (StationId s = 0; s < tt.num_stations(); ++s) {
+    EXPECT_EQ(back.transfer_time(s), tt.transfer_time(s));
+  }
+  // Connection multiset per station matches.
+  for (StationId s = 0; s < tt.num_stations(); ++s) {
+    auto a = tt.outgoing(s);
+    auto b = back.outgoing(s);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].dep, b[i].dep);
+      EXPECT_EQ(a[i].arr, b[i].arr);
+      EXPECT_EQ(a[i].to, b[i].to);
+    }
+  }
+}
+
+TEST_F(GtfsTest, MissingFileThrows) {
+  EXPECT_THROW(gtfs::load(dir_), std::runtime_error);
+}
+
+TEST_F(GtfsTest, DefaultTransferTimeApplied) {
+  // Hand-written minimal feed without transfers.txt.
+  std::ofstream(dir_ / "stops.txt") << "stop_id,stop_name\nX,X Stop\nY,Y Stop\n";
+  std::ofstream(dir_ / "trips.txt") << "route_id,service_id,trip_id\nR1,wk,T1\n";
+  std::ofstream(dir_ / "stop_times.txt")
+      << "trip_id,arrival_time,departure_time,stop_id,stop_sequence\n"
+         "T1,08:00:00,08:00:00,X,1\nT1,08:10:00,08:10:00,Y,2\n";
+  gtfs::LoadOptions opt;
+  opt.default_transfer_time = 42;
+  Timetable tt = gtfs::load(dir_, opt);
+  EXPECT_EQ(tt.num_stations(), 2u);
+  EXPECT_EQ(tt.transfer_time(0), 42u);
+  EXPECT_EQ(tt.num_connections(), 1u);
+}
+
+TEST_F(GtfsTest, StopSequenceOrderingRespected) {
+  std::ofstream(dir_ / "stops.txt") << "stop_id,stop_name\nX,X\nY,Y\nZ,Z\n";
+  std::ofstream(dir_ / "trips.txt") << "route_id,service_id,trip_id\nR,wk,T\n";
+  // Rows deliberately out of order; stop_sequence decides.
+  std::ofstream(dir_ / "stop_times.txt")
+      << "trip_id,arrival_time,departure_time,stop_id,stop_sequence\n"
+         "T,08:20:00,08:20:00,Z,30\n"
+         "T,08:00:00,08:00:00,X,10\n"
+         "T,08:10:00,08:11:00,Y,20\n";
+  Timetable tt = gtfs::load(dir_);
+  ASSERT_EQ(tt.num_connections(), 2u);
+  EXPECT_EQ(tt.route(0).stops.size(), 3u);
+  EXPECT_EQ(tt.station_name(tt.route(0).stops.front()), "X");
+  EXPECT_EQ(tt.station_name(tt.route(0).stops.back()), "Z");
+}
+
+TEST_F(GtfsTest, DegenerateTripSkipped) {
+  std::ofstream(dir_ / "stops.txt") << "stop_id,stop_name\nX,X\nY,Y\n";
+  std::ofstream(dir_ / "trips.txt")
+      << "route_id,service_id,trip_id\nR,wk,T1\nR,wk,T2\n";
+  std::ofstream(dir_ / "stop_times.txt")
+      << "trip_id,arrival_time,departure_time,stop_id,stop_sequence\n"
+         "T1,08:00:00,08:00:00,X,1\n"  // single stop: skipped
+         "T2,09:00:00,09:00:00,X,1\nT2,09:05:00,09:05:00,Y,2\n";
+  Timetable tt = gtfs::load(dir_);
+  EXPECT_EQ(tt.num_trips(), 1u);
+  EXPECT_EQ(tt.num_connections(), 1u);
+}
+
+TEST_F(GtfsTest, CalendarWeekdayFilter) {
+  std::ofstream(dir_ / "stops.txt") << "stop_id,stop_name\nX,X\nY,Y\n";
+  std::ofstream(dir_ / "calendar.txt")
+      << "service_id,monday,tuesday,wednesday,thursday,friday,saturday,"
+         "sunday,start_date,end_date\n"
+         "WK,1,1,1,1,1,0,0,20260101,20261231\n"
+         "SAT,0,0,0,0,0,1,0,20260101,20261231\n";
+  std::ofstream(dir_ / "trips.txt")
+      << "route_id,service_id,trip_id\nR,WK,T1\nR,SAT,T2\nR,UNKNOWN,T3\n";
+  std::ofstream(dir_ / "stop_times.txt")
+      << "trip_id,arrival_time,departure_time,stop_id,stop_sequence\n"
+         "T1,08:00:00,08:00:00,X,1\nT1,08:10:00,08:10:00,Y,2\n"
+         "T2,09:00:00,09:00:00,X,1\nT2,09:10:00,09:10:00,Y,2\n"
+         "T3,10:00:00,10:00:00,X,1\nT3,10:10:00,10:10:00,Y,2\n";
+  // No filter: all three trips.
+  EXPECT_EQ(gtfs::load(dir_).num_trips(), 3u);
+  // Monday: weekday service + the trip with no calendar row.
+  gtfs::LoadOptions mon;
+  mon.weekday = 0;
+  EXPECT_EQ(gtfs::load(dir_, mon).num_trips(), 2u);
+  // Saturday: saturday service + unknown.
+  gtfs::LoadOptions sat;
+  sat.weekday = 5;
+  Timetable tt = gtfs::load(dir_, sat);
+  EXPECT_EQ(tt.num_trips(), 2u);
+  EXPECT_EQ(tt.outgoing(0)[0].dep, 9u * 3600);
+}
+
+TEST_F(GtfsTest, UnknownReferencesThrow) {
+  std::ofstream(dir_ / "stops.txt") << "stop_id,stop_name\nX,X\n";
+  std::ofstream(dir_ / "trips.txt") << "route_id,service_id,trip_id\nR,wk,T\n";
+  std::ofstream(dir_ / "stop_times.txt")
+      << "trip_id,arrival_time,departure_time,stop_id,stop_sequence\n"
+         "T,08:00:00,08:00:00,NOPE,1\n";
+  EXPECT_THROW(gtfs::load(dir_), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pconn

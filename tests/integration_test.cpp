@@ -1,0 +1,104 @@
+// End-to-end pipeline checks on the generated presets: generate -> build
+// graph -> run every engine -> cross-validate.
+#include <gtest/gtest.h>
+
+#include "algo/lc_profile.hpp"
+#include "algo/parallel_spcs.hpp"
+#include "algo/time_query.hpp"
+#include "gen/generator.hpp"
+#include "graph/station_graph.hpp"
+#include "s2s/distance_table.hpp"
+#include "s2s/s2s_query.hpp"
+#include "s2s/transfer_selection.hpp"
+#include "test_util.hpp"
+#include "timetable/validation.hpp"
+
+namespace pconn {
+namespace {
+
+class PresetPipeline : public ::testing::TestWithParam<gen::Preset> {};
+
+TEST_P(PresetPipeline, AllEnginesAgree) {
+  Timetable tt = gen::make_preset(GetParam(), 0.1, 3);
+  ASSERT_TRUE(validate(tt).ok());
+  TdGraph g = TdGraph::build(tt);
+  StationGraph sg = StationGraph::build(tt);
+
+  ParallelSpcsOptions po;
+  po.threads = 2;
+  ParallelSpcs spcs(tt, g, po);
+  TimeQuery tq(tt, g);
+
+  Rng rng(17);
+  StationId src = static_cast<StationId>(rng.next_below(tt.num_stations()));
+  OneToAllResult res = spcs.one_to_all(src);
+
+  // Profiles agree with spot time queries.
+  for (int i = 0; i < 5; ++i) {
+    Time tau = static_cast<Time>(rng.next_below(tt.period()));
+    StationId t = static_cast<StationId>(rng.next_below(tt.num_stations()));
+    tq.run(src, tau);
+    EXPECT_EQ(eval_profile(res.profiles[t], tau, tt.period()),
+              tq.arrival_at(t));
+  }
+
+  // s2s engine with a distance table agrees with the one-to-all profile.
+  auto transfer = select_transfer_fraction(sg, tt, 0.1);
+  DistanceTable dt = DistanceTable::build(tt, g, transfer, po);
+  S2sOptions so;
+  so.threads = 2;
+  S2sQueryEngine s2s(tt, g, sg, &dt, so);
+  for (int i = 0; i < 5; ++i) {
+    StationId t = static_cast<StationId>(rng.next_below(tt.num_stations()));
+    StationQueryResult r = s2s.query(src, t);
+    test::expect_same_function(res.profiles[t], r.profile, tt.period(),
+                               std::string(gen::preset_name(GetParam())) +
+                                   " s2s to " + std::to_string(t));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Presets, PresetPipeline,
+                         ::testing::ValuesIn(gen::kAllPresets),
+                         [](const auto& info) {
+                           std::string n = gen::preset_name(info.param);
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(Integration, LcAgreesOnSmallPreset) {
+  Timetable tt = gen::make_preset(gen::Preset::kGermanyLike, 0.3, 5);
+  TdGraph g = TdGraph::build(tt);
+  ParallelSpcsOptions po;
+  po.threads = 2;
+  ParallelSpcs spcs(tt, g, po);
+  LcProfileQuery lc(tt, g);
+  Rng rng(5);
+  StationId src = static_cast<StationId>(rng.next_below(tt.num_stations()));
+  OneToAllResult res = spcs.one_to_all(src);
+  lc.run(src);
+  for (StationId t = 0; t < tt.num_stations(); t += 7) {
+    test::expect_same_function(res.profiles[t], lc.profile(t), tt.period(),
+                               "LC preset station " + std::to_string(t));
+  }
+}
+
+TEST(Integration, RepeatedQueriesAreStable) {
+  // Workspace reuse across queries must not leak state.
+  Timetable tt = gen::make_preset(gen::Preset::kOahuLike, 0.12, 6);
+  TdGraph g = TdGraph::build(tt);
+  ParallelSpcsOptions po;
+  po.threads = 2;
+  ParallelSpcs spcs(tt, g, po);
+  OneToAllResult first = spcs.one_to_all(1);
+  spcs.one_to_all(2);
+  spcs.station_to_station(3, 4);
+  OneToAllResult again = spcs.one_to_all(1);
+  for (StationId t = 0; t < tt.num_stations(); ++t) {
+    ASSERT_EQ(first.profiles[t], again.profiles[t]) << "station " << t;
+  }
+}
+
+}  // namespace
+}  // namespace pconn

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "algo/lc_profile.hpp"
+#include "algo/parallel_spcs.hpp"
+#include "algo/time_query.hpp"
+#include "test_util.hpp"
+
+namespace pconn {
+namespace {
+
+TEST(MergeProfiles, PointwiseMinimum) {
+  constexpr Time kP = kDayseconds;
+  Profile a{{100, 500}, {300, 900}};
+  Profile b{{200, 600}, {300, 800}};
+  Profile m = merge_profiles(a, b, kP);
+  for (Time t : {0u, 100u, 150u, 250u, 300u, 1000u}) {
+    EXPECT_EQ(eval_profile(m, t, kP),
+              std::min(eval_profile(a, t, kP), eval_profile(b, t, kP)))
+        << "t=" << t;
+  }
+}
+
+TEST(MergeProfiles, WithEmpty) {
+  constexpr Time kP = kDayseconds;
+  Profile a{{100, 500}};
+  EXPECT_EQ(merge_profiles(a, {}, kP), a);
+  EXPECT_EQ(merge_profiles({}, a, kP), a);
+}
+
+TEST(MergeProfiles, IdempotentOnEqualInput) {
+  constexpr Time kP = kDayseconds;
+  Profile a{{100, 500}, {300, 900}};
+  EXPECT_EQ(merge_profiles(a, a, kP), a);
+}
+
+TEST(LcProfile, TinyLineMatchesHandComputation) {
+  Timetable tt = test::tiny_line();
+  TdGraph g = TdGraph::build(tt);
+  LcProfileQuery lc(tt, g);
+  lc.run(0);
+  const Profile& to_b = lc.profile(1);
+  ASSERT_EQ(to_b.size(), 4u);
+  EXPECT_EQ(to_b[0], (ProfilePoint{8 * 3600, 8 * 3600 + 600}));
+}
+
+class LcVsSpcs : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LcVsSpcs, IdenticalReducedProfiles) {
+  Rng rng(GetParam());
+  Timetable tt = test::random_timetable(rng, 9, 12, 6);
+  TdGraph g = TdGraph::build(tt);
+  ParallelSpcsOptions o;
+  o.threads = 1;
+  ParallelSpcs spcs(tt, g, o);
+  LcProfileQuery lc(tt, g);
+  StationId src = static_cast<StationId>(rng.next_below(tt.num_stations()));
+  OneToAllResult res = spcs.one_to_all(src);
+  lc.run(src);
+  for (StationId t = 0; t < tt.num_stations(); ++t) {
+    test::expect_same_function(res.profiles[t], lc.profile(t), tt.period(),
+                               "LC vs SPCS station " + std::to_string(t));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LcVsSpcs, ::testing::Range<std::uint64_t>(1, 16));
+
+TEST(LcProfile, MatchesTimeQueriesOnCity) {
+  Timetable tt = test::small_city(51);
+  TdGraph g = TdGraph::build(tt);
+  LcProfileQuery lc(tt, g);
+  TimeQuery q(tt, g);
+  lc.run(0);
+  Rng rng(52);
+  for (int i = 0; i < 15; ++i) {
+    Time tau = static_cast<Time>(rng.next_below(tt.period()));
+    StationId t = static_cast<StationId>(rng.next_below(tt.num_stations()));
+    q.run(0, tau);
+    EXPECT_EQ(eval_profile(lc.profile(t), tau, tt.period()), q.arrival_at(t))
+        << "t=" << tau;
+  }
+}
+
+TEST(LcProfile, CountsLabelPoints) {
+  Timetable tt = test::small_city(53);
+  TdGraph g = TdGraph::build(tt);
+  LcProfileQuery lc(tt, g);
+  lc.run(0);
+  EXPECT_GT(lc.stats().label_points, lc.stats().settled)
+      << "labels hold whole profiles, so points must exceed pops";
+}
+
+TEST(LcProfile, DoesMoreWorkThanSpcs) {
+  // The paper's Table 1 headline: CS settles far fewer connections than LC
+  // propagates label points.
+  Timetable tt = test::small_city(54);
+  TdGraph g = TdGraph::build(tt);
+  ParallelSpcsOptions o;
+  o.threads = 1;
+  ParallelSpcs spcs(tt, g, o);
+  LcProfileQuery lc(tt, g);
+  OneToAllResult res = spcs.one_to_all(3);
+  lc.run(3);
+  EXPECT_GT(lc.stats().label_points, res.stats.settled);
+}
+
+TEST(LcProfile, RerunsAreIndependent) {
+  Timetable tt = test::small_railway(55);
+  TdGraph g = TdGraph::build(tt);
+  LcProfileQuery lc(tt, g);
+  lc.run(0);
+  Profile first = lc.profile(2);
+  lc.run(1);  // different source in between
+  lc.run(0);
+  EXPECT_EQ(lc.profile(2), first);
+}
+
+}  // namespace
+}  // namespace pconn

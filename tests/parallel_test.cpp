@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "algo/parallel_spcs.hpp"
+#include "algo/partition.hpp"
+#include "test_util.hpp"
+
+namespace pconn {
+namespace {
+
+TEST(Partition, EqualConnectionsBalanced) {
+  Timetable tt = test::small_city(41);
+  auto conns = tt.outgoing(0);
+  for (unsigned p : {1u, 2u, 3u, 4u, 8u}) {
+    auto b = partition_connections(conns, p,
+                                   PartitionStrategy::kEqualConnections,
+                                   tt.period());
+    ASSERT_EQ(b.size(), p + 1);
+    EXPECT_EQ(b.front(), 0u);
+    EXPECT_EQ(b.back(), conns.size());
+    for (unsigned k = 0; k < p; ++k) {
+      EXPECT_LE(b[k], b[k + 1]);
+      EXPECT_LE(b[k + 1] - b[k], conns.size() / p + 1);
+    }
+    EXPECT_LE(partition_imbalance(b), 1.0 + 1.0 * p / conns.size() + 1e-9);
+  }
+}
+
+TEST(Partition, EqualTimeSlotsRespectsDepartures) {
+  Timetable tt = test::small_city(42);
+  auto conns = tt.outgoing(0);
+  auto b = partition_connections(conns, 4, PartitionStrategy::kEqualTimeSlots,
+                                 tt.period());
+  for (unsigned k = 0; k < 4; ++k) {
+    Time slot_end = static_cast<Time>(
+        (static_cast<std::uint64_t>(tt.period()) * (k + 1)) / 4);
+    for (std::uint32_t i = b[k]; i < b[k + 1]; ++i) {
+      EXPECT_LT(conns[i].dep, slot_end);
+    }
+  }
+}
+
+TEST(Partition, TimeSlotsMoreImbalancedUnderRushHours) {
+  // The paper's §3.2 observation: departures cluster in rush hours, so
+  // equal time slots are worse balanced than equal connection counts.
+  Timetable tt = test::small_city(43);
+  auto conns = tt.outgoing(5);
+  auto slots = partition_connections(
+      conns, 4, PartitionStrategy::kEqualTimeSlots, tt.period());
+  auto counts = partition_connections(
+      conns, 4, PartitionStrategy::kEqualConnections, tt.period());
+  EXPECT_GT(partition_imbalance(slots), partition_imbalance(counts));
+}
+
+TEST(Partition, KMeansValidAndNoWorseThanTimeSlots) {
+  Timetable tt = test::small_city(45);
+  for (StationId s : {StationId{0}, StationId{7}, StationId{13}}) {
+    auto conns = tt.outgoing(s);
+    for (unsigned p : {2u, 4u, 8u}) {
+      auto km = partition_connections(conns, p, PartitionStrategy::kKMeans,
+                                      tt.period());
+      ASSERT_EQ(km.size(), p + 1);
+      EXPECT_EQ(km.front(), 0u);
+      EXPECT_EQ(km.back(), conns.size());
+      for (unsigned k = 0; k < p; ++k) EXPECT_LE(km[k], km[k + 1]);
+      auto slots = partition_connections(
+          conns, p, PartitionStrategy::kEqualTimeSlots, tt.period());
+      // Lloyd's refinement starts from the equal-count split, so it never
+      // degrades below the naive time-slot split on rush-hour inputs.
+      EXPECT_LE(partition_imbalance(km), partition_imbalance(slots) + 0.25);
+    }
+  }
+}
+
+TEST(Partition, KMeansParallelEquivalence) {
+  Rng rng(46);
+  Timetable tt = test::random_timetable(rng, 10, 14, 7);
+  TdGraph g = TdGraph::build(tt);
+  ParallelSpcsOptions serial, km;
+  serial.threads = 1;
+  km.threads = 3;
+  km.partition = PartitionStrategy::kKMeans;
+  ParallelSpcs a(tt, g, serial), b(tt, g, km);
+  OneToAllResult ra = a.one_to_all(2);
+  OneToAllResult rb = b.one_to_all(2);
+  for (StationId t = 0; t < tt.num_stations(); ++t) {
+    ASSERT_EQ(ra.profiles[t], rb.profiles[t]);
+  }
+}
+
+TEST(Partition, EmptyConnSet) {
+  auto b = partition_connections({}, 4, PartitionStrategy::kEqualConnections,
+                                 kDayseconds);
+  EXPECT_EQ(b, (std::vector<std::uint32_t>{0, 0, 0, 0, 0}));
+  EXPECT_DOUBLE_EQ(partition_imbalance(b), 1.0);
+}
+
+class ParallelEquivalence
+    : public ::testing::TestWithParam<std::tuple<unsigned, PartitionStrategy>> {
+};
+
+TEST_P(ParallelEquivalence, MatchesSerialProfiles) {
+  auto [threads, strategy] = GetParam();
+  Rng rng(1000 + threads);
+  Timetable tt = test::random_timetable(rng, 10, 14, 7);
+  TdGraph g = TdGraph::build(tt);
+
+  ParallelSpcsOptions serial;
+  serial.threads = 1;
+  ParallelSpcsOptions par;
+  par.threads = threads;
+  par.partition = strategy;
+
+  ParallelSpcs a(tt, g, serial), b(tt, g, par);
+  for (StationId src : {StationId{0}, StationId{4}, StationId{9}}) {
+    OneToAllResult ra = a.one_to_all(src);
+    OneToAllResult rb = b.one_to_all(src);
+    for (StationId t = 0; t < tt.num_stations(); ++t) {
+      ASSERT_EQ(ra.profiles[t], rb.profiles[t])
+          << "threads=" << threads << " src=" << src << " t=" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreadsAndStrategies, ParallelEquivalence,
+    ::testing::Combine(::testing::Values(2u, 3u, 4u, 7u),
+                       ::testing::Values(PartitionStrategy::kEqualConnections,
+                                         PartitionStrategy::kEqualTimeSlots)));
+
+TEST(ParallelSpcs, MoreThreadsSettleAtLeastAsManyConnections) {
+  // Cross-thread self-pruning is impossible, so total settled work grows
+  // (slightly) with the thread count — the paper's §3.2 discussion.
+  Timetable tt = test::small_city(44);
+  TdGraph g = TdGraph::build(tt);
+  ParallelSpcsOptions o1, o4;
+  o1.threads = 1;
+  o4.threads = 4;
+  ParallelSpcs a(tt, g, o1), b(tt, g, o4);
+  OneToAllResult r1 = a.one_to_all(7);
+  OneToAllResult r4 = b.one_to_all(7);
+  EXPECT_GE(r4.stats.settled, r1.stats.settled);
+  for (StationId t = 0; t < tt.num_stations(); ++t) {
+    EXPECT_EQ(r1.profiles[t], r4.profiles[t]);
+  }
+}
+
+TEST(ParallelSpcs, DegenerateOneConnectionPerThread) {
+  // p >= |conn(S)|: every thread runs a plain per-connection time query —
+  // the paper's extreme case where self-pruning vanishes entirely.
+  TimetableBuilder bld;
+  StationId a = bld.add_station("A", 30);
+  StationId c = bld.add_station("B", 30);
+  using St = TimetableBuilder::StopTime;
+  bld.add_trip(std::vector<St>{{a, 0, 1000}, {c, 1600, 0}});
+  bld.add_trip(std::vector<St>{{a, 0, 2000}, {c, 2600, 0}});
+  Timetable tt = bld.finalize();
+  TdGraph g = TdGraph::build(tt);
+  ParallelSpcsOptions o;
+  o.threads = 4;  // more threads than connections
+  ParallelSpcs spcs(tt, g, o);
+  OneToAllResult res = spcs.one_to_all(a);
+  ASSERT_EQ(res.profiles[c].size(), 2u);
+  EXPECT_EQ(res.profiles[c][0], (ProfilePoint{1000, 1600}));
+  EXPECT_EQ(res.profiles[c][1], (ProfilePoint{2000, 2600}));
+}
+
+TEST(ParallelSpcs, StationToStationParallelMatchesSerial) {
+  Timetable tt = test::small_railway(45);
+  TdGraph g = TdGraph::build(tt);
+  ParallelSpcsOptions o1, o3;
+  o1.threads = 1;
+  o3.threads = 3;
+  ParallelSpcs a(tt, g, o1), b(tt, g, o3);
+  Rng rng(46);
+  for (int trial = 0; trial < 10; ++trial) {
+    StationId s = static_cast<StationId>(rng.next_below(tt.num_stations()));
+    StationId t = static_cast<StationId>(rng.next_below(tt.num_stations()));
+    StationQueryResult ra = a.station_to_station(s, t);
+    StationQueryResult rb = b.station_to_station(s, t);
+    test::expect_same_function(ra.profile, rb.profile, tt.period(),
+                               "parallel s2s");
+  }
+}
+
+TEST(ParallelSpcs, ThreadTimesReported) {
+  Timetable tt = test::small_city(47);
+  TdGraph g = TdGraph::build(tt);
+  ParallelSpcsOptions o;
+  o.threads = 2;
+  ParallelSpcs spcs(tt, g, o);
+  OneToAllResult res = spcs.one_to_all(1);
+  EXPECT_GE(res.max_thread_ms, res.min_thread_ms);
+  EXPECT_GE(res.stats.time_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace pconn

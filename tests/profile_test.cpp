@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "graph/profile.hpp"
+#include "util/rng.hpp"
+
+namespace pconn {
+namespace {
+
+constexpr Time kP = kDayseconds;
+
+TEST(ReduceProfile, DropsInfiniteAndDominated) {
+  Profile raw{
+      {100, 900},       // dominated by the 200 point (arr 800 < 900)
+      {150, kInfTime},  // pruned connection
+      {200, 800},
+      {300, 1000},
+  };
+  Profile red = reduce_profile(raw, kP);
+  ASSERT_EQ(red.size(), 2u);
+  EXPECT_EQ(red[0], (ProfilePoint{200, 800}));
+  EXPECT_EQ(red[1], (ProfilePoint{300, 1000}));
+}
+
+TEST(ReduceProfile, NonStrictDominationRemoved) {
+  // Equal arrival with later departure wins (paper: delete arr_j >= min).
+  Profile raw{{100, 800}, {200, 800}};
+  Profile red = reduce_profile(raw, kP);
+  ASSERT_EQ(red.size(), 1u);
+  EXPECT_EQ(red[0].dep, 200u);
+}
+
+TEST(ReduceProfile, EqualDeparturesDeduped) {
+  Profile raw{{100, 500}, {100, 700}, {300, 900}};
+  Profile red = reduce_profile(raw, kP);
+  ASSERT_EQ(red.size(), 2u);
+  EXPECT_EQ(red[0], (ProfilePoint{100, 500}));
+}
+
+TEST(ReduceProfile, CyclicDominationDropsLateTail) {
+  // Late departure arriving after tomorrow's early arrival is useless.
+  Profile raw{{600, 2400}, {80000, kP + 3000}};
+  Profile red = reduce_profile(raw, kP);
+  ASSERT_EQ(red.size(), 1u);
+  EXPECT_EQ(red[0].dep, 600u);
+}
+
+TEST(ReduceProfile, EmptyAndAllInfinite) {
+  EXPECT_TRUE(reduce_profile({}, kP).empty());
+  EXPECT_TRUE(reduce_profile({{100, kInfTime}}, kP).empty());
+}
+
+TEST(EvalProfile, PicksNextDepartureCyclically) {
+  Profile p{{1000, 1600}, {2000, 2300}};
+  EXPECT_EQ(eval_profile(p, 500, kP), 1600u);
+  EXPECT_EQ(eval_profile(p, 1500, kP), 2300u);
+  // After the last departure: wrap to tomorrow's first.
+  EXPECT_EQ(eval_profile(p, 3000, kP), 3000u + (kP - 3000 + 1000) + 600);
+  // Absolute times beyond the period evaluate relative to their day.
+  EXPECT_EQ(eval_profile(p, kP + 500, kP), kP + 1600);
+  EXPECT_EQ(eval_profile(p, 123, kP) - 123,
+            delta(123, 1000, kP) + 600);
+}
+
+TEST(EvalProfile, EmptyIsInfinite) {
+  EXPECT_EQ(eval_profile({}, 0, kP), kInfTime);
+  EXPECT_EQ(profile_point_used({}, 0, kP), kNoConn);
+}
+
+TEST(ProfileFifo, ReducedProfilesAreFifo) {
+  Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    Profile raw;
+    std::size_t n = 1 + rng.next_below(20);
+    std::vector<Time> deps;
+    for (std::size_t i = 0; i < n; ++i) {
+      deps.push_back(static_cast<Time>(rng.next_below(kP)));
+    }
+    std::sort(deps.begin(), deps.end());
+    for (Time d : deps) {
+      raw.push_back({d, d + 60 + static_cast<Time>(rng.next_below(kP))});
+    }
+    Profile red = reduce_profile(raw, kP);
+    EXPECT_TRUE(profile_is_fifo(red, kP));
+    // Reduction must not change the function's minimum.
+    if (!red.empty()) {
+      Time raw_best = kInfTime, red_best = kInfTime;
+      for (const ProfilePoint& p : raw) raw_best = std::min(raw_best, p.arr);
+      for (const ProfilePoint& p : red) red_best = std::min(red_best, p.arr);
+      EXPECT_EQ(raw_best, red_best);
+    }
+  }
+}
+
+TEST(ReduceProfile, PreservesFunctionValuesAtKeptDeps) {
+  Rng rng(23);
+  for (int trial = 0; trial < 50; ++trial) {
+    Profile raw;
+    std::size_t n = 1 + rng.next_below(15);
+    std::vector<Time> deps;
+    for (std::size_t i = 0; i < n; ++i) {
+      deps.push_back(static_cast<Time>(rng.next_below(kP)));
+    }
+    std::sort(deps.begin(), deps.end());
+    for (Time d : deps) {
+      raw.push_back({d, d + 1 + static_cast<Time>(rng.next_below(kP / 2))});
+    }
+    Profile red = reduce_profile(raw, kP);
+    // At every raw departure, the reduced profile must still offer an
+    // arrival no later than that raw point's own.
+    for (const ProfilePoint& p : raw) {
+      EXPECT_LE(eval_profile(red, p.dep, kP), p.arr);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pconn

@@ -1,0 +1,293 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/station_graph.hpp"
+#include "s2s/distance_table.hpp"
+#include "s2s/s2s_query.hpp"
+#include "s2s/transfer_selection.hpp"
+#include "s2s/via.hpp"
+#include "test_util.hpp"
+
+namespace pconn {
+namespace {
+
+std::vector<std::uint8_t> flags_for(const Timetable& tt,
+                                    const std::vector<StationId>& transfer) {
+  std::vector<std::uint8_t> f(tt.num_stations(), 0);
+  for (StationId s : transfer) f[s] = 1;
+  return f;
+}
+
+TEST(Via, TargetIsTransferStation) {
+  Timetable tt = test::small_railway(1);
+  StationGraph sg = StationGraph::build(tt);
+  auto flags = flags_for(tt, {0, 1, 2, 3});
+  ViaResult v = find_via_stations(sg, 10, 2, flags);
+  EXPECT_EQ(v.vias, (std::vector<StationId>{2}));
+  EXPECT_FALSE(v.local);
+  ViaResult self = find_via_stations(sg, 2, 2, flags);
+  EXPECT_TRUE(self.local);
+}
+
+TEST(Via, RegionalLineSeparatedByItsHub) {
+  // In the generated railway, regional-line stations reach the rest of the
+  // network only through their hub: with all hubs transfer stations, a
+  // regional station's via set is a subset of the hubs.
+  Timetable tt = test::small_railway(2);
+  StationGraph sg = StationGraph::build(tt);
+  std::vector<StationId> hubs;
+  for (StationId h = 0; h < 4; ++h) hubs.push_back(h);
+  auto flags = flags_for(tt, hubs);
+  // Find a regional station (named "... R<h>.<l>-<i>").
+  StationId regional = kInvalidStation;
+  for (StationId s = 4; s < tt.num_stations(); ++s) {
+    if (tt.station_name(s).find(" R") != std::string::npos) {
+      regional = s;
+      break;
+    }
+  }
+  ASSERT_NE(regional, kInvalidStation);
+  ViaResult v = find_via_stations(sg, 0, regional, flags);
+  EXPECT_FALSE(v.vias.empty());
+  for (StationId via : v.vias) EXPECT_LT(via, 4u);
+}
+
+TEST(Via, LocalDetection) {
+  Timetable tt = test::small_railway(3);
+  StationGraph sg = StationGraph::build(tt);
+  auto flags = flags_for(tt, {0, 1, 2, 3});
+  // Two stations on the same regional line are local to each other.
+  StationId first = kInvalidStation, second = kInvalidStation;
+  for (StationId s = 4; s < tt.num_stations(); ++s) {
+    if (tt.station_name(s).find(" R0.0-") != std::string::npos) {
+      if (first == kInvalidStation) {
+        first = s;
+      } else {
+        second = s;
+        break;
+      }
+    }
+  }
+  ASSERT_NE(second, kInvalidStation);
+  EXPECT_TRUE(find_via_stations(sg, first, second, flags).local);
+}
+
+TEST(TransferSelection, DegreeRule) {
+  Timetable tt = test::small_railway(4);
+  StationGraph sg = StationGraph::build(tt);
+  auto picked = select_transfer_by_degree(sg, 2);
+  ASSERT_FALSE(picked.empty());
+  for (StationId s : picked) EXPECT_GT(sg.degree(s), 2u);
+  // Hubs have the highest degree; they must all be picked.
+  for (StationId h = 0; h < 4; ++h) {
+    EXPECT_NE(std::find(picked.begin(), picked.end(), h), picked.end());
+  }
+}
+
+TEST(TransferSelection, ContractionKeepsRequestedCount) {
+  Timetable tt = test::small_railway(5);
+  StationGraph sg = StationGraph::build(tt);
+  for (std::size_t keep : {1u, 4u, 8u}) {
+    auto picked = select_transfer_by_contraction(sg, tt, keep);
+    EXPECT_EQ(picked.size(), keep);
+  }
+}
+
+TEST(TransferSelection, ContractionPrefersHubs) {
+  Timetable tt = test::small_railway(6);
+  StationGraph sg = StationGraph::build(tt);
+  auto picked = select_transfer_by_contraction(sg, tt, 4);
+  // At least half of the survivors should be actual hubs (ids 0..3) —
+  // the contraction heuristic must find the structure.
+  std::size_t hubs = 0;
+  for (StationId s : picked) {
+    if (s < 4) ++hubs;
+  }
+  EXPECT_GE(hubs, 2u);
+}
+
+TEST(TransferSelection, FractionSelects) {
+  Timetable tt = test::small_railway(7);
+  StationGraph sg = StationGraph::build(tt);
+  auto picked = select_transfer_fraction(sg, tt, 0.25);
+  EXPECT_NEAR(static_cast<double>(picked.size()),
+              0.25 * tt.num_stations(), 1.0);
+}
+
+class DistanceTableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tt_ = test::small_railway(8);
+    g_ = TdGraph::build(tt_);
+    sg_ = StationGraph::build(tt_);
+    ParallelSpcsOptions o;
+    o.threads = 2;
+    dt_ = DistanceTable::build(tt_, g_, {0, 1, 2, 3}, o, &info_);
+  }
+  Timetable tt_;
+  TdGraph g_;
+  StationGraph sg_;
+  DistanceTable dt_;
+  DistanceTable::BuildInfo info_;
+};
+
+TEST_F(DistanceTableTest, FlagsAndIndex) {
+  EXPECT_EQ(dt_.size(), 4u);
+  for (StationId s = 0; s < tt_.num_stations(); ++s) {
+    EXPECT_EQ(dt_.is_transfer(s), s < 4);
+  }
+  EXPECT_GT(info_.table_bytes, 0u);
+}
+
+TEST_F(DistanceTableTest, MatchesDirectProfileQueries) {
+  ParallelSpcsOptions o;
+  o.threads = 1;
+  ParallelSpcs spcs(tt_, g_, o);
+  for (StationId a : {StationId{0}, StationId{2}}) {
+    OneToAllResult res = spcs.one_to_all(a);
+    for (StationId b = 0; b < 4; ++b) {
+      if (a == b) continue;
+      EXPECT_EQ(dt_.profile(a, b), res.profiles[b]) << a << "->" << b;
+    }
+  }
+}
+
+TEST_F(DistanceTableTest, QuerySemantics) {
+  EXPECT_EQ(dt_.query(1, 1, 12345), 12345u);  // same station: no time needed
+  Time arr = dt_.query(0, 1, 8 * 3600);
+  EXPECT_GT(arr, 8u * 3600);
+  // FIFO: asking later never arrives strictly earlier.
+  EXPECT_LE(arr, dt_.query(0, 1, 8 * 3600 + 60));
+}
+
+TEST_F(DistanceTableTest, S2sWithTableMatchesPlain) {
+  S2sOptions with;
+  with.threads = 2;
+  S2sOptions without = with;
+  without.table_pruning = false;
+  S2sQueryEngine pruned(tt_, g_, sg_, &dt_, with);
+  S2sQueryEngine plain(tt_, g_, sg_, nullptr, without);
+  Rng rng(99);
+  for (int trial = 0; trial < 30; ++trial) {
+    StationId s = static_cast<StationId>(rng.next_below(tt_.num_stations()));
+    StationId t = static_cast<StationId>(rng.next_below(tt_.num_stations()));
+    StationQueryResult a = pruned.query(s, t);
+    StationQueryResult b = plain.query(s, t);
+    test::expect_same_function(a.profile, b.profile, tt_.period(),
+                               "s2s " + std::to_string(s) + "->" +
+                                   std::to_string(t));
+  }
+}
+
+TEST_F(DistanceTableTest, TableLookupFastPath) {
+  S2sOptions o;
+  o.threads = 1;
+  S2sQueryEngine engine(tt_, g_, sg_, &dt_, o);
+  StationQueryResult res = engine.query(0, 3);
+  EXPECT_EQ(engine.last_kind(), S2sQueryEngine::Kind::kTableLookup);
+  EXPECT_EQ(res.stats.settled, 0u);
+  EXPECT_EQ(res.profile, dt_.profile(0, 3));
+}
+
+TEST_F(DistanceTableTest, LocalQueriesSkipTable) {
+  S2sOptions o;
+  o.threads = 1;
+  S2sQueryEngine engine(tt_, g_, sg_, &dt_, o);
+  // Stations on the same regional line: local.
+  StationId first = kInvalidStation, second = kInvalidStation;
+  for (StationId s = 4; s < tt_.num_stations(); ++s) {
+    if (tt_.station_name(s).find(" R0.0-") != std::string::npos) {
+      if (first == kInvalidStation) {
+        first = s;
+      } else {
+        second = s;
+        break;
+      }
+    }
+  }
+  ASSERT_NE(second, kInvalidStation);
+  engine.query(first, second);
+  EXPECT_EQ(engine.last_kind(), S2sQueryEngine::Kind::kLocal);
+}
+
+TEST_F(DistanceTableTest, GlobalQueriesPruneWork) {
+  S2sOptions with;
+  with.threads = 1;
+  S2sOptions without = with;
+  without.table_pruning = false;
+  S2sQueryEngine pruned(tt_, g_, sg_, &dt_, with);
+  S2sQueryEngine plain(tt_, g_, sg_, nullptr, without);
+  // Regional station far from another hub's regional line: global query.
+  StationId s = kInvalidStation, t = kInvalidStation;
+  for (StationId x = 4; x < tt_.num_stations(); ++x) {
+    if (tt_.station_name(x).find(" R0.0-") != std::string::npos &&
+        s == kInvalidStation) {
+      s = x;
+    }
+    if (tt_.station_name(x).find(" R2.0-") != std::string::npos) t = x;
+  }
+  ASSERT_NE(s, kInvalidStation);
+  ASSERT_NE(t, kInvalidStation);
+  std::uint64_t settled_pruned = 0, settled_plain = 0;
+  StationQueryResult a = pruned.query(s, t);
+  settled_pruned = a.stats.settled;
+  EXPECT_EQ(pruned.last_kind(), S2sQueryEngine::Kind::kGlobal);
+  StationQueryResult b = plain.query(s, t);
+  settled_plain = b.stats.settled;
+  test::expect_same_function(a.profile, b.profile, tt_.period(), "global s2s");
+  EXPECT_LE(settled_pruned, settled_plain);
+}
+
+TEST_F(DistanceTableTest, TargetTransferUsesTargetPruning) {
+  S2sOptions o;
+  o.threads = 2;
+  S2sQueryEngine engine(tt_, g_, sg_, &dt_, o);
+  S2sOptions plain_o;
+  plain_o.threads = 1;
+  S2sQueryEngine plain(tt_, g_, sg_, nullptr, plain_o);
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    StationId s = static_cast<StationId>(
+        4 + rng.next_below(tt_.num_stations() - 4));
+    StationId t = static_cast<StationId>(rng.next_below(4));  // a hub
+    StationQueryResult a = engine.query(s, t);
+    if (engine.last_kind() != S2sQueryEngine::Kind::kTargetTransfer &&
+        engine.last_kind() != S2sQueryEngine::Kind::kLocal) {
+      ADD_FAILURE() << "unexpected kind";
+    }
+    StationQueryResult b = plain.query(s, t);
+    test::expect_same_function(a.profile, b.profile, tt_.period(),
+                               "target transfer " + std::to_string(s) + "->" +
+                                   std::to_string(t));
+  }
+}
+
+TEST(S2sOnCity, TableOnBusNetworkAgrees) {
+  Timetable tt = test::small_city(61);
+  TdGraph g = TdGraph::build(tt);
+  StationGraph sg = StationGraph::build(tt);
+  ParallelSpcsOptions po;
+  po.threads = 2;
+  auto transfer = select_transfer_fraction(sg, tt, 0.2);
+  DistanceTable dt = DistanceTable::build(tt, g, transfer, po);
+  S2sOptions with;
+  with.threads = 2;
+  S2sOptions without = with;
+  without.table_pruning = false;
+  S2sQueryEngine pruned(tt, g, sg, &dt, with);
+  S2sQueryEngine plain(tt, g, sg, nullptr, without);
+  Rng rng(62);
+  for (int trial = 0; trial < 20; ++trial) {
+    StationId s = static_cast<StationId>(rng.next_below(tt.num_stations()));
+    StationId t = static_cast<StationId>(rng.next_below(tt.num_stations()));
+    StationQueryResult a = pruned.query(s, t);
+    StationQueryResult b = plain.query(s, t);
+    test::expect_same_function(a.profile, b.profile, tt.period(),
+                               "city s2s " + std::to_string(s) + "->" +
+                                   std::to_string(t));
+  }
+}
+
+}  // namespace
+}  // namespace pconn

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "graph/station_graph.hpp"
+#include "s2s/distance_table.hpp"
+#include "s2s/transfer_selection.hpp"
+#include "test_util.hpp"
+#include "timetable/serialize.hpp"
+#include "timetable/validation.hpp"
+
+namespace pconn {
+namespace {
+
+TEST(SerializeTimetable, RoundTripPreservesEverything) {
+  for (auto make : {+[] { return test::small_city(91); },
+                    +[] { return test::small_railway(92); },
+                    +[] { return test::tiny_line(); }}) {
+    Timetable tt = make();
+    std::stringstream buf;
+    save_timetable(tt, buf);
+    Timetable back = load_timetable(buf);
+    ASSERT_EQ(back.num_stations(), tt.num_stations());
+    ASSERT_EQ(back.num_trips(), tt.num_trips());
+    ASSERT_EQ(back.num_routes(), tt.num_routes());
+    ASSERT_EQ(back.num_connections(), tt.num_connections());
+    EXPECT_EQ(back.period(), tt.period());
+    for (StationId s = 0; s < tt.num_stations(); ++s) {
+      EXPECT_EQ(back.station_name(s), tt.station_name(s));
+      EXPECT_EQ(back.transfer_time(s), tt.transfer_time(s));
+    }
+    EXPECT_EQ(back.connections(), tt.connections());
+    EXPECT_TRUE(validate(back).ok());
+  }
+}
+
+TEST(SerializeTimetable, BadMagicRejected) {
+  std::stringstream buf("NOPExxxxxxxxxxxxxxxx");
+  EXPECT_THROW(load_timetable(buf), std::runtime_error);
+}
+
+TEST(SerializeTimetable, TruncationRejected) {
+  Timetable tt = test::tiny_line();
+  std::stringstream buf;
+  save_timetable(tt, buf);
+  std::string data = buf.str();
+  for (std::size_t cut : {5ul, data.size() / 2, data.size() - 1}) {
+    std::stringstream cut_buf(data.substr(0, cut));
+    EXPECT_THROW(load_timetable(cut_buf), std::runtime_error) << cut;
+  }
+}
+
+TEST(SerializeTimetable, EmptyTimetable) {
+  TimetableBuilder b;
+  b.add_station("Lonely", 0);
+  Timetable tt = b.finalize();
+  std::stringstream buf;
+  save_timetable(tt, buf);
+  Timetable back = load_timetable(buf);
+  EXPECT_EQ(back.num_stations(), 1u);
+  EXPECT_EQ(back.num_trips(), 0u);
+}
+
+TEST(SerializeDistanceTable, RoundTripPreservesQueries) {
+  Timetable tt = test::small_railway(93);
+  TdGraph g = TdGraph::build(tt);
+  StationGraph sg = StationGraph::build(tt);
+  ParallelSpcsOptions po;
+  po.threads = 2;
+  auto transfer = select_transfer_fraction(sg, tt, 0.2);
+  DistanceTable dt = DistanceTable::build(tt, g, transfer, po);
+
+  std::stringstream buf;
+  dt.save(buf);
+  DistanceTable back = DistanceTable::load(buf);
+
+  ASSERT_EQ(back.size(), dt.size());
+  EXPECT_EQ(back.transfer_stations(), dt.transfer_stations());
+  EXPECT_EQ(back.transfer_flags(), dt.transfer_flags());
+  Rng rng(94);
+  for (int i = 0; i < 100; ++i) {
+    StationId a = dt.transfer_stations()[rng.next_below(dt.size())];
+    StationId b = dt.transfer_stations()[rng.next_below(dt.size())];
+    Time t = static_cast<Time>(rng.next_below(tt.period()));
+    EXPECT_EQ(back.query(a, b, t), dt.query(a, b, t));
+  }
+}
+
+TEST(SerializeDistanceTable, BadStreamRejected) {
+  std::stringstream buf("garbage data here");
+  EXPECT_THROW(DistanceTable::load(buf), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pconn

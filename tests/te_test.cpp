@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "algo/te_query.hpp"
+#include "algo/time_query.hpp"
+#include "graph/te_graph.hpp"
+#include "test_util.hpp"
+
+namespace pconn {
+namespace {
+
+TEST(TeGraph, NodeAndEdgeCounts) {
+  Timetable tt = test::tiny_line();
+  TeGraph g = TeGraph::build(tt);
+  // Per connection: one departure + one arrival event; transfer nodes: one
+  // per distinct departure time per station.
+  std::size_t distinct_deps = 0;
+  for (StationId s = 0; s < tt.num_stations(); ++s) {
+    Time last = kInfTime;
+    for (const Connection& c : tt.outgoing(s)) {
+      if (c.dep != last) {
+        ++distinct_deps;
+        last = c.dep;
+      }
+    }
+  }
+  EXPECT_EQ(g.num_nodes(), 2 * tt.num_connections() + distinct_deps);
+  EXPECT_GT(g.num_edges(), tt.num_connections());
+}
+
+TEST(TeGraph, TransferChainsOrdered) {
+  Timetable tt = test::small_city(71);
+  TeGraph g = TeGraph::build(tt);
+  for (StationId s = 0; s < tt.num_stations(); ++s) {
+    auto chain = g.transfer_nodes(s);
+    for (std::size_t i = 1; i < chain.size(); ++i) {
+      EXPECT_LT(g.node(chain[i - 1]).time, g.node(chain[i]).time);
+      EXPECT_EQ(g.node(chain[i]).station, s);
+      EXPECT_EQ(g.node(chain[i]).kind, TeGraph::NodeKind::kTransfer);
+    }
+  }
+}
+
+TEST(TeGraph, EntryNodeSemantics) {
+  Timetable tt = test::tiny_line();
+  TeGraph g = TeGraph::build(tt);
+  // Station A departs at 08:00..11:00 hourly and 08:30..11:30.
+  auto [node, wait] = g.entry_node(0, 7 * 3600);
+  ASSERT_NE(node, kInvalidNode);
+  EXPECT_EQ(wait, 3600u);
+  EXPECT_EQ(g.node(node).time, 8u * 3600);
+  // Past the last departure wraps to tomorrow's first.
+  auto [node2, wait2] = g.entry_node(0, 12 * 3600);
+  EXPECT_EQ(g.node(node2).time, 8u * 3600);
+  EXPECT_EQ(wait2, kDayseconds - 12 * 3600 + 8 * 3600);
+}
+
+TEST(TeQuery, TinyLineHandComputed) {
+  Timetable tt = test::tiny_line();
+  TeGraph g = TeGraph::build(tt);
+  TeTimeQuery q(g);
+  q.run(0, 7 * 3600);
+  EXPECT_EQ(q.arrival_at(0), 7u * 3600);
+  EXPECT_EQ(q.arrival_at(1), 8u * 3600 + 600);
+  EXPECT_EQ(q.arrival_at(2), 8u * 3600 + 1260);
+}
+
+// With one trip per line no same-route train switch is ever possible, so
+// the TD and TE models agree exactly.
+class TeVsTdExact : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TeVsTdExact, SingleTripRoutesAgreeEverywhere) {
+  Rng rng(GetParam());
+  Timetable tt = test::random_timetable(rng, 10, 16, 1);
+  TdGraph td = TdGraph::build(tt);
+  TeGraph te = TeGraph::build(tt);
+  TimeQuery tdq(tt, td);
+  TeTimeQuery teq(te);
+  for (int trial = 0; trial < 4; ++trial) {
+    StationId src = static_cast<StationId>(rng.next_below(tt.num_stations()));
+    Time tau = static_cast<Time>(rng.next_below(tt.period()));
+    tdq.run(src, tau);
+    teq.run(src, tau);
+    for (StationId s = 0; s < tt.num_stations(); ++s) {
+      ASSERT_EQ(tdq.arrival_at(s), teq.arrival_at(s))
+          << "src " << src << " tau " << tau << " dst " << s;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TeVsTdExact,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+// In general the TD route model can only be faster (same-route train
+// switches are free there but cost T(S) in the TE model).
+class TeVsTdBound : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TeVsTdBound, TdNeverSlowerThanTe) {
+  Rng rng(100 + GetParam());
+  Timetable tt = test::random_timetable(rng, 9, 12, 6);
+  TdGraph td = TdGraph::build(tt);
+  TeGraph te = TeGraph::build(tt);
+  TimeQuery tdq(tt, td);
+  TeTimeQuery teq(te);
+  for (int trial = 0; trial < 4; ++trial) {
+    StationId src = static_cast<StationId>(rng.next_below(tt.num_stations()));
+    Time tau = static_cast<Time>(rng.next_below(tt.period()));
+    tdq.run(src, tau);
+    teq.run(src, tau);
+    for (StationId s = 0; s < tt.num_stations(); ++s) {
+      ASSERT_LE(tdq.arrival_at(s), teq.arrival_at(s))
+          << "src " << src << " tau " << tau << " dst " << s;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TeVsTdBound,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+TEST(TeQuery, AgreesOnGeneratedCity) {
+  Timetable tt = test::small_city(72);
+  TdGraph td = TdGraph::build(tt);
+  TeGraph te = TeGraph::build(tt);
+  TimeQuery tdq(tt, td);
+  TeTimeQuery teq(te);
+  Rng rng(73);
+  std::size_t exact = 0, total = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    StationId src = static_cast<StationId>(rng.next_below(tt.num_stations()));
+    Time tau = static_cast<Time>(rng.next_below(tt.period()));
+    tdq.run(src, tau);
+    teq.run(src, tau);
+    for (StationId s = 0; s < tt.num_stations(); ++s) {
+      ASSERT_LE(tdq.arrival_at(s), teq.arrival_at(s));
+      ++total;
+      if (tdq.arrival_at(s) == teq.arrival_at(s)) ++exact;
+    }
+  }
+  // Same-route switches are rare: the two models agree almost everywhere.
+  EXPECT_GT(exact * 10, total * 9);
+}
+
+TEST(TeQuery, TargetStopsEarly) {
+  Timetable tt = test::small_city(74);
+  TeGraph te = TeGraph::build(tt);
+  TeTimeQuery full(te), early(te);
+  full.run(0, 8 * 3600);
+  early.run(0, 8 * 3600, 5);
+  EXPECT_EQ(full.arrival_at(5), early.arrival_at(5));
+  EXPECT_LE(early.stats().settled, full.stats().settled);
+}
+
+TEST(TeQuery, SourceWithoutDepartures) {
+  TimetableBuilder b;
+  StationId a = b.add_station("A", 0);
+  StationId c = b.add_station("B", 0);
+  StationId sink = b.add_station("Sink", 0);
+  b.add_trip(std::vector<TimetableBuilder::StopTime>{{a, 0, 100}, {c, 200, 0}});
+  Timetable tt = b.finalize();
+  TeGraph te = TeGraph::build(tt);
+  TeTimeQuery q(te);
+  q.run(sink, 0);
+  EXPECT_EQ(q.arrival_at(a), kInfTime);
+  EXPECT_EQ(q.arrival_at(sink), 0u);  // already there
+}
+
+}  // namespace
+}  // namespace pconn

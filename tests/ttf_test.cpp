@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "graph/ttf.hpp"
+#include "util/rng.hpp"
+
+namespace pconn {
+namespace {
+
+constexpr Time kP = kDayseconds;
+
+TEST(Ttf, EmptyEvaluatesToInfinity) {
+  Ttf f = Ttf::build({}, kP);
+  EXPECT_TRUE(f.empty());
+  EXPECT_EQ(f.eval(123), kInfTime);
+  EXPECT_EQ(f.arrival(123), kInfTime);
+  EXPECT_EQ(f.min_duration(), kInfTime);
+}
+
+TEST(Ttf, SinglePointWaitsCyclically) {
+  Ttf f = Ttf::build({{1000, 600}}, kP);
+  EXPECT_EQ(f.eval(500), 500u + 600);   // wait 500, ride 600
+  EXPECT_EQ(f.eval(1000), 600u);        // departs immediately
+  EXPECT_EQ(f.eval(1001), kP - 1 + 600);  // wraps to tomorrow
+  EXPECT_EQ(f.arrival(kP + 500), kP + 1000 + 600);
+}
+
+TEST(Ttf, PicksNextDeparture) {
+  Ttf f = Ttf::build({{1000, 600}, {2000, 600}, {3000, 600}}, kP);
+  EXPECT_EQ(f.eval(999), 1u + 600);
+  EXPECT_EQ(f.eval(1001), 999u + 600);
+  EXPECT_EQ(f.eval(2500), 500u + 600);
+  EXPECT_EQ(f.eval(3001), kP - 3001 + 1000 + 600);
+}
+
+TEST(Ttf, DuplicateDeparturesKeepFastest) {
+  Ttf f = Ttf::build({{1000, 900}, {1000, 600}, {1000, 700}}, kP);
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f.eval(1000), 600u);
+}
+
+TEST(Ttf, LinearDominationPruned) {
+  // Waiting 100s for a 600s ride beats the 800s ride at t=1000.
+  Ttf f = Ttf::build({{1000, 800}, {1100, 600}}, kP);
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f.points()[0].dep, 1100u);
+  EXPECT_EQ(f.eval(1000), 100u + 600);
+}
+
+TEST(Ttf, CascadingDomination) {
+  // C dominates B, and after B is gone C also dominates A.
+  Ttf f = Ttf::build({{0, 1000}, {100, 950}, {200, 100}}, kP);
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f.points()[0].dep, 200u);
+}
+
+TEST(Ttf, WrapAroundDomination) {
+  // A late long ride is dominated by the early next-morning departure:
+  // dep 23:59 dur 10h vs dep 00:10(+1d) dur 30min.
+  Time late = 23 * 3600 + 59 * 60;
+  Ttf f = Ttf::build({{600, 1800}, {late, 36000}}, kP);
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f.points()[0].dep, 600u);
+  EXPECT_TRUE(f.is_fifo());
+}
+
+TEST(Ttf, NonDominatedPointsAllKept) {
+  Ttf f = Ttf::build({{1000, 600}, {2000, 600}, {3000, 600}}, kP);
+  EXPECT_EQ(f.size(), 3u);
+  EXPECT_TRUE(f.is_fifo());
+}
+
+TEST(Ttf, MinDuration) {
+  Ttf f = Ttf::build({{1000, 600}, {2000, 300}, {50000, 900}}, kP);
+  EXPECT_EQ(f.min_duration(), 300u);
+}
+
+TEST(Ttf, PointUsedMatchesEval) {
+  Ttf f = Ttf::build({{1000, 600}, {2000, 500}, {3000, 400}}, kP);
+  for (Time t : {0u, 999u, 1000u, 1500u, 2999u, 3000u, 4000u}) {
+    const TtfPoint& p = f.points()[f.point_used(t)];
+    EXPECT_EQ(f.eval(t), delta(t, p.dep, kP) + p.dur);
+  }
+}
+
+// Property sweep: pruned function must agree everywhere with the brute
+// force minimum over *all* original points, and must be FIFO.
+class TtfRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TtfRandomTest, EquivalentToBruteForceAndFifo) {
+  Rng rng(GetParam());
+  const Time period = 10000;
+  std::size_t n = 1 + rng.next_below(30);
+  std::vector<TtfPoint> pts;
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({static_cast<Time>(rng.next_below(period)),
+                   static_cast<Time>(1 + rng.next_below(3 * period))});
+  }
+  Ttf f = Ttf::build(pts, period);
+  ASSERT_FALSE(f.empty());
+  EXPECT_TRUE(f.is_fifo());
+  for (Time t = 0; t < period; t += 97) {
+    Time brute = kInfTime;
+    for (const TtfPoint& p : pts) {
+      brute = std::min(brute, delta(t, p.dep, period) + p.dur);
+    }
+    EXPECT_EQ(f.eval(t), brute) << "t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TtfRandomTest,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace pconn
