@@ -6,13 +6,25 @@
 //                  the calibrated bench size, NOT the paper's full size);
 //   PCONN_QUERIES  random queries per measurement (default 12; the paper
 //                  averaged 1000 on a dedicated machine).
+// Common CLI flags (parse_bench_args):
+//   --smoke        CI preset: caps scale and query count so the bench
+//                  finishes in seconds;
+//   --json[=FILE]  machine-readable JSON results to stdout (or FILE);
+//   --queue=NAME   queue policy (binary | quaternary | lazy | bucket) for
+//                  the benches that dispatch on it.
 #pragma once
 
+#include <algorithm>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <optional>
+#include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "algo/queue_policy.hpp"
 #include "gen/generator.hpp"
 #include "graph/td_graph.hpp"
 #include "timetable/timetable.hpp"
@@ -31,8 +43,83 @@ inline int env_int(const char* name, int def) {
   return v ? std::atoi(v) : def;
 }
 
-inline double scale() { return env_double("PCONN_SCALE", 1.0); }
-inline int num_queries() { return env_int("PCONN_QUERIES", 12); }
+struct BenchOptions {
+  bool json = false;
+  std::string json_path;  // empty = stdout
+  bool smoke = false;
+  QueueKind queue = QueueKind::kBinary;
+};
+
+inline BenchOptions& options() {
+  static BenchOptions opt;
+  return opt;
+}
+
+/// Parses the shared flags; unknown arguments abort with a usage message.
+inline void parse_bench_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      options().smoke = true;
+    } else if (arg == "--json") {
+      options().json = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      options().json = true;
+      options().json_path = arg.substr(7);
+    } else if (arg.rfind("--queue=", 0) == 0) {
+      auto kind = parse_queue_kind(arg.substr(8));
+      if (!kind) {
+        std::cerr << "unknown queue policy '" << arg.substr(8)
+                  << "' (binary | quaternary | lazy | bucket)\n";
+        std::exit(2);
+      }
+      options().queue = *kind;
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--smoke] [--json[=FILE]] [--queue=NAME]\n";
+      std::exit(2);
+    }
+  }
+}
+
+inline double scale() {
+  double s = env_double("PCONN_SCALE", 1.0);
+  return options().smoke ? std::min(s, 0.3) : s;
+}
+inline int num_queries() {
+  int q = std::max(1, env_int("PCONN_QUERIES", 12));
+  return options().smoke ? std::min(q, 3) : q;
+}
+
+/// Writes a finished JSON document to --json's destination.
+inline void emit_json(const std::string& doc) {
+  if (options().json_path.empty()) {
+    std::cout << doc << "\n";
+    return;
+  }
+  std::ofstream out(options().json_path);
+  out << doc << "\n";
+  if (!out) {
+    std::cerr << "failed to write " << options().json_path << "\n";
+    std::exit(1);
+  }
+  std::cerr << "wrote " << options().json_path << "\n";
+}
+
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
 
 struct Network {
   gen::Preset preset;

@@ -18,6 +18,7 @@
 namespace pconn::bench {
 namespace {
 
+template <typename Queue>
 void run_network(gen::Preset preset) {
   Network net = load_network(preset);
   print_network_header(net);
@@ -33,7 +34,7 @@ void run_network(gen::Preset preset) {
   for (unsigned p : {1u, 2u, 4u, 8u}) {
     ParallelSpcsOptions opt;
     opt.threads = p;
-    ParallelSpcs spcs(net.tt, net.graph, opt);
+    ParallelSpcsT<Queue> spcs(net.tt, net.graph, opt);
     QueryStats total;
     Timer timer;
     for (StationId s : sources) {
@@ -68,13 +69,25 @@ void run_network(gen::Preset preset) {
 }  // namespace
 }  // namespace pconn::bench
 
-int main() {
+int main(int argc, char** argv) {
+  using namespace pconn;
+  using namespace pconn::bench;
+  parse_bench_args(argc, argv);
   std::cout << "Table 1 reproduction: one-to-all profile queries, CS (p = 1, "
                "2, 4, 8) vs LC\n"
             << "(settled conns per query; LC row reports summed label sizes "
-               "as in the paper)\n";
-  for (pconn::gen::Preset p : pconn::gen::kAllPresets) {
-    pconn::bench::run_network(p);
+               "as in the paper; CS queue policy: "
+            << queue_kind_name(options().queue) << ")\n";
+  const auto presets =
+      options().smoke
+          ? std::vector<gen::Preset>{gen::Preset::kOahuLike,
+                                     gen::Preset::kGermanyLike}
+          : std::vector<gen::Preset>(std::begin(gen::kAllPresets),
+                                     std::end(gen::kAllPresets));
+  for (gen::Preset p : presets) {
+    with_spcs_queue(options().queue, [&](auto tag) {
+      run_network<typename decltype(tag)::type>(p);
+    });
   }
   return 0;
 }

@@ -12,6 +12,8 @@ struct QueryStats {
   std::uint64_t settled = 0;       // items taken from the priority queue
   std::uint64_t pushed = 0;        // queue insertions
   std::uint64_t decreased = 0;     // decrease-key operations
+  std::uint64_t stale_popped = 0;  // outdated pops dropped by lazy-deletion
+                                   // queue policies (0 for addressable ones)
   std::uint64_t relaxed = 0;       // edge relaxations attempted
   std::uint64_t self_pruned = 0;   // pops discarded by self-pruning
   std::uint64_t relax_pruned = 0;  // pushes skipped by relax-time pruning
@@ -20,12 +22,15 @@ struct QueryStats {
   std::uint64_t label_points = 0;  // LC only: sum of label sizes at pops
   double time_ms = 0.0;
 
-  std::uint64_t queue_ops() const { return pushed + decreased + settled; }
+  std::uint64_t queue_ops() const {
+    return pushed + decreased + settled + stale_popped;
+  }
 
   QueryStats& operator+=(const QueryStats& o) {
     settled += o.settled;
     pushed += o.pushed;
     decreased += o.decreased;
+    stale_popped += o.stale_popped;
     relaxed += o.relaxed;
     self_pruned += o.self_pruned;
     relax_pruned += o.relax_pruned;

@@ -14,16 +14,21 @@ Profile merge_profiles(const Profile& a, const Profile& b, Time period) {
   return reduce_profile(u, period);
 }
 
-LcProfileQuery::LcProfileQuery(const Timetable& tt, const TdGraph& g)
+template <typename Queue>
+LcProfileQueryT<Queue>::LcProfileQueryT(const Timetable& tt, const TdGraph& g)
     : tt_(tt), g_(g) {
   heap_.reset_capacity(g.num_nodes());
   labels_.resize(g.num_nodes());
   dirty_.assign(g.num_nodes(), 0);
 }
 
-void LcProfileQuery::run(StationId s) {
+template <typename Queue>
+void LcProfileQueryT<Queue>::run(StationId s) {
   stats_ = QueryStats{};
   heap_.clear();
+  if constexpr (!Queue::kAddressable) {
+    qkey_.ensure_and_clear(g_.num_nodes(), kInfTime);
+  }
   for (NodeId v : touched_) {
     labels_[v].clear();
     dirty_[v] = 0;
@@ -33,6 +38,31 @@ void LcProfileQuery::run(StationId s) {
     if (!dirty_[v]) {
       dirty_[v] = 1;
       touched_.push_back(v);
+    }
+  };
+
+  // Queue insertion point shared by both policy flavours. For the lazy
+  // flavour, a node's live entry is the one whose key matches qkey_;
+  // superseded entries stay in the heap and are dropped at pop.
+  auto enqueue = [&](NodeId v, Time key) {
+    if constexpr (Queue::kAddressable) {
+      switch (heap_.push_or_decrease(v, key)) {
+        case QueuePush::kPushed:
+          stats_.pushed++;
+          break;
+        case QueuePush::kDecreased:
+          stats_.decreased++;
+          break;
+        case QueuePush::kUnchanged:
+          break;
+      }
+    } else {
+      const bool queued = qkey_.touched(v) && qkey_.get(v) != kInfTime;
+      if (!queued || key < qkey_.get(v)) {
+        heap_.push(v, key);
+        qkey_.set(v, key);
+        stats_.pushed++;
+      }
     }
   };
 
@@ -49,12 +79,18 @@ void LcProfileQuery::run(StationId s) {
     if (init.empty()) return;
     labels_[src] = reduce_profile(init, tt_.period());
     touch(src);
-    heap_.push(src, labels_[src].front().arr);
-    stats_.pushed++;
+    enqueue(src, labels_[src].front().arr);
   }
 
   while (!heap_.empty()) {
     auto [v, key] = heap_.pop();
+    if constexpr (!Queue::kAddressable) {
+      if (!qkey_.touched(v) || qkey_.get(v) != key) {
+        stats_.stale_popped++;
+        continue;
+      }
+      qkey_.set(v, kInfTime);  // claimed: the node is no longer queued
+    }
     stats_.settled++;
     stats_.label_points += labels_[v].size();
 
@@ -79,21 +115,20 @@ void LcProfileQuery::run(StationId s) {
       if (merged == labels_[e.head]) continue;
       labels_[e.head] = std::move(merged);
       touch(e.head);
-      if (heap_.contains(e.head)) {
-        if (cand_min < heap_.key_of(e.head)) {
-          heap_.decrease_key(e.head, cand_min);
-          stats_.decreased++;
-        }
-      } else {
-        heap_.push(e.head, cand_min);
-        stats_.pushed++;
-      }
+      enqueue(e.head, cand_min);
     }
   }
 }
 
-const Profile& LcProfileQuery::profile(StationId t) const {
+template <typename Queue>
+const Profile& LcProfileQueryT<Queue>::profile(StationId t) const {
   return labels_[g_.station_node(t)];
 }
+
+// The shipped heap policies; the bucket policy is monotone-only and cannot
+// run a label-correcting search (see the static_assert in the header).
+template class LcProfileQueryT<TimeBinaryQueue>;
+template class LcProfileQueryT<TimeQuaternaryQueue>;
+template class LcProfileQueryT<TimeLazyQueue>;
 
 }  // namespace pconn

@@ -14,19 +14,30 @@
 #include <vector>
 
 #include "algo/counters.hpp"
+#include "algo/queue_policy.hpp"
 #include "graph/profile.hpp"
 #include "graph/td_graph.hpp"
 #include "timetable/timetable.hpp"
-#include "util/heap.hpp"
+#include "util/epoch_array.hpp"
 
 namespace pconn {
 
 /// Pointwise minimum of two reduced profiles, as a reduced profile.
 Profile merge_profiles(const Profile& a, const Profile& b, Time period);
 
-class LcProfileQuery {
+/// Template over the scalar-time queue policy. Label-correcting keys are
+/// NOT monotone (a relaxed profile point can yield an arrival below the
+/// key just popped), so monotone bucket queues are rejected at compile
+/// time; heaps — addressable or lazy — are fine. Definitions in
+/// lc_profile.cpp instantiate the shipped heap policies.
+template <typename Queue = TimeBinaryQueue>
+class LcProfileQueryT {
+  static_assert(!Queue::kMonotone,
+                "label-correcting search pushes keys below the last pop; "
+                "monotone queue policies (bucket) cannot run it");
+
  public:
-  LcProfileQuery(const Timetable& tt, const TdGraph& g);
+  LcProfileQueryT(const Timetable& tt, const TdGraph& g);
 
   /// One-to-all profile search from s. Results valid until the next run.
   void run(StationId s);
@@ -39,11 +50,16 @@ class LcProfileQuery {
  private:
   const Timetable& tt_;
   const TdGraph& g_;
-  BinaryHeap<Time> heap_;
+  Queue heap_;
+  EpochArray<Time> qkey_;  // non-addressable only: the node's live queued
+                           // key (kInfTime = not queued); older entries in
+                           // the heap are stale
   std::vector<Profile> labels_;      // per node
   std::vector<NodeId> touched_;      // nodes whose label must be cleared
   std::vector<std::uint8_t> dirty_;  // membership flag for touched_
   QueryStats stats_;
 };
+
+using LcProfileQuery = LcProfileQueryT<>;
 
 }  // namespace pconn

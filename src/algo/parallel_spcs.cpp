@@ -4,20 +4,24 @@
 
 namespace pconn {
 
-ParallelSpcs::ParallelSpcs(const Timetable& tt, const TdGraph& g,
-                           ParallelSpcsOptions opt)
+template <typename Queue>
+ParallelSpcsT<Queue>::ParallelSpcsT(const Timetable& tt, const TdGraph& g,
+                                    ParallelSpcsOptions opt)
     : tt_(tt), g_(g), opt_(opt), pool_(opt.threads), states_(opt.threads) {}
 
-ParallelSpcs::~ParallelSpcs() = default;
+template <typename Queue>
+ParallelSpcsT<Queue>::~ParallelSpcsT() = default;
 
-void ParallelSpcs::run_partitioned(StationId s, const RangeFn& fn) {
+template <typename Queue>
+void ParallelSpcsT<Queue>::run_partitioned(StationId s, const RangeFn& fn) {
   auto conns = tt_.outgoing(s);
   boundaries_ =
       partition_connections(conns, opt_.threads, opt_.partition, tt_.period());
   pool_.run([&](std::size_t t) { fn(t, boundaries_[t], boundaries_[t + 1]); });
 }
 
-Profile ParallelSpcs::assemble_profile(StationId s, StationId t) const {
+template <typename Queue>
+Profile ParallelSpcsT<Queue>::assemble_profile(StationId s, StationId t) const {
   auto conns = tt_.outgoing(s);
   const NodeId tn = g_.station_node(t);
   Profile raw;
@@ -31,7 +35,8 @@ Profile ParallelSpcs::assemble_profile(StationId s, StationId t) const {
   return reduce_profile(raw, tt_.period());
 }
 
-OneToAllResult ParallelSpcs::one_to_all(StationId s) {
+template <typename Queue>
+OneToAllResult ParallelSpcsT<Queue>::one_to_all(StationId s) {
   OneToAllResult res;
   Timer total;
   std::vector<double> thread_ms(opt_.threads, 0.0);
@@ -62,7 +67,9 @@ OneToAllResult ParallelSpcs::one_to_all(StationId s) {
   return res;
 }
 
-StationQueryResult ParallelSpcs::station_to_station(StationId s, StationId t) {
+template <typename Queue>
+StationQueryResult ParallelSpcsT<Queue>::station_to_station(StationId s,
+                                                            StationId t) {
   StationQueryResult res;
   Timer total;
 
@@ -75,9 +82,16 @@ StationQueryResult ParallelSpcs::station_to_station(StationId s, StationId t) {
   });
 
   res.profile = assemble_profile(s, t);
-  for (const SpcsThreadState& st : states_) res.stats += st.stats();
+  for (const auto& st : states_) res.stats += st.stats();
   res.stats.time_ms = total.elapsed_ms();
   return res;
 }
+
+// The four shipped queue policies (queue_policy.hpp). Other policies would
+// need their own explicit instantiation here.
+template class ParallelSpcsT<SpcsBinaryQueue>;
+template class ParallelSpcsT<SpcsQuaternaryQueue>;
+template class ParallelSpcsT<SpcsLazyQueue>;
+template class ParallelSpcsT<SpcsBucketQueue>;
 
 }  // namespace pconn

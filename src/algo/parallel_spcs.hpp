@@ -45,11 +45,16 @@ struct StationQueryResult {
   QueryStats stats;
 };
 
-class ParallelSpcs {
+/// Template over the queue policy of the per-thread SPCS states
+/// (queue_policy.hpp). Definitions live in parallel_spcs.cpp, which
+/// explicitly instantiates the four shipped policies; `ParallelSpcs` is
+/// the paper's binary-heap configuration.
+template <typename Queue = SpcsBinaryQueue>
+class ParallelSpcsT {
  public:
-  ParallelSpcs(const Timetable& tt, const TdGraph& g,
-               ParallelSpcsOptions opt);
-  ~ParallelSpcs();
+  ParallelSpcsT(const Timetable& tt, const TdGraph& g,
+                ParallelSpcsOptions opt);
+  ~ParallelSpcsT();
 
   /// One-to-all profile query from S, including merge and reduction.
   OneToAllResult one_to_all(StationId s);
@@ -69,7 +74,7 @@ class ParallelSpcs {
       std::function<void(std::size_t thread, std::uint32_t lo, std::uint32_t hi)>;
   void run_partitioned(StationId s, const RangeFn& fn);
 
-  SpcsThreadState& thread_state(std::size_t i) { return states_[i]; }
+  SpcsThreadStateT<Queue>& thread_state(std::size_t i) { return states_[i]; }
   const std::vector<std::uint32_t>& last_boundaries() const {
     return boundaries_;
   }
@@ -84,8 +89,10 @@ class ParallelSpcs {
   const TdGraph& g_;
   ParallelSpcsOptions opt_;
   ThreadPool pool_;
-  std::vector<SpcsThreadState> states_;
+  std::vector<SpcsThreadStateT<Queue>> states_;
   std::vector<std::uint32_t> boundaries_;
 };
+
+using ParallelSpcs = ParallelSpcsT<>;
 
 }  // namespace pconn

@@ -1,0 +1,89 @@
+// The pluggable monotone priority-queue policies of the query engines.
+//
+// Every Dijkstra-style engine (SPCS, the time queries, LC) is a class
+// template over a queue policy; this header names the concrete policies,
+// gives them stable CLI names (`--queue` in the table benches), and
+// provides the runtime-to-compile-time dispatch the benches use. A policy
+// must provide:
+//   reset_capacity / capacity / size / empty / push / pop / top_key /
+//   top_id / clear,
+// plus the trait constants
+//   kAddressable  — contains/key_of/decrease_key/erase/push_or_decrease
+//                   exist and pops are never stale;
+//   kMonotone     — pushes below the last popped key are forbidden
+//                   (bucket queues; unusable for label-correcting search).
+// Non-addressable policies rely on the engines' settled/label arrays to
+// recognise and drop stale pops (counted in QueryStats::stale_popped).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <type_traits>
+
+#include "timetable/types.hpp"
+#include "util/bucket_queue.hpp"
+#include "util/heap.hpp"
+#include "util/lazy_heap.hpp"
+
+namespace pconn {
+
+/// SPCS queue keys are composite: (arrival << kSpcsKeyShift) | rev-conn
+/// index (see SpcsThreadStateT). The bucket policy buckets on the arrival
+/// part only, so tie-breaking stays inside one bucket.
+inline constexpr unsigned kSpcsKeyShift = 20;
+
+// --- SPCS policies (64-bit composite keys) -------------------------------
+using SpcsBinaryQueue = DAryHeap<std::uint64_t, 2>;      // the paper's queue
+using SpcsQuaternaryQueue = DAryHeap<std::uint64_t, 4>;  // cache-width arity
+using SpcsLazyQueue = LazyDAryHeap<std::uint64_t, 4>;
+using SpcsBucketQueue = BucketQueue<std::uint64_t, kSpcsKeyShift, 12>;
+
+// --- scalar-time policies (TimeQuery / TeTimeQuery / LC) -----------------
+using TimeBinaryQueue = DAryHeap<Time, 2>;
+using TimeQuaternaryQueue = DAryHeap<Time, 4>;
+using TimeLazyQueue = LazyDAryHeap<Time, 4>;
+using TimeBucketQueue = BucketQueue<Time, 0, 12>;  // one bucket per second
+
+/// Runtime policy selector (bench `--queue` flag, differential tests).
+enum class QueueKind { kBinary, kQuaternary, kLazy, kBucket };
+
+inline constexpr QueueKind kAllQueueKinds[] = {
+    QueueKind::kBinary, QueueKind::kQuaternary, QueueKind::kLazy,
+    QueueKind::kBucket};
+
+inline const char* queue_kind_name(QueueKind k) {
+  switch (k) {
+    case QueueKind::kBinary: return "binary";
+    case QueueKind::kQuaternary: return "quaternary";
+    case QueueKind::kLazy: return "lazy";
+    case QueueKind::kBucket: return "bucket";
+  }
+  return "?";
+}
+
+inline std::optional<QueueKind> parse_queue_kind(std::string_view s) {
+  for (QueueKind k : kAllQueueKinds) {
+    if (s == queue_kind_name(k)) return k;
+  }
+  return std::nullopt;
+}
+
+/// Calls `fn(std::type_identity<Policy>{})` with the SPCS policy selected
+/// by `k`; returns whatever fn returns (all branches must agree).
+template <typename Fn>
+decltype(auto) with_spcs_queue(QueueKind k, Fn&& fn) {
+  switch (k) {
+    case QueueKind::kQuaternary:
+      return fn(std::type_identity<SpcsQuaternaryQueue>{});
+    case QueueKind::kLazy:
+      return fn(std::type_identity<SpcsLazyQueue>{});
+    case QueueKind::kBucket:
+      return fn(std::type_identity<SpcsBucketQueue>{});
+    case QueueKind::kBinary:
+    default:
+      return fn(std::type_identity<SpcsBinaryQueue>{});
+  }
+}
+
+}  // namespace pconn

@@ -13,6 +13,15 @@
 // later-departing connection j > i already settled v, since j then arrives
 // no later while leaving later. The stopping criterion (Theorem 2) and the
 // distance-table rules (Theorems 3/4) plug in through a SettleHook.
+//
+// The priority queue is a compile-time policy (queue_policy.hpp): the
+// paper's binary heap, a 4-ary heap, a lazy-deletion heap, or a two-level
+// monotone bucket queue. Non-addressable policies push one entry per
+// improvement; the settled matrix arr_ already identifies outdated entries
+// at pop time (arr_.touched), so stale pops are dropped without any
+// per-item bookkeeping. All policies settle the same items with the same
+// keys and produce identical profiles (tests/queue_policy_test.cpp proves
+// this differentially); only pushed/decreased/stale_popped counts differ.
 #pragma once
 
 #include <cassert>
@@ -22,10 +31,10 @@
 #include <vector>
 
 #include "algo/counters.hpp"
+#include "algo/queue_policy.hpp"
 #include "graph/td_graph.hpp"
 #include "timetable/timetable.hpp"
 #include "util/epoch_array.hpp"
-#include "util/heap.hpp"
 
 namespace pconn {
 
@@ -65,14 +74,15 @@ struct NoHook {
   }
 };
 
-class SpcsThreadState {
+template <typename Queue = SpcsBinaryQueue>
+class SpcsThreadStateT {
  public:
   /// Queue keys are composite: (arrival << kKeyShift) | (W - 1 - li).
   /// Arrival-time ties are broken towards the HIGHER connection index —
   /// under the FIFO property a later connection can only arrive *equally*
   /// early, so ties are precisely where self-pruning fires, and popping the
   /// later connection first lets it prune all earlier ones at that node.
-  static constexpr unsigned kKeyShift = 20;
+  static constexpr unsigned kKeyShift = kSpcsKeyShift;
   /// Arrival label arr(v, i) for the local connection index i in [0, width):
   /// the settled arrival time, or kInfTime when unreached or pruned.
   Time arrival(NodeId v, std::uint32_t local) const {
@@ -101,6 +111,11 @@ class SpcsThreadState {
     if constexpr (Hook::kWantsAncestors) {
       anc_.ensure_and_clear(slots, 0);
       noanc_.assign(W, 0);
+      // Without an addressable queue, ancestor accounting needs to know
+      // whether a push improves the item's best queued key; track it here.
+      if constexpr (!Queue::kAddressable) {
+        best_.ensure_and_clear(slots, kInfKey);
+      }
     }
     done_.assign(W, 0);
 
@@ -126,6 +141,14 @@ class SpcsThreadState {
 
     while (!heap_.empty()) {
       auto [id, packed] = heap_.pop();
+      if constexpr (!Queue::kAddressable) {
+        // Lazy deletion: (v, li) settles on its first (minimum-key) pop;
+        // later entries for the same id are outdated duplicates.
+        if (arr_.touched(id)) {
+          stats_.stale_popped++;
+          continue;
+        }
+      }
       const Time key = static_cast<Time>(packed >> kKeyShift);
       const NodeId v = static_cast<NodeId>(id / W);
       const std::uint32_t li = static_cast<std::uint32_t>(id % W);
@@ -194,18 +217,32 @@ class SpcsThreadState {
         }
         stats_.relaxed++;
         const std::uint64_t new_key = make_key(t, li);
-        bool improved;
-        const bool contained = heap_.contains(wid);
-        if (!contained) {
+        bool improved = true;
+        bool contained = false;
+        if constexpr (Queue::kAddressable) {
+          switch (heap_.push_or_decrease(wid, new_key)) {
+            case QueuePush::kPushed:
+              stats_.pushed++;
+              break;
+            case QueuePush::kDecreased:
+              stats_.decreased++;
+              contained = true;
+              break;
+            case QueuePush::kUnchanged:
+              improved = false;
+              contained = true;
+              break;
+          }
+        } else {
           heap_.push(wid, new_key);
           stats_.pushed++;
-          improved = true;
-        } else if (new_key < heap_.key_of(wid)) {
-          heap_.decrease_key(wid, new_key);
-          stats_.decreased++;
-          improved = true;
-        } else {
-          improved = false;
+          if constexpr (Hook::kWantsAncestors) {
+            // Mirror the addressable contained/improved classification so
+            // the gamma accounting transitions identically per policy.
+            contained = best_.touched(wid);
+            improved = !contained || new_key < best_.get(wid);
+            if (improved) best_.set(wid, new_key);
+          }
         }
         if constexpr (Hook::kWantsAncestors) {
           if (improved) {
@@ -232,17 +269,25 @@ class SpcsThreadState {
   }
 
  private:
-  // Heap ids address the (node, local connection) lattice: id = v * W + li.
+  static constexpr std::uint64_t kInfKey =
+      std::numeric_limits<std::uint64_t>::max();
+
+  // Queue ids address the (node, local connection) lattice: id = v * W + li.
   // Keys are the composite (arrival, reversed connection index) described
   // at kKeyShift.
-  DAryHeap<std::uint64_t> heap_;
+  Queue heap_;
   EpochArray<Time> arr_;
   EpochArray<std::int32_t> maxconn_;
   EpochArray<std::uint8_t> anc_;
+  EpochArray<std::uint64_t> best_;  // best queued key; non-addressable
+                                    // queues with ancestor tracking only
   std::vector<std::uint32_t> noanc_;
   std::vector<std::uint8_t> done_;
   std::uint32_t width_ = 0;
   QueryStats stats_;
 };
+
+/// The default engine runs the paper's configuration: a binary heap.
+using SpcsThreadState = SpcsThreadStateT<>;
 
 }  // namespace pconn

@@ -2,13 +2,16 @@
 
 namespace pconn {
 
-TeTimeQuery::TeTimeQuery(const TeGraph& g) : g_(g) {
+template <typename Queue>
+TeTimeQueryT<Queue>::TeTimeQueryT(const TeGraph& g) : g_(g) {
   heap_.reset_capacity(g.num_nodes());
   dist_.assign(g.num_nodes(), kInfTime);
   // Station count is not stored in TeGraph; size lazily on first run.
 }
 
-void TeTimeQuery::run(StationId source, Time departure, StationId target) {
+template <typename Queue>
+void TeTimeQueryT<Queue>::run(StationId source, Time departure,
+                              StationId target) {
   stats_ = QueryStats{};
   heap_.clear();
   dist_.clear();
@@ -36,6 +39,14 @@ void TeTimeQuery::run(StationId source, Time departure, StationId target) {
   while (!heap_.empty()) {
     if (target != kInvalidStation && heap_.top_key() >= target_best) break;
     auto [v, key] = heap_.pop();
+    if constexpr (!Queue::kAddressable) {
+      // Lazy deletion: an entry is outdated once a shorter distance for its
+      // node has been pushed (dist_ only decreases before the node pops).
+      if (key > dist_.get(v)) {
+        stats_.stale_popped++;
+        continue;
+      }
+    }
     stats_.settled++;
     const TeGraph::Node& node = g_.node(v);
     if (node.kind == TeGraph::NodeKind::kArrival) {
@@ -49,9 +60,12 @@ void TeTimeQuery::run(StationId source, Time departure, StationId target) {
       Time t = key + e.weight;
       stats_.relaxed++;
       if (t < dist_.get(e.head)) {
-        if (heap_.contains(e.head)) {
-          heap_.decrease_key(e.head, t);
-          stats_.decreased++;
+        if constexpr (Queue::kAddressable) {
+          if (heap_.push_or_decrease(e.head, t) == QueuePush::kPushed) {
+            stats_.pushed++;
+          } else {
+            stats_.decreased++;
+          }
         } else {
           heap_.push(e.head, t);
           stats_.pushed++;
@@ -63,9 +77,16 @@ void TeTimeQuery::run(StationId source, Time departure, StationId target) {
   heap_.clear();
 }
 
-Time TeTimeQuery::arrival_at(StationId s) const {
+template <typename Queue>
+Time TeTimeQueryT<Queue>::arrival_at(StationId s) const {
   if (s == source_) return departure_;
   return s < best_arrival_.size() ? best_arrival_.get(s) : kInfTime;
 }
+
+// The four shipped queue policies (queue_policy.hpp).
+template class TeTimeQueryT<TimeBinaryQueue>;
+template class TeTimeQueryT<TimeQuaternaryQueue>;
+template class TeTimeQueryT<TimeLazyQueue>;
+template class TeTimeQueryT<TimeBucketQueue>;
 
 }  // namespace pconn

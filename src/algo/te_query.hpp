@@ -5,16 +5,19 @@
 #pragma once
 
 #include "algo/counters.hpp"
+#include "algo/queue_policy.hpp"
 #include "graph/te_graph.hpp"
 #include "timetable/timetable.hpp"
 #include "util/epoch_array.hpp"
-#include "util/heap.hpp"
 
 namespace pconn {
 
-class TeTimeQuery {
+/// Template over the scalar-time queue policy (queue_policy.hpp);
+/// definitions in te_query.cpp instantiate the four shipped policies.
+template <typename Queue = TimeBinaryQueue>
+class TeTimeQueryT {
  public:
-  explicit TeTimeQuery(const TeGraph& g);
+  explicit TeTimeQueryT(const TeGraph& g);
 
   /// One-to-all earliest arrivals from `source` at absolute time
   /// `departure`. If `target` is given, stops as soon as the target's
@@ -31,12 +34,14 @@ class TeTimeQuery {
 
  private:
   const TeGraph& g_;
-  BinaryHeap<Time> heap_;
+  Queue heap_;
   EpochArray<Time> dist_;
   EpochArray<Time> best_arrival_;  // per station, over settled arrival events
   StationId source_ = kInvalidStation;
   Time departure_ = 0;
   QueryStats stats_;
 };
+
+using TeTimeQuery = TeTimeQueryT<>;
 
 }  // namespace pconn

@@ -2,14 +2,18 @@
 
 namespace pconn {
 
-TimeQuery::TimeQuery(const Timetable& tt, const TdGraph& g) : tt_(tt), g_(g) {
+template <typename Queue>
+TimeQueryT<Queue>::TimeQueryT(const Timetable& tt, const TdGraph& g)
+    : tt_(tt), g_(g) {
   heap_.reset_capacity(g.num_nodes());
   dist_.assign(g.num_nodes(), kInfTime);
   parent_.assign(g.num_nodes(), kInvalidNode);
   settled_.assign(g.num_nodes(), 0);
 }
 
-void TimeQuery::run(StationId source, Time departure, StationId target) {
+template <typename Queue>
+void TimeQueryT<Queue>::run(StationId source, Time departure,
+                            StationId target) {
   stats_ = QueryStats{};
   heap_.clear();
   dist_.clear();
@@ -23,6 +27,14 @@ void TimeQuery::run(StationId source, Time departure, StationId target) {
 
   while (!heap_.empty()) {
     auto [v, key] = heap_.pop();
+    if constexpr (!Queue::kAddressable) {
+      // Lazy deletion: an entry is outdated once a shorter distance for its
+      // node has been pushed (dist_ only decreases before the node pops).
+      if (key > dist_.get(v)) {
+        stats_.stale_popped++;
+        continue;
+      }
+    }
     stats_.settled++;
     settled_.set(v, 1);
     if (target != kInvalidStation && v == g_.station_node(target)) break;
@@ -33,9 +45,12 @@ void TimeQuery::run(StationId source, Time departure, StationId target) {
       stats_.relaxed++;
       if (settled_.get(e.head)) continue;
       if (t < dist_.get(e.head)) {
-        if (heap_.contains(e.head)) {
-          heap_.decrease_key(e.head, t);
-          stats_.decreased++;
+        if constexpr (Queue::kAddressable) {
+          if (heap_.push_or_decrease(e.head, t) == QueuePush::kPushed) {
+            stats_.pushed++;
+          } else {
+            stats_.decreased++;
+          }
         } else {
           heap_.push(e.head, t);
           stats_.pushed++;
@@ -48,12 +63,25 @@ void TimeQuery::run(StationId source, Time departure, StationId target) {
   heap_.clear();
 }
 
-Time TimeQuery::arrival_at(StationId s) const {
+template <typename Queue>
+Time TimeQueryT<Queue>::arrival_at(StationId s) const {
   return dist_.get(g_.station_node(s));
 }
 
-Time TimeQuery::arrival_at_node(NodeId v) const { return dist_.get(v); }
+template <typename Queue>
+Time TimeQueryT<Queue>::arrival_at_node(NodeId v) const {
+  return dist_.get(v);
+}
 
-NodeId TimeQuery::parent(NodeId v) const { return parent_.get(v); }
+template <typename Queue>
+NodeId TimeQueryT<Queue>::parent(NodeId v) const {
+  return parent_.get(v);
+}
+
+// The four shipped queue policies (queue_policy.hpp).
+template class TimeQueryT<TimeBinaryQueue>;
+template class TimeQueryT<TimeQuaternaryQueue>;
+template class TimeQueryT<TimeLazyQueue>;
+template class TimeQueryT<TimeBucketQueue>;
 
 }  // namespace pconn

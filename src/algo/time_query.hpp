@@ -14,16 +14,19 @@
 #include <vector>
 
 #include "algo/counters.hpp"
+#include "algo/queue_policy.hpp"
 #include "graph/td_graph.hpp"
 #include "timetable/timetable.hpp"
 #include "util/epoch_array.hpp"
-#include "util/heap.hpp"
 
 namespace pconn {
 
-class TimeQuery {
+/// Template over the scalar-time queue policy (queue_policy.hpp);
+/// definitions in time_query.cpp instantiate the four shipped policies.
+template <typename Queue = TimeBinaryQueue>
+class TimeQueryT {
  public:
-  TimeQuery(const Timetable& tt, const TdGraph& g);
+  TimeQueryT(const Timetable& tt, const TdGraph& g);
 
   /// One-to-all run. Results stay valid until the next run.
   /// If `target` is given, stops once the target's station node is settled.
@@ -45,11 +48,13 @@ class TimeQuery {
  private:
   const Timetable& tt_;
   const TdGraph& g_;
-  BinaryHeap<Time> heap_;
+  Queue heap_;
   EpochArray<Time> dist_;
   EpochArray<NodeId> parent_;
   EpochArray<std::uint8_t> settled_;
   QueryStats stats_;
 };
+
+using TimeQuery = TimeQueryT<>;
 
 }  // namespace pconn

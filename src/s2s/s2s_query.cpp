@@ -95,9 +95,10 @@ struct TargetHook {
 
 }  // namespace
 
-S2sQueryEngine::S2sQueryEngine(const Timetable& tt, const TdGraph& g,
-                               const StationGraph& sg, const DistanceTable* dt,
-                               S2sOptions opt)
+template <typename Queue>
+S2sQueryEngineT<Queue>::S2sQueryEngineT(const Timetable& tt, const TdGraph& g,
+                                        const StationGraph& sg,
+                                        const DistanceTable* dt, S2sOptions opt)
     : tt_(tt),
       g_(g),
       sg_(sg),
@@ -110,7 +111,8 @@ S2sQueryEngine::S2sQueryEngine(const Timetable& tt, const TdGraph& g,
                                 .stopping_criterion = opt.stopping_criterion,
                                 .prune_on_relax = opt.prune_on_relax}) {}
 
-StationQueryResult S2sQueryEngine::query(StationId s, StationId t) {
+template <typename Queue>
+StationQueryResult S2sQueryEngineT<Queue>::query(StationId s, StationId t) {
   const bool have_table = dt_ != nullptr && opt_.table_pruning;
 
   // Both endpoints in S_trans: the table already holds the answer.
@@ -194,5 +196,11 @@ StationQueryResult S2sQueryEngine::query(StationId s, StationId t) {
   res.stats.time_ms = timer.elapsed_ms();
   return res;
 }
+
+// The four shipped queue policies (queue_policy.hpp).
+template class S2sQueryEngineT<SpcsBinaryQueue>;
+template class S2sQueryEngineT<SpcsQuaternaryQueue>;
+template class S2sQueryEngineT<SpcsLazyQueue>;
+template class S2sQueryEngineT<SpcsBucketQueue>;
 
 }  // namespace pconn

@@ -25,12 +25,16 @@ struct S2sOptions {
   bool prune_on_relax = false;  // see SpcsOptions::prune_on_relax
 };
 
-class S2sQueryEngine {
+/// Template over the SPCS queue policy (queue_policy.hpp); definitions in
+/// s2s_query.cpp instantiate the four shipped policies. `S2sQueryEngine`
+/// is the paper's binary-heap configuration.
+template <typename Queue = SpcsBinaryQueue>
+class S2sQueryEngineT {
  public:
   /// `dt` may be nullptr (no distance-table acceleration).
-  S2sQueryEngine(const Timetable& tt, const TdGraph& g,
-                 const StationGraph& sg, const DistanceTable* dt,
-                 S2sOptions opt);
+  S2sQueryEngineT(const Timetable& tt, const TdGraph& g,
+                  const StationGraph& sg, const DistanceTable* dt,
+                  S2sOptions opt);
 
   /// Reduced profile dist(S, T, ·) over the whole period.
   StationQueryResult query(StationId s, StationId t);
@@ -45,8 +49,10 @@ class S2sQueryEngine {
   const StationGraph& sg_;
   const DistanceTable* dt_;
   S2sOptions opt_;
-  ParallelSpcs spcs_;
+  ParallelSpcsT<Queue> spcs_;
   Kind last_kind_ = Kind::kPlain;
 };
+
+using S2sQueryEngine = S2sQueryEngineT<>;
 
 }  // namespace pconn

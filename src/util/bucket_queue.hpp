@@ -1,0 +1,184 @@
+// Two-level monotone bucket queue (Dial's structure with an overflow
+// level), for Dijkstra-style searches whose pop keys never decrease.
+//
+// Keys are split at KeyShift: the high bits (the "radix" — an arrival time
+// in seconds for every user in this codebase) select a bucket, the low bits
+// only break ties inside one bucket. Level one is a circular window of
+// 2^BucketBits buckets starting at `base_`; entries whose radix falls past
+// the window go to the overflow level, a flat vector that is redistributed
+// into a fresh window whenever the current one drains. Since pop keys are
+// monotone, a bucket can be filled only at or after the scan cursor, so
+// every bucket is touched O(1) times and a full query costs
+// O(pushes + windows * 2^BucketBits).
+//
+// Within a bucket, entries are sorted by the full key on first pop, so the
+// composite-key tie-breaking (SPCS pops the later connection first) is
+// preserved exactly; pushes into the bucket currently being drained keep
+// the sort by positioned insertion — in SPCS such a push carries the same
+// low bits as the entry just popped (relaxation preserves the connection
+// index), so the global pop order stays non-decreasing in the full key.
+//
+// Like LazyDAryHeap this queue is not addressable: duplicates per id are
+// allowed and the caller drops stale pops (QueryStats::stale_popped).
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace pconn {
+
+template <typename Key, unsigned KeyShift = 0, unsigned BucketBits = 12>
+class BucketQueue {
+  static_assert(BucketBits >= 1 && BucketBits < 32, "unreasonable window");
+
+ public:
+  using Id = std::uint32_t;
+  /// Queue-policy traits (see docs/queues.md).
+  static constexpr bool kAddressable = false;
+  /// Pushes below the last popped key's bucket are undefined behaviour
+  /// (asserted in debug builds) — monotone searches only.
+  static constexpr bool kMonotone = true;
+  static constexpr std::size_t kNumBuckets = std::size_t{1} << BucketBits;
+
+  BucketQueue() { buckets_.resize(kNumBuckets); }
+  explicit BucketQueue(std::size_t capacity) : BucketQueue() {
+    reset_capacity(capacity);
+  }
+
+  /// Id-space bookkeeping only (no per-id state). Clears the queue.
+  void reset_capacity(std::size_t capacity) {
+    capacity_ = capacity;
+    clear();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void push(Id id, Key key) {
+    assert(id < capacity_);
+    const std::uint64_t r = radix(key);
+    ++size_;
+    if (!anchored_) {
+      // Before the first pop (and after a drain) pushes arrive in any
+      // order; they collect in the overflow level and the next pop anchors
+      // the window at their minimum radix.
+      overflow_.push_back({key, id});
+      return;
+    }
+    assert(r >= base_ + cur_ && "bucket queue requires monotone pushes");
+    if (r - base_ < kNumBuckets) {
+      std::vector<Entry>& b = buckets_[r - base_];
+      if (r == base_ + cur_ && cur_sorted_) {
+        // The bucket is being drained in descending-key order; keep it
+        // sorted so the next pop still returns the minimum full key.
+        b.insert(std::upper_bound(b.begin(), b.end(), key,
+                                  [](Key k, const Entry& e) {
+                                    return k > e.key;
+                                  }),
+                 Entry{key, id});
+      } else {
+        b.push_back({key, id});
+      }
+    } else {
+      overflow_.push_back({key, id});
+    }
+  }
+
+  Key top_key() {
+    settle_cursor();
+    return buckets_[cur_].back().key;
+  }
+  Id top_id() {
+    settle_cursor();
+    return buckets_[cur_].back().id;
+  }
+
+  /// Removes and returns the minimum entry.
+  std::pair<Id, Key> pop() {
+    settle_cursor();
+    Entry e = buckets_[cur_].back();
+    buckets_[cur_].pop_back();
+    if (--size_ == 0) anchored_ = false;  // next push batch re-anchors
+    return {e.id, e.key};
+  }
+
+  void clear() {
+    if (size_ != 0) {
+      for (std::vector<Entry>& b : buckets_) b.clear();
+      overflow_.clear();
+    }
+    size_ = 0;
+    base_ = 0;
+    cur_ = 0;
+    cur_sorted_ = false;
+    anchored_ = false;
+  }
+
+ private:
+  struct Entry {
+    Key key;
+    Id id;
+  };
+
+  static std::uint64_t radix(Key key) {
+    return static_cast<std::uint64_t>(key) >> KeyShift;
+  }
+
+  /// Advances the scan cursor to the bucket holding the minimum entry and
+  /// sorts it (descending, so pops come off the back in ascending order).
+  void settle_cursor() {
+    assert(size_ != 0);
+    if (!anchored_) rebase();
+    while (true) {
+      if (!buckets_[cur_].empty()) {
+        if (!cur_sorted_) {
+          std::sort(buckets_[cur_].begin(), buckets_[cur_].end(),
+                    [](const Entry& a, const Entry& b) {
+                      return a.key > b.key;
+                    });
+          cur_sorted_ = true;
+        }
+        return;
+      }
+      cur_sorted_ = false;
+      if (++cur_ == kNumBuckets) rebase();
+    }
+  }
+
+  /// The window drained but overflow entries remain: re-anchor the window
+  /// at the smallest overflow radix and redistribute what now fits.
+  void rebase() {
+    assert(!overflow_.empty());
+    std::uint64_t min_r = radix(overflow_.front().key);
+    for (const Entry& e : overflow_) min_r = std::min(min_r, radix(e.key));
+    base_ = min_r;
+    cur_ = 0;
+    cur_sorted_ = false;
+    anchored_ = true;
+    std::size_t kept = 0;
+    for (Entry& e : overflow_) {
+      const std::uint64_t r = radix(e.key);
+      if (r - base_ < kNumBuckets) {
+        buckets_[r - base_].push_back(e);
+      } else {
+        overflow_[kept++] = e;
+      }
+    }
+    overflow_.resize(kept);
+  }
+
+  std::vector<std::vector<Entry>> buckets_;  // window [base_, base_ + 2^B)
+  std::vector<Entry> overflow_;              // radix >= base_ + 2^B
+  std::uint64_t base_ = 0;  // radix of buckets_[0]
+  std::size_t cur_ = 0;     // scan cursor into buckets_
+  bool cur_sorted_ = false;
+  bool anchored_ = false;  // window is positioned; false while only the
+                           // overflow level holds entries (pre-first-pop)
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace pconn

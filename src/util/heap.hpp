@@ -14,22 +14,34 @@
 
 namespace pconn {
 
+/// What a push_or_decrease call did to the queue. The distinct values let
+/// the search loops keep exact pushed/decreased counters from one call.
+enum class QueuePush { kUnchanged = 0, kPushed, kDecreased };
+
 template <typename Key, unsigned Arity = 2>
 class DAryHeap {
   static_assert(Arity >= 2, "heap arity must be at least 2");
 
  public:
   using Id = std::uint32_t;
+  /// Queue-policy traits (see docs/queues.md): addressable queues support
+  /// contains/key_of/decrease_key/erase and never produce stale pops.
+  static constexpr bool kAddressable = true;
+  static constexpr bool kMonotone = false;
   static constexpr std::uint32_t kInvalidPos =
       std::numeric_limits<std::uint32_t>::max();
 
   DAryHeap() = default;
   explicit DAryHeap(std::size_t capacity) { reset_capacity(capacity); }
 
-  /// Resizes the id space. Clears the heap.
+  /// Grows the id space to at least `capacity` (amortized doubling, so a
+  /// query sequence with creeping widths does not pay O(capacity) per
+  /// query; shrink requests keep the allocation). Clears the heap.
   void reset_capacity(std::size_t capacity) {
-    pos_.assign(capacity, kInvalidPos);
-    slots_.clear();
+    clear();
+    if (capacity > pos_.size()) {
+      pos_.resize(std::max(capacity, 2 * pos_.size()), kInvalidPos);
+    }
   }
 
   std::size_t capacity() const { return pos_.size(); }
@@ -64,17 +76,21 @@ class DAryHeap {
   }
 
   /// push if absent, decrease_key if present and the new key is smaller.
-  /// Returns true if the heap changed.
-  bool push_or_decrease(Id id, Key key) {
-    if (!contains(id)) {
+  /// One position-map lookup instead of the contains/key_of/decrease_key
+  /// triple; reports what happened so callers can keep exact counters.
+  QueuePush push_or_decrease(Id id, Key key) {
+    assert(id < pos_.size());
+    const std::uint32_t p = pos_[id];
+    if (p == kInvalidPos) {
       push(id, key);
-      return true;
+      return QueuePush::kPushed;
     }
-    if (key < key_of(id)) {
-      decrease_key(id, key);
-      return true;
+    if (key < slots_[p].key) {
+      slots_[p].key = key;
+      sift_up(p);
+      return QueuePush::kDecreased;
     }
-    return false;
+    return QueuePush::kUnchanged;
   }
 
   Id top_id() const {

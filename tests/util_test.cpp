@@ -35,10 +35,10 @@ TEST(Heap, DecreaseKeyMovesElementUp) {
 
 TEST(Heap, PushOrDecreaseSemantics) {
   BinaryHeap<int> h(4);
-  EXPECT_TRUE(h.push_or_decrease(0, 5));
-  EXPECT_FALSE(h.push_or_decrease(0, 7));  // larger key: no change
+  EXPECT_EQ(h.push_or_decrease(0, 5), QueuePush::kPushed);
+  EXPECT_EQ(h.push_or_decrease(0, 7), QueuePush::kUnchanged);  // larger key
   EXPECT_EQ(h.key_of(0), 5);
-  EXPECT_TRUE(h.push_or_decrease(0, 2));
+  EXPECT_EQ(h.push_or_decrease(0, 2), QueuePush::kDecreased);
   EXPECT_EQ(h.key_of(0), 2);
 }
 
