@@ -13,8 +13,8 @@
 #include <string>
 #include <vector>
 
-#include "algo/parallel_spcs.hpp"
 #include "algo/queue_policy.hpp"
+#include "algo/session.hpp"
 #include "bench_common.hpp"
 #include "util/format.hpp"
 #include "util/rng.hpp"
@@ -101,12 +101,12 @@ PolicyRow measure_one_to_all(const Network& net, QueueKind kind,
                              const std::vector<StationId>& sources) {
   PolicyRow row;
   row.kind = kind;
-  ParallelSpcsOptions opt;
+  QuerySessionOptions opt;
   opt.threads = 1;
-  ParallelSpcsT<Queue> spcs(net.tt, net.graph, opt);
-  spcs.one_to_all(sources.front());  // warm-up: workspaces sized once
+  QuerySessionT<Queue> session(net.tt, net.graph, opt);
+  session.one_to_all(sources.front());  // warm-up: workspaces sized once
   Timer timer;
-  for (StationId s : sources) row.stats += spcs.one_to_all(s).stats;
+  for (StationId s : sources) row.stats += session.one_to_all(s).stats;
   row.avg_ms = timer.elapsed_ms() / sources.size();
   return row;
 }

@@ -1,0 +1,187 @@
+// Warm vs cold repeated-query throughput — the workspace-reuse bench.
+//
+// The paper reports per-query latency on a warmed-up process; a server
+// answering streams of queries cares about the difference between
+//  * cold — construct the engine (thread pool, per-thread workspaces,
+//    |V| x |conn(S)| scratch) for every query, the naive per-request path;
+//  * warm — one QuerySession per worker, constructed once; queries reuse
+//    every scratch array and result buffer (zero allocations once warm,
+//    tests/session_test.cpp).
+// Workloads: the Table-1 one-to-all profile query (headline numbers) and
+// the point-to-point time query mix. JSON output (--json) is archived by
+// CI as BENCH_reuse.json; `warm_speedup` is the one-to-all geometric mean
+// over the networks and is expected to stay >= 1.1.
+//
+// Unlike the other benches this one defaults to the *bucket* queue policy
+// (override with --queue): it is the measured-fastest SPCS configuration
+// (docs/queues.md), i.e. the one a server would actually deploy, and the
+// faster the query the larger the share the cold path wastes on
+// construction. Dense bus networks bound the win from below (~1.08x: the
+// search dwarfs the scratch fill); sparse rail networks sit at 1.14-1.3x.
+#include <cmath>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "algo/session.hpp"
+#include "bench_common.hpp"
+#include "util/format.hpp"
+#include "util/timer.hpp"
+
+namespace pconn::bench {
+namespace {
+
+struct ReuseRow {
+  std::string name;
+  double cold_ms = 0.0;       // one-to-all, fresh engine per query
+  double warm_ms = 0.0;       // one-to-all, session reused
+  double cold_time_ms = 0.0;  // time query, fresh engine per query
+  double warm_time_ms = 0.0;  // time query, session reused
+  std::size_t scratch_bytes = 0;
+
+  double speedup() const { return cold_ms / warm_ms; }
+  double time_speedup() const { return cold_time_ms / warm_time_ms; }
+};
+
+template <typename SpcsQueue, typename TimeQueue>
+ReuseRow run_network(gen::Preset preset) {
+  Network net = load_network(preset);
+  print_network_header(net);
+  const std::vector<StationId> sources =
+      random_stations(net.tt, num_queries(), 20260726);
+  const Time dep = 8 * 3600;
+
+  ReuseRow row;
+  row.name = gen::preset_name(preset);
+  QuerySessionOptions opt;
+  opt.threads = 1;
+
+  // Repeat the stream until the measured phase is long enough to be out of
+  // timer/scheduler noise (smoke caps the stream at 3 queries).
+  const int profile_reps =
+      std::max(1, 24 / static_cast<int>(sources.size()));
+  const int time_reps = std::max(1, 512 / static_cast<int>(sources.size()));
+
+  // Warm: one session for the whole stream. One untimed pass sizes the
+  // scratch to its high-water mark, then the measured stream is pure
+  // steady-state — exactly what a server's worker thread sees.
+  {
+    QuerySessionT<SpcsQueue, TimeQueue> session(net.tt, net.graph, opt);
+    for (StationId s : sources) session.one_to_all(s);
+    Timer t;
+    for (int r = 0; r < profile_reps; ++r) {
+      for (StationId s : sources) session.one_to_all(s);
+    }
+    row.warm_ms = t.elapsed_ms() / (profile_reps * sources.size());
+    session.earliest_arrival(sources.front(), dep, sources.back());
+    Timer t2;
+    for (int r = 0; r < time_reps; ++r) {
+      for (StationId s : sources) {
+        session.earliest_arrival(s, dep, sources.front());
+      }
+    }
+    row.warm_time_ms = t2.elapsed_ms() / (time_reps * sources.size());
+    row.scratch_bytes = session.scratch_bytes_reserved();
+  }
+
+  // Cold: a fresh engine per query — construction, first-touch scratch
+  // allocation and teardown are all inside the measurement.
+  {
+    Timer t;
+    for (int r = 0; r < profile_reps; ++r) {
+      for (StationId s : sources) {
+        ParallelSpcsT<SpcsQueue> engine(net.tt, net.graph, opt.spcs());
+        engine.one_to_all(s);
+      }
+    }
+    row.cold_ms = t.elapsed_ms() / (profile_reps * sources.size());
+    Timer t2;
+    for (int r = 0; r < time_reps; ++r) {
+      for (StationId s : sources) {
+        TimeQueryT<TimeQueue> q(net.tt, net.graph);
+        q.run(s, dep, sources.front());
+      }
+    }
+    row.cold_time_ms = t2.elapsed_ms() / (time_reps * sources.size());
+  }
+
+  TablePrinter table({"workload", "cold [ms]", "warm [ms]", "spd-up"});
+  table.add_row({"one-to-all profile", fixed(row.cold_ms, 2),
+                 fixed(row.warm_ms, 2), fixed(row.speedup(), 2)});
+  table.add_row({"time query", fixed(row.cold_time_ms, 3),
+                 fixed(row.warm_time_ms, 3), fixed(row.time_speedup(), 2)});
+  table.print();
+  std::cout << "session scratch: " << format_bytes(row.scratch_bytes) << "\n";
+  return row;
+}
+
+std::string to_json(const std::vector<ReuseRow>& rows, QueueKind queue) {
+  double log_sum = 0.0;
+  double best = 0.0;
+  for (const ReuseRow& r : rows) {
+    log_sum += std::log(r.speedup());
+    best = std::max(best, r.speedup());
+  }
+  const double geomean = rows.empty() ? 0.0 : std::exp(log_sum / rows.size());
+
+  std::ostringstream out;
+  out << "{\n  \"bench\": \"bench_reuse\",\n  \"workload\": "
+         "\"table1-one-to-all warm-vs-cold\",\n  \"queue\": \""
+      << queue_kind_name(queue)
+      << "\",\n  \"queries_per_network\": " << num_queries()
+      << ",\n  \"scale\": " << scale() << ",\n  \"networks\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ReuseRow& r = rows[i];
+    out << "    {\"name\": \"" << json_escape(r.name)
+        << "\", \"cold_ms\": " << fixed(r.cold_ms, 3)
+        << ", \"warm_ms\": " << fixed(r.warm_ms, 3)
+        << ", \"warm_speedup\": " << fixed(r.speedup(), 3)
+        << ", \"cold_time_query_ms\": " << fixed(r.cold_time_ms, 4)
+        << ", \"warm_time_query_ms\": " << fixed(r.warm_time_ms, 4)
+        << ", \"warm_time_query_speedup\": " << fixed(r.time_speedup(), 3)
+        << ", \"session_scratch_bytes\": " << r.scratch_bytes << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"warm_speedup\": " << fixed(geomean, 3)
+      << ",\n  \"warm_speedup_best\": " << fixed(best, 3) << "\n}";
+  return out.str();
+}
+
+}  // namespace
+}  // namespace pconn::bench
+
+int main(int argc, char** argv) {
+  using namespace pconn;
+  using namespace pconn::bench;
+  options().queue = QueueKind::kBucket;  // deploy config; --queue overrides
+  parse_bench_args(argc, argv);
+
+  std::cout << "Workspace reuse: warm QuerySession vs cold per-query engine "
+               "construction\n(queue policy: "
+            << queue_kind_name(options().queue) << ")\n";
+
+  std::vector<gen::Preset> presets;
+  if (options().smoke) {
+    presets = {gen::Preset::kOahuLike, gen::Preset::kGermanyLike};
+  } else {
+    presets.assign(std::begin(gen::kAllPresets), std::end(gen::kAllPresets));
+  }
+
+  std::vector<ReuseRow> rows;
+  for (gen::Preset p : presets) {
+    rows.push_back(with_spcs_queue(options().queue, [&](auto tag) {
+      using SpcsQueue = typename decltype(tag)::type;
+      // Scalar engines mirror the SPCS policy choice: bucket with bucket,
+      // the binary heap otherwise.
+      if constexpr (std::is_same_v<SpcsQueue, SpcsBucketQueue>) {
+        return run_network<SpcsQueue, TimeBucketQueue>(p);
+      } else {
+        return run_network<SpcsQueue, TimeBinaryQueue>(p);
+      }
+    }));
+  }
+
+  if (options().json) emit_json(to_json(rows, options().queue));
+  return 0;
+}

@@ -4,8 +4,8 @@
 #include <algorithm>
 #include <iostream>
 
-#include "algo/all_to_one.hpp"
 #include "algo/journey.hpp"
+#include "algo/session.hpp"
 #include "gen/generator.hpp"
 #include "util/format.hpp"
 
@@ -26,10 +26,11 @@ int main() {
             << "City: " << tt.num_stations() << " stops, "
             << format_count(tt.num_connections()) << " connections/day\n\n";
 
-  ParallelSpcsOptions opt;
+  TdGraph graph = TdGraph::build(tt);
+  QuerySessionOptions opt;
   opt.threads = 2;
-  AllToOneProfiles planner(tt, opt);
-  OneToAllResult res = planner.all_to_one(venue);
+  QuerySession session(tt, graph, opt);
+  const OneToAllResult& res = session.all_to_one(venue);
 
   // Latest catchable departure per stop, via the deadline query.
   struct Entry {

@@ -9,8 +9,7 @@
 #include <iostream>
 
 #include "algo/journey.hpp"
-#include "algo/parallel_spcs.hpp"
-#include "algo/time_query.hpp"
+#include "algo/session.hpp"
 #include "gen/generator.hpp"
 #include "util/format.hpp"
 
@@ -32,10 +31,10 @@ int main() {
             << "Commute: " << tt.station_name(home) << "  ->  "
             << tt.station_name(work) << "\n\n";
 
-  ParallelSpcsOptions opt;
+  QuerySessionOptions opt;
   opt.threads = 2;
-  ParallelSpcs spcs(tt, graph, opt);
-  OneToAllResult res = spcs.one_to_all(home);
+  QuerySession session(tt, graph, opt);
+  const OneToAllResult& res = session.one_to_all(home);
   const Profile& profile = res.profiles[work];
 
   // Morning options: all useful departures between 07:00 and 09:00.
@@ -57,9 +56,7 @@ int main() {
     std::cout << "\nTo be at work by " << format_clock(deadline)
               << ": leave at " << format_clock(best->dep) << " ("
               << (best->arr - best->dep) / 60 << " min ride)\n";
-    TimeQuery tq(tt, graph);
-    tq.run(home, best->dep);
-    if (auto j = extract_journey(tt, graph, tq, home, best->dep, work)) {
+    if (const Journey* j = session.journey(home, best->dep, work)) {
       std::cout << "\n" << describe_journey(tt, *j);
     }
   }

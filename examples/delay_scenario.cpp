@@ -8,7 +8,7 @@
 #include <iostream>
 #include <vector>
 
-#include "algo/parallel_spcs.hpp"
+#include "algo/session.hpp"
 #include "gen/generator.hpp"
 #include "timetable/builder.hpp"
 #include "util/format.hpp"
@@ -79,16 +79,18 @@ int main() {
 
   Timetable delayed = with_delay(tt, victim, 0, 15 * 60);
 
-  ParallelSpcsOptions opt;
+  QuerySessionOptions opt;
   opt.threads = 2;
 
+  // One session per timetable world: the "before" session would keep
+  // serving the live feed, the "after" one answers the what-if.
   TdGraph g1 = TdGraph::build(tt);
-  ParallelSpcs spcs1(tt, g1, opt);
-  OneToAllResult before = spcs1.one_to_all(home);
+  QuerySession session_before(tt, g1, opt);
+  const OneToAllResult& before = session_before.one_to_all(home);
 
   TdGraph g2 = TdGraph::build(delayed);
-  ParallelSpcs spcs2(delayed, g2, opt);
-  OneToAllResult after = spcs2.one_to_all(home);
+  QuerySession session_after(delayed, g2, opt);
+  const OneToAllResult& after = session_after.one_to_all(home);
 
   std::cout << "Morning profile " << tt.station_name(home) << " -> "
             << tt.station_name(work) << " BEFORE the delay:\n";

@@ -8,6 +8,7 @@
 #include "gen/generator.hpp"
 #include "graph/station_graph.hpp"
 #include "s2s/distance_table.hpp"
+#include "algo/session.hpp"
 #include "s2s/s2s_query.hpp"
 #include "s2s/transfer_selection.hpp"
 #include "util/format.hpp"
@@ -46,12 +47,14 @@ int main() {
             << " preprocessing, " << format_bytes(info.table_bytes) << "\n\n";
 
   // 3. Accelerated station-to-station queries.
-  S2sOptions so;
+  QuerySessionOptions so;
   so.threads = 2;
-  S2sQueryEngine fast(tt, graph, sg, &dt, so);
-  S2sOptions plain_opts = so;
+  QuerySession fast_session(tt, graph, so);
+  S2sQueryEngineT<SpcsBinaryQueue>& fast = fast_session.s2s_engine(sg, &dt);
+  QuerySessionOptions plain_opts = so;
   plain_opts.table_pruning = false;
-  S2sQueryEngine plain(tt, graph, sg, nullptr, plain_opts);
+  QuerySession plain_session(tt, graph, plain_opts);
+  S2sQueryEngineT<SpcsBinaryQueue>& plain = plain_session.s2s_engine(sg, nullptr);
 
   // A regional stop near hub 0 to a regional stop near hub 5: crosses the
   // country, so the query is global and the table prunes hard.

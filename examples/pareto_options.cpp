@@ -3,9 +3,8 @@
 // transfers, plus "last possible departure" deadline queries on profiles.
 #include <iostream>
 
-#include "algo/mc_query.hpp"
-#include "algo/parallel_spcs.hpp"
 #include "algo/journey.hpp"
+#include "algo/session.hpp"
 #include "gen/generator.hpp"
 #include "util/format.hpp"
 
@@ -36,9 +35,10 @@ int main() {
   std::cout << "Trip options " << tt.station_name(from) << " -> "
             << tt.station_name(to) << ", ready at 08:00\n\n";
 
-  McTimeQuery mc(tt, g);
-  mc.run(from, 8 * 3600);
-  auto front = mc.pareto(to);
+  QuerySessionOptions opt;
+  opt.threads = 2;
+  QuerySession session(tt, g, opt);
+  auto front = session.pareto(from, 8 * 3600, to);
   if (front.empty()) {
     std::cout << "unreachable\n";
     return 0;
@@ -52,11 +52,8 @@ int main() {
   }
 
   // Deadline query on the full-day profile: latest departure that still
-  // arrives by 18:00.
-  ParallelSpcsOptions opt;
-  opt.threads = 2;
-  ParallelSpcs spcs(tt, g, opt);
-  StationQueryResult profile = spcs.station_to_station(from, to);
+  // arrives by 18:00 — same session, different engine, still warm.
+  const StationQueryResult& profile = session.station_to_station(from, to);
   Time deadline = 18 * 3600;
   std::uint32_t idx = latest_departure_by(profile.profile, deadline);
   std::cout << "\nTo arrive by " << format_clock(deadline) << ": ";

@@ -19,9 +19,7 @@
 #include <vector>
 
 #include "algo/journey.hpp"
-#include "algo/mc_query.hpp"
-#include "algo/parallel_spcs.hpp"
-#include "algo/time_query.hpp"
+#include "algo/session.hpp"
 #include "gen/generator.hpp"
 #include "timetable/gtfs.hpp"
 #include "timetable/serialize.hpp"
@@ -125,15 +123,16 @@ int main(int argc, char** argv) {
   auto to = find_station(*tt, argv[i + 1]);
   if (!from || !to) return 1;
   TdGraph g = TdGraph::build(*tt);
+  // One warm session serves every subcommand (a long-running CLI daemon
+  // would keep it across requests).
+  QuerySession session(*tt, g, {.threads = threads});
 
   if (cmd == "route" || cmd == "options" || cmd == "arrive-by") {
     if (i + 2 >= argc) return usage();
     Time when = gtfs::parse_time(argv[i + 2]);
 
     if (cmd == "route") {
-      TimeQuery q(*tt, g);
-      q.run(*from, when, *to);
-      auto j = extract_journey(*tt, g, q, *from, when, *to);
+      const Journey* j = session.journey(*from, when, *to);
       if (!j) {
         std::cout << "unreachable\n";
         return 1;
@@ -142,9 +141,7 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (cmd == "options") {
-      McTimeQuery mc(*tt, g);
-      mc.run(*from, when);
-      auto front = mc.pareto(*to);
+      auto front = session.pareto(*from, when, *to);
       if (front.empty()) {
         std::cout << "unreachable\n";
         return 1;
@@ -156,8 +153,7 @@ int main(int argc, char** argv) {
       return 0;
     }
     // arrive-by
-    ParallelSpcs spcs(*tt, g, {.threads = threads});
-    StationQueryResult res = spcs.station_to_station(*from, *to);
+    const StationQueryResult& res = session.station_to_station(*from, *to);
     std::uint32_t idx = latest_departure_by(res.profile, when);
     if (idx == kNoConn) {
       std::cout << "no connection arrives by "
@@ -171,8 +167,7 @@ int main(int argc, char** argv) {
   }
 
   if (cmd == "profile") {
-    ParallelSpcs spcs(*tt, g, {.threads = threads});
-    StationQueryResult res = spcs.station_to_station(*from, *to);
+    const StationQueryResult& res = session.station_to_station(*from, *to);
     std::cout << tt->station_name(*from) << " -> " << tt->station_name(*to)
               << ": " << res.profile.size()
               << " best connections over the day ("

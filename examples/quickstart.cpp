@@ -6,9 +6,7 @@
 // departure times of the day in one SPCS run.
 #include <iostream>
 
-#include "algo/journey.hpp"
-#include "algo/parallel_spcs.hpp"
-#include "algo/time_query.hpp"
+#include "algo/session.hpp"
 #include "timetable/builder.hpp"
 #include "util/format.hpp"
 
@@ -37,11 +35,15 @@ int main() {
             << tt.num_trips() << " trips, " << tt.num_connections()
             << " elementary connections, " << tt.num_routes() << " routes\n\n";
 
-  // One-to-all profile search: every best connection of the day at once.
-  ParallelSpcsOptions opt;
+  // A QuerySession is the "construct once, query many times" front door:
+  // it keeps every engine's scratch warm, so repeated queries are
+  // allocation-free (docs/architecture.md).
+  QuerySessionOptions opt;
   opt.threads = 2;
-  ParallelSpcs spcs(tt, graph, opt);
-  OneToAllResult result = spcs.one_to_all(a);
+  QuerySession session(tt, graph, opt);
+
+  // One-to-all profile search: every best connection of the day at once.
+  const OneToAllResult& result = session.one_to_all(a);
 
   std::cout << "Travel-time profile " << tt.station_name(a) << " -> "
             << tt.station_name(c) << " (one connection point per useful "
@@ -59,9 +61,7 @@ int main() {
             << format_clock(arrival) << "\n";
 
   // And extract the actual journey for that departure.
-  TimeQuery tq(tt, graph);
-  tq.run(a, when);
-  if (auto j = extract_journey(tt, graph, tq, a, when, c)) {
+  if (const Journey* j = session.journey(a, when, c)) {
     std::cout << "\n" << describe_journey(tt, *j);
   }
 

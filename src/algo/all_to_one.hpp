@@ -13,22 +13,39 @@
 
 namespace pconn {
 
-class AllToOneProfiles {
+/// Template over the SPCS queue policy of the underlying reverse-run
+/// driver (queue_policy.hpp); definitions in all_to_one.cpp instantiate
+/// the four shipped policies. `AllToOneProfiles` is the paper's
+/// binary-heap configuration.
+template <typename Queue = SpcsBinaryQueue>
+class AllToOneProfilesT {
  public:
   /// Builds the reversed timetable and graph once; queries reuse them.
-  AllToOneProfiles(const Timetable& tt, ParallelSpcsOptions opt);
+  AllToOneProfilesT(const Timetable& tt, ParallelSpcsOptions opt);
 
   /// Profiles dist(S, target, ·) for every station S, reduced and on the
   /// forward clock (departure at S in [0, period), absolute arrival at T).
   OneToAllResult all_to_one(StationId target);
+  /// Allocation-free variant for warm sessions: reuses `out`'s buffers and
+  /// the engine's internal reversed-result scratch.
+  void all_to_one_into(StationId target, OneToAllResult& out);
 
   const Timetable& reverse_timetable() const { return reverse_tt_; }
+
+  /// Arena footprint of the inner reverse driver's per-thread workspaces.
+  std::size_t scratch_bytes_reserved() const {
+    return spcs_.scratch_bytes_reserved();
+  }
 
  private:
   Time period_;
   Timetable reverse_tt_;
   TdGraph reverse_graph_;
-  ParallelSpcs spcs_;
+  ParallelSpcsT<Queue> spcs_;
+  OneToAllResult reversed_scratch_;  // reverse-clock result, reused per query
+  Profile fwd_scratch_;              // forward-mapped raw points, per station
 };
+
+using AllToOneProfiles = AllToOneProfilesT<>;
 
 }  // namespace pconn

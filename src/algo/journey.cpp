@@ -32,21 +32,26 @@ TrainId trip_used(const Timetable& tt, RouteId r, std::uint32_t k, Time t) {
 
 }  // namespace
 
-std::optional<Journey> extract_journey(const Timetable& tt, const TdGraph& g,
-                                       const TimeQuery& q, StationId source,
-                                       Time departure, StationId target) {
-  const NodeId dst = g.station_node(target);
-  if (q.arrival_at_node(dst) == kInfTime) return std::nullopt;
-
-  // Node path from source to target.
-  std::vector<NodeId> path;
-  for (NodeId v = dst; v != kInvalidNode; v = q.parent(v)) path.push_back(v);
-  std::reverse(path.begin(), path.end());
-
-  Journey j;
+template <typename Queue>
+bool extract_journey_into(const Timetable& tt, const TdGraph& g,
+                          const TimeQueryT<Queue>& q, StationId source,
+                          Time departure, StationId target,
+                          std::vector<NodeId>& path_scratch, Journey& j) {
   j.source = source;
   j.target = target;
   j.departure = departure;
+  j.arrival = kInfTime;
+  j.legs.clear();
+
+  const NodeId dst = g.station_node(target);
+  if (q.arrival_at_node(dst) == kInfTime) return false;
+
+  // Node path from source to target.
+  std::vector<NodeId>& path = path_scratch;
+  path.clear();
+  for (NodeId v = dst; v != kInvalidNode; v = q.parent(v)) path.push_back(v);
+  std::reverse(path.begin(), path.end());
+
   j.arrival = q.arrival_at_node(dst);
 
   // Walk the path; every travel edge (route node -> route node) contributes
@@ -94,8 +99,35 @@ std::optional<Journey> extract_journey(const Timetable& tt, const TdGraph& g,
       j.legs.push_back(leg);
     }
   }
+  return true;
+}
+
+template <typename Queue>
+std::optional<Journey> extract_journey(const Timetable& tt, const TdGraph& g,
+                                       const TimeQueryT<Queue>& q,
+                                       StationId source, Time departure,
+                                       StationId target) {
+  Journey j;
+  std::vector<NodeId> path;
+  if (!extract_journey_into(tt, g, q, source, departure, target, path, j)) {
+    return std::nullopt;
+  }
   return j;
 }
+
+// Explicit instantiations for the shipped time-query policies.
+#define PCONN_INSTANTIATE_JOURNEY(Q)                                          \
+  template std::optional<Journey> extract_journey<Q>(                         \
+      const Timetable&, const TdGraph&, const TimeQueryT<Q>&, StationId,      \
+      Time, StationId);                                                       \
+  template bool extract_journey_into<Q>(                                      \
+      const Timetable&, const TdGraph&, const TimeQueryT<Q>&, StationId,      \
+      Time, StationId, std::vector<NodeId>&, Journey&);
+PCONN_INSTANTIATE_JOURNEY(TimeBinaryQueue)
+PCONN_INSTANTIATE_JOURNEY(TimeQuaternaryQueue)
+PCONN_INSTANTIATE_JOURNEY(TimeLazyQueue)
+PCONN_INSTANTIATE_JOURNEY(TimeBucketQueue)
+#undef PCONN_INSTANTIATE_JOURNEY
 
 std::vector<Journey> profile_journeys(const Timetable& tt, const TdGraph& g,
                                       const Profile& profile, StationId source,

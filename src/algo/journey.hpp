@@ -42,10 +42,23 @@ struct Journey {
 };
 
 /// Reconstructs the journey to `target` after q.run(source, departure).
-/// std::nullopt if the target is unreachable.
+/// std::nullopt if the target is unreachable. Templated over the time
+/// query's queue policy (explicitly instantiated for the shipped policies
+/// in journey.cpp).
+template <typename Queue>
 std::optional<Journey> extract_journey(const Timetable& tt, const TdGraph& g,
-                                       const TimeQuery& q, StationId source,
-                                       Time departure, StationId target);
+                                       const TimeQueryT<Queue>& q,
+                                       StationId source, Time departure,
+                                       StationId target);
+
+/// Allocation-free variant for warm sessions: reuses `out`'s leg vector and
+/// `path_scratch`. Returns false (leaving `out` cleared of legs) when the
+/// target is unreachable.
+template <typename Queue>
+bool extract_journey_into(const Timetable& tt, const TdGraph& g,
+                          const TimeQueryT<Queue>& q, StationId source,
+                          Time departure, StationId target,
+                          std::vector<NodeId>& path_scratch, Journey& out);
 
 /// Multi-line plain-text rendering for the examples.
 std::string describe_journey(const Timetable& tt, const Journey& j);

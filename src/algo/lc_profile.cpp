@@ -15,8 +15,14 @@ Profile merge_profiles(const Profile& a, const Profile& b, Time period) {
 }
 
 template <typename Queue>
-LcProfileQueryT<Queue>::LcProfileQueryT(const Timetable& tt, const TdGraph& g)
-    : tt_(tt), g_(g) {
+LcProfileQueryT<Queue>::LcProfileQueryT(const Timetable& tt, const TdGraph& g,
+                                        QueryWorkspace* ws)
+    : tt_(tt),
+      g_(g),
+      heap_(scratch_alloc(ws)),
+      qkey_(scratch_alloc(ws)),
+      touched_(ArenaAllocator<NodeId>(scratch_alloc(ws))),
+      dirty_(ArenaAllocator<std::uint8_t>(scratch_alloc(ws))) {
   heap_.reset_capacity(g.num_nodes());
   labels_.resize(g.num_nodes());
   dirty_.assign(g.num_nodes(), 0);

@@ -15,6 +15,7 @@
 
 #include "algo/counters.hpp"
 #include "algo/queue_policy.hpp"
+#include "algo/workspace.hpp"
 #include "graph/profile.hpp"
 #include "graph/td_graph.hpp"
 #include "timetable/timetable.hpp"
@@ -37,7 +38,13 @@ class LcProfileQueryT {
                 "monotone queue policies (bucket) cannot run it");
 
  public:
-  LcProfileQueryT(const Timetable& tt, const TdGraph& g);
+  /// `ws` (optional) places the queue and bookkeeping arrays in the
+  /// workspace's arena. The per-node profile labels stay heap vectors:
+  /// label-correcting search grows them dynamically per query (they still
+  /// reuse capacity across queries), so LC — the paper's slow baseline —
+  /// is exempt from the strict zero-allocation warm-path guarantee.
+  LcProfileQueryT(const Timetable& tt, const TdGraph& g,
+                  QueryWorkspace* ws = nullptr);
 
   /// One-to-all profile search from s. Results valid until the next run.
   void run(StationId s);
@@ -54,9 +61,11 @@ class LcProfileQueryT {
   EpochArray<Time> qkey_;  // non-addressable only: the node's live queued
                            // key (kInfTime = not queued); older entries in
                            // the heap are stale
-  std::vector<Profile> labels_;      // per node
-  std::vector<NodeId> touched_;      // nodes whose label must be cleared
-  std::vector<std::uint8_t> dirty_;  // membership flag for touched_
+  std::vector<Profile> labels_;  // per node
+  // nodes whose label must be cleared
+  std::vector<NodeId, ArenaAllocator<NodeId>> touched_;
+  // membership flag for touched_
+  std::vector<std::uint8_t, ArenaAllocator<std::uint8_t>> dirty_;
   QueryStats stats_;
 };
 

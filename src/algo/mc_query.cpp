@@ -1,78 +1,87 @@
 #include "algo/mc_query.hpp"
 
-#include <queue>
+#include <algorithm>
 
 namespace pconn {
 
 namespace {
 
-struct QueueEntry {
-  Time arr;
-  std::uint32_t boards;
-  NodeId node;
-  // Lexicographic min-order on (arr, boards).
-  bool operator>(const QueueEntry& o) const {
-    if (arr != o.arr) return arr > o.arr;
-    return boards > o.boards;
-  }
-};
+/// Lexicographic (arrival, boardings) as one integer key.
+std::uint64_t mc_key(Time arr, std::uint32_t boards) {
+  return (static_cast<std::uint64_t>(arr) << kMcKeyShift) | boards;
+}
 
 }  // namespace
 
-McTimeQuery::McTimeQuery(const Timetable& tt, const TdGraph& g)
-    : tt_(tt), g_(g) {
-  fronts_.resize(g.num_nodes());
+template <typename Queue>
+McTimeQueryT<Queue>::McTimeQueryT(const Timetable& tt, const TdGraph& g,
+                                  QueryWorkspace* ws)
+    : tt_(tt),
+      g_(g),
+      queue_(scratch_alloc(ws)),
+      fronts_(ArenaAllocator<Front>(scratch_alloc(ws))),
+      min_boards_(scratch_alloc(ws)),
+      touched_(ArenaAllocator<NodeId>(scratch_alloc(ws))) {
+  fronts_.resize(g.num_nodes(), Front(ArenaAllocator<McLabel>(scratch_alloc(ws))));
   min_boards_.assign(g.num_nodes(),
                      std::numeric_limits<std::uint32_t>::max());
+  queue_.reset_capacity(g.num_nodes());
 }
 
-void McTimeQuery::run(StationId source, Time departure,
-                      std::uint32_t max_boards) {
+template <typename Queue>
+void McTimeQueryT<Queue>::run(StationId source, Time departure,
+                              std::uint32_t max_boards) {
+  max_boards = std::min(max_boards, (1u << kMcKeyShift) - 1);
   stats_ = QueryStats{};
   for (NodeId v : touched_) fronts_[v].clear();
   touched_.clear();
   min_boards_.clear();
+  queue_.clear();
 
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
-                      std::greater<QueueEntry>>
-      queue;
   const NodeId src = g_.station_node(source);
-  queue.push({departure, 0, src});
+  queue_.push(src, mc_key(departure, 0));
   stats_.pushed++;
 
-  while (!queue.empty()) {
-    QueueEntry top = queue.top();
-    queue.pop();
+  while (!queue_.empty()) {
+    auto [node, key] = queue_.pop();
+    const Time arr = static_cast<Time>(key >> kMcKeyShift);
+    const std::uint32_t boards =
+        static_cast<std::uint32_t>(key & ((1u << kMcKeyShift) - 1));
     stats_.settled++;
     // Lexicographic pop order: Pareto-new iff it improves the boarding
     // minimum at the node.
-    if (top.boards >= min_boards_.get(top.node)) continue;
-    min_boards_.set(top.node, top.boards);
-    if (fronts_[top.node].empty()) touched_.push_back(top.node);
-    fronts_[top.node].push_back({top.arr, top.boards});
+    if (boards >= min_boards_.get(node)) continue;
+    min_boards_.set(node, boards);
+    if (fronts_[node].empty()) touched_.push_back(node);
+    fronts_[node].push_back({arr, boards});
 
-    for (const TdGraph::Edge& e : g_.out_edges(top.node)) {
-      const bool boarding =
-          g_.is_station_node(top.node) && e.ttf == kNoTtf;
-      std::uint32_t boards = top.boards + (boarding ? 1 : 0);
-      if (boards > max_boards) continue;
+    for (const TdGraph::Edge& e : g_.out_edges(node)) {
+      const bool boarding = g_.is_station_node(node) && e.ttf == kNoTtf;
+      std::uint32_t next_boards = boards + (boarding ? 1 : 0);
+      if (next_boards > max_boards) continue;
       // Boarding at the source itself is free of the transfer time but
       // still counts as boarding a vehicle.
-      Time t = (top.node == src && e.ttf == kNoTtf)
-                   ? top.arr
-                   : g_.arrival_via(e, top.arr);
+      Time t = (node == src && e.ttf == kNoTtf) ? arr : g_.arrival_via(e, arr);
       if (t == kInfTime) continue;
       stats_.relaxed++;
-      if (boards >= min_boards_.get(e.head)) continue;  // dominated already
-      queue.push({t, boards, e.head});
+      if (next_boards >= min_boards_.get(e.head)) continue;  // dominated
+      queue_.push(e.head, mc_key(t, next_boards));
       stats_.pushed++;
     }
   }
 }
 
-std::span<const McLabel> McTimeQuery::pareto(StationId s) const {
+template <typename Queue>
+std::span<const McLabel> McTimeQueryT<Queue>::pareto(StationId s) const {
   const auto& f = fronts_[g_.station_node(s)];
   return {f.data(), f.size()};
 }
+
+// The shipped multi-label policies (queue_policy.hpp). McLazyQueue is the
+// same type as McQuaternaryQueue, so two instantiations cover the three
+// heap names.
+template class McTimeQueryT<McBinaryQueue>;
+template class McTimeQueryT<McQuaternaryQueue>;
+template class McTimeQueryT<McBucketQueue>;
 
 }  // namespace pconn

@@ -4,27 +4,56 @@
 
 namespace pconn {
 
+namespace {
+
+std::vector<std::unique_ptr<QueryWorkspace>> make_workspaces(unsigned n) {
+  std::vector<std::unique_ptr<QueryWorkspace>> ws;
+  ws.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    ws.push_back(std::make_unique<QueryWorkspace>());
+  }
+  return ws;
+}
+
+template <typename Queue>
+std::vector<SpcsThreadStateT<Queue>> make_states(
+    std::vector<std::unique_ptr<QueryWorkspace>>& ws) {
+  std::vector<SpcsThreadStateT<Queue>> states;
+  states.reserve(ws.size());
+  for (auto& w : ws) states.emplace_back(w.get());
+  return states;
+}
+
+}  // namespace
+
 template <typename Queue>
 ParallelSpcsT<Queue>::ParallelSpcsT(const Timetable& tt, const TdGraph& g,
                                     ParallelSpcsOptions opt)
-    : tt_(tt), g_(g), opt_(opt), pool_(opt.threads), states_(opt.threads) {}
+    : tt_(tt),
+      g_(g),
+      opt_(opt),
+      pool_(opt.threads),
+      workspaces_(make_workspaces(opt.threads)),
+      states_(make_states<Queue>(workspaces_)),
+      thread_ms_(opt.threads, 0.0) {}
 
 template <typename Queue>
 ParallelSpcsT<Queue>::~ParallelSpcsT() = default;
 
 template <typename Queue>
-void ParallelSpcsT<Queue>::run_partitioned(StationId s, const RangeFn& fn) {
+void ParallelSpcsT<Queue>::run_partitioned(StationId s, RangeFn fn) {
   auto conns = tt_.outgoing(s);
-  boundaries_ =
-      partition_connections(conns, opt_.threads, opt_.partition, tt_.period());
+  partition_connections_into(conns, opt_.threads, opt_.partition, tt_.period(),
+                             boundaries_);
   pool_.run([&](std::size_t t) { fn(t, boundaries_[t], boundaries_[t + 1]); });
 }
 
 template <typename Queue>
-Profile ParallelSpcsT<Queue>::assemble_profile(StationId s, StationId t) const {
+void ParallelSpcsT<Queue>::collect_raw_profile(StationId s, StationId t,
+                                               Profile& raw) const {
   auto conns = tt_.outgoing(s);
   const NodeId tn = g_.station_node(t);
-  Profile raw;
+  raw.clear();
   raw.reserve(conns.size());
   for (std::size_t th = 0; th < states_.size(); ++th) {
     const std::uint32_t lo = boundaries_[th], hi = boundaries_[th + 1];
@@ -32,14 +61,35 @@ Profile ParallelSpcsT<Queue>::assemble_profile(StationId s, StationId t) const {
       raw.push_back({conns[lo + li].dep, states_[th].arrival(tn, li)});
     }
   }
+}
+
+template <typename Queue>
+void ParallelSpcsT<Queue>::assemble_profile_into(StationId s, StationId t,
+                                                 Profile& out) {
+  collect_raw_profile(s, t, raw_scratch_);
+  reduce_profile_into(raw_scratch_, tt_.period(), out);
+}
+
+template <typename Queue>
+Profile ParallelSpcsT<Queue>::assemble_profile(StationId s, StationId t) const {
+  Profile raw;
+  collect_raw_profile(s, t, raw);
   return reduce_profile(raw, tt_.period());
 }
 
 template <typename Queue>
-OneToAllResult ParallelSpcsT<Queue>::one_to_all(StationId s) {
-  OneToAllResult res;
+std::size_t ParallelSpcsT<Queue>::scratch_bytes_reserved() const {
+  std::size_t total = 0;
+  for (const auto& w : workspaces_) total += w->bytes_reserved();
+  return total;
+}
+
+template <typename Queue>
+void ParallelSpcsT<Queue>::one_to_all_into(StationId s, OneToAllResult& out) {
   Timer total;
-  std::vector<double> thread_ms(opt_.threads, 0.0);
+  out.stats = QueryStats{};
+  out.max_thread_ms = 0.0;
+  out.min_thread_ms = 0.0;
 
   run_partitioned(s, [&](std::size_t t, std::uint32_t lo, std::uint32_t hi) {
     Timer timer;
@@ -48,30 +98,38 @@ OneToAllResult ParallelSpcsT<Queue>::one_to_all(StationId s) {
                   .stopping_criterion = false,
                   .prune_on_relax = opt_.prune_on_relax};
     states_[t].run(g_, tt_, tt_.outgoing(s), lo, hi, kInvalidStation, o, hook);
-    thread_ms[t] = timer.elapsed_ms();
+    thread_ms_[t] = timer.elapsed_ms();
   });
 
   // Merge + connection reduction by the master thread (paper Section 3.2).
-  res.profiles.resize(tt_.num_stations());
+  // resize keeps each station's Profile object — and its capacity — alive
+  // across queries, so a warm session's merge is allocation-free.
+  out.profiles.resize(tt_.num_stations());
   for (StationId v = 0; v < tt_.num_stations(); ++v) {
-    res.profiles[v] = assemble_profile(s, v);
+    assemble_profile_into(s, v, out.profiles[v]);
   }
 
   for (std::size_t t = 0; t < states_.size(); ++t) {
-    res.stats += states_[t].stats();
-    res.max_thread_ms = std::max(res.max_thread_ms, thread_ms[t]);
-    res.min_thread_ms =
-        t == 0 ? thread_ms[t] : std::min(res.min_thread_ms, thread_ms[t]);
+    out.stats += states_[t].stats();
+    out.max_thread_ms = std::max(out.max_thread_ms, thread_ms_[t]);
+    out.min_thread_ms =
+        t == 0 ? thread_ms_[t] : std::min(out.min_thread_ms, thread_ms_[t]);
   }
-  res.stats.time_ms = total.elapsed_ms();
+  out.stats.time_ms = total.elapsed_ms();
+}
+
+template <typename Queue>
+OneToAllResult ParallelSpcsT<Queue>::one_to_all(StationId s) {
+  OneToAllResult res;
+  one_to_all_into(s, res);
   return res;
 }
 
 template <typename Queue>
-StationQueryResult ParallelSpcsT<Queue>::station_to_station(StationId s,
-                                                            StationId t) {
-  StationQueryResult res;
+void ParallelSpcsT<Queue>::station_to_station_into(StationId s, StationId t,
+                                                   StationQueryResult& out) {
   Timer total;
+  out.stats = QueryStats{};
 
   run_partitioned(s, [&](std::size_t th, std::uint32_t lo, std::uint32_t hi) {
     NoHook hook;
@@ -81,9 +139,16 @@ StationQueryResult ParallelSpcsT<Queue>::station_to_station(StationId s,
     states_[th].run(g_, tt_, tt_.outgoing(s), lo, hi, t, o, hook);
   });
 
-  res.profile = assemble_profile(s, t);
-  for (const auto& st : states_) res.stats += st.stats();
-  res.stats.time_ms = total.elapsed_ms();
+  assemble_profile_into(s, t, out.profile);
+  for (const auto& st : states_) out.stats += st.stats();
+  out.stats.time_ms = total.elapsed_ms();
+}
+
+template <typename Queue>
+StationQueryResult ParallelSpcsT<Queue>::station_to_station(StationId s,
+                                                            StationId t) {
+  StationQueryResult res;
+  station_to_station_into(s, t, res);
   return res;
 }
 

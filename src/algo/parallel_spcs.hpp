@@ -8,16 +8,17 @@
 // reduction.
 #pragma once
 
-#include <functional>
 #include <memory>
 #include <vector>
 
 #include "algo/counters.hpp"
 #include "algo/partition.hpp"
 #include "algo/spcs.hpp"
+#include "algo/workspace.hpp"
 #include "graph/profile.hpp"
 #include "graph/td_graph.hpp"
 #include "timetable/timetable.hpp"
+#include "util/function_ref.hpp"
 #include "util/thread_pool.hpp"
 
 namespace pconn {
@@ -49,6 +50,14 @@ struct StationQueryResult {
 /// (queue_policy.hpp). Definitions live in parallel_spcs.cpp, which
 /// explicitly instantiates the four shipped policies; `ParallelSpcs` is
 /// the paper's binary-heap configuration.
+///
+/// Lifecycle: the driver owns one QueryWorkspace per pool thread; every
+/// thread state's scratch (labels, queue, bucket window) lives in its
+/// thread's arena and is bound to the pool thread for the driver's whole
+/// lifetime — states are never respawned per query. The `_into` query
+/// variants additionally reuse caller-owned result buffers, so a warm
+/// driver answers queries without any heap allocation (QuerySession wraps
+/// them; see docs/architecture.md).
 template <typename Queue = SpcsBinaryQueue>
 class ParallelSpcsT {
  public:
@@ -58,11 +67,16 @@ class ParallelSpcsT {
 
   /// One-to-all profile query from S, including merge and reduction.
   OneToAllResult one_to_all(StationId s);
+  /// Allocation-free variant: reuses `out`'s profile buffers.
+  void one_to_all_into(StationId s, OneToAllResult& out);
 
   /// Station-to-station profile query with the per-thread stopping
   /// criterion. (Distance-table pruning lives in s2s::S2sQueryEngine, which
   /// drives the same thread states with a settle hook.)
   StationQueryResult station_to_station(StationId s, StationId t);
+  /// Allocation-free variant: reuses `out`'s profile buffer.
+  void station_to_station_into(StationId s, StationId t,
+                               StationQueryResult& out);
 
   const ParallelSpcsOptions& options() const { return opt_; }
   const Timetable& timetable() const { return tt_; }
@@ -70,9 +84,10 @@ class ParallelSpcsT {
 
   /// Access for the s2s engine: runs fn(thread, lo, hi) on every thread in
   /// parallel with the conn(S) partition boundaries precomputed for `s`.
+  /// Non-owning: `fn` only has to outlive the call (fork-join).
   using RangeFn =
-      std::function<void(std::size_t thread, std::uint32_t lo, std::uint32_t hi)>;
-  void run_partitioned(StationId s, const RangeFn& fn);
+      FunctionRef<void(std::size_t thread, std::uint32_t lo, std::uint32_t hi)>;
+  void run_partitioned(StationId s, RangeFn fn);
 
   SpcsThreadStateT<Queue>& thread_state(std::size_t i) { return states_[i]; }
   const std::vector<std::uint32_t>& last_boundaries() const {
@@ -83,14 +98,29 @@ class ParallelSpcsT {
   /// labels of the last run from source `s` (shared by one_to_all and the
   /// s2s engines).
   Profile assemble_profile(StationId s, StationId t) const;
+  /// Allocation-free variant: reuses `out` and an internal raw buffer.
+  void assemble_profile_into(StationId s, StationId t, Profile& out);
+
+  /// Total arena footprint of the per-thread workspaces.
+  std::size_t scratch_bytes_reserved() const;
 
  private:
+  /// The shared merge loop of both assemble variants: raw (unreduced)
+  /// per-connection arrivals at `t`, in partition order.
+  void collect_raw_profile(StationId s, StationId t, Profile& raw) const;
+
   const Timetable& tt_;
   const TdGraph& g_;
   ParallelSpcsOptions opt_;
   ThreadPool pool_;
+  // One workspace per pool thread, allocated before the states so the
+  // states' containers can bind to the arenas; never touched concurrently
+  // by two threads (each state only grows its own workspace).
+  std::vector<std::unique_ptr<QueryWorkspace>> workspaces_;
   std::vector<SpcsThreadStateT<Queue>> states_;
   std::vector<std::uint32_t> boundaries_;
+  std::vector<double> thread_ms_;  // per-query scratch (one_to_all)
+  Profile raw_scratch_;            // assemble_profile_into scratch
 };
 
 using ParallelSpcs = ParallelSpcsT<>;

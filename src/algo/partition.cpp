@@ -4,11 +4,11 @@
 
 namespace pconn {
 
-std::vector<std::uint32_t> partition_connections(
-    std::span<const Connection> conns, unsigned p, PartitionStrategy strategy,
-    Time period) {
+void partition_connections_into(std::span<const Connection> conns, unsigned p,
+                                PartitionStrategy strategy, Time period,
+                                std::vector<std::uint32_t>& b) {
   const auto n = static_cast<std::uint32_t>(conns.size());
-  std::vector<std::uint32_t> b(p + 1, n);
+  b.assign(p + 1, n);  // reuses capacity on repeated queries
   b[0] = 0;
   switch (strategy) {
     case PartitionStrategy::kEqualConnections:
@@ -70,6 +70,13 @@ std::vector<std::uint32_t> partition_connections(
       break;
     }
   }
+}
+
+std::vector<std::uint32_t> partition_connections(
+    std::span<const Connection> conns, unsigned p, PartitionStrategy strategy,
+    Time period) {
+  std::vector<std::uint32_t> b;
+  partition_connections_into(conns, p, strategy, period, b);
   return b;
 }
 

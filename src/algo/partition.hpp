@@ -30,6 +30,12 @@ std::vector<std::uint32_t> partition_connections(
     std::span<const Connection> conns, unsigned p, PartitionStrategy strategy,
     Time period);
 
+/// Allocation-free variant for warm query paths: writes the boundaries into
+/// `out`, reusing its capacity.
+void partition_connections_into(std::span<const Connection> conns, unsigned p,
+                                PartitionStrategy strategy, Time period,
+                                std::vector<std::uint32_t>& out);
+
 /// max subset size / ideal subset size; 1.0 = perfectly balanced. Used by
 /// the partition ablation bench.
 double partition_imbalance(const std::vector<std::uint32_t>& boundaries);

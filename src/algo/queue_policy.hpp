@@ -45,6 +45,18 @@ using TimeQuaternaryQueue = DAryHeap<Time, 4>;
 using TimeLazyQueue = LazyDAryHeap<Time, 4>;
 using TimeBucketQueue = BucketQueue<Time, 0, 12>;  // one bucket per second
 
+// --- multi-criteria policies (McTimeQuery) -------------------------------
+/// Mc queue keys are composite: (arrival << kMcKeyShift) | boardings. A
+/// multi-label search keeps several live entries per node, so only
+/// non-addressable policies apply (an addressable heap holds one key per
+/// id); the "binary" spot is filled by the lazy heap at arity 2, which is
+/// exactly the std::priority_queue the engine used to hard-code.
+inline constexpr unsigned kMcKeyShift = 8;
+using McBinaryQueue = LazyDAryHeap<std::uint64_t, 2>;
+using McQuaternaryQueue = LazyDAryHeap<std::uint64_t, 4>;
+using McLazyQueue = LazyDAryHeap<std::uint64_t, 4>;
+using McBucketQueue = BucketQueue<std::uint64_t, kMcKeyShift, 12>;
+
 /// Runtime policy selector (bench `--queue` flag, differential tests).
 enum class QueueKind { kBinary, kQuaternary, kLazy, kBucket };
 
@@ -83,6 +95,23 @@ decltype(auto) with_spcs_queue(QueueKind k, Fn&& fn) {
     case QueueKind::kBinary:
     default:
       return fn(std::type_identity<SpcsBinaryQueue>{});
+  }
+}
+
+/// Multi-criteria variant of with_spcs_queue: the addressable kinds map to
+/// their lazy multi-label counterparts of the same arity (see above).
+template <typename Fn>
+decltype(auto) with_mc_queue(QueueKind k, Fn&& fn) {
+  switch (k) {
+    case QueueKind::kQuaternary:
+      return fn(std::type_identity<McQuaternaryQueue>{});
+    case QueueKind::kLazy:
+      return fn(std::type_identity<McLazyQueue>{});
+    case QueueKind::kBucket:
+      return fn(std::type_identity<McBucketQueue>{});
+    case QueueKind::kBinary:
+    default:
+      return fn(std::type_identity<McBinaryQueue>{});
   }
 }
 

@@ -1,0 +1,262 @@
+// QuerySession — the unified "construct once, query many times" front door
+// to every engine in the library.
+//
+// The paper's speedups assume a server answering streams of queries; a
+// session is what such a server keeps per worker thread. It owns
+//  * the per-thread QueryWorkspaces (arenas) all engine scratch lives in,
+//  * the engines themselves — lazily constructed on first use, then kept
+//    warm as cheap views over the workspaces,
+//  * reusable result buffers for the allocation-free query API.
+// After a warm-up query of each kind, steady-state queries perform no heap
+// allocations (tests/session_test.cpp proves this with a global
+// operator-new guard; the LC baseline is the documented exception — its
+// label-correcting profile merges are inherently dynamic).
+//
+// Threading rules (see docs/architecture.md): a session is single-owner —
+// construct one per application thread and do not share it. The parallel
+// engines inside (ParallelSpcsT and friends) still fan out over their own
+// thread pool; that parallelism is internal and safe.
+//
+// Results returned by reference (`const OneToAllResult&` etc.) live in the
+// session; each query kind has its own buffer, overwritten by the next
+// query of that kind — copy results out before re-querying the same kind.
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <span>
+
+#include "algo/all_to_one.hpp"
+#include "algo/journey.hpp"
+#include "algo/lc_profile.hpp"
+#include "algo/mc_query.hpp"
+#include "algo/parallel_spcs.hpp"
+#include "algo/te_query.hpp"
+#include "algo/time_query.hpp"
+#include "algo/workspace.hpp"
+#include "s2s/s2s_query.hpp"
+
+namespace pconn {
+
+struct QuerySessionOptions {
+  unsigned threads = 1;
+  PartitionStrategy partition = PartitionStrategy::kEqualConnections;
+  bool self_pruning = true;
+  bool stopping_criterion = true;
+  bool prune_on_relax = false;
+  bool table_pruning = true;   // s2s engine only
+  bool target_pruning = true;  // s2s engine only
+
+  ParallelSpcsOptions spcs() const {
+    return {.threads = threads,
+            .partition = partition,
+            .self_pruning = self_pruning,
+            .stopping_criterion = stopping_criterion,
+            .prune_on_relax = prune_on_relax};
+  }
+  S2sOptions s2s() const {
+    return {.threads = threads,
+            .partition = partition,
+            .self_pruning = self_pruning,
+            .stopping_criterion = stopping_criterion,
+            .table_pruning = table_pruning,
+            .target_pruning = target_pruning,
+            .prune_on_relax = prune_on_relax};
+  }
+};
+
+/// Template over the queue policies of the engine families it fronts:
+/// SPCS-style profile engines, scalar-time engines, the label-correcting
+/// baseline (heaps only — see LcProfileQueryT) and the multi-criteria
+/// engine (non-addressable only — see McTimeQueryT). Engines and the
+/// policies they can run are instantiated on first use, so a session type
+/// only requires the combinations it actually exercises.
+template <typename SpcsQueue = SpcsBinaryQueue,
+          typename TimeQueue = TimeBinaryQueue,
+          typename LcQueue = TimeBinaryQueue,
+          typename McQueue = McBinaryQueue>
+class QuerySessionT {
+ public:
+  QuerySessionT(const Timetable& tt, const TdGraph& g,
+                QuerySessionOptions opt = {})
+      : tt_(tt), g_(g), opt_(opt) {}
+
+  const Timetable& timetable() const { return tt_; }
+  const TdGraph& graph() const { return g_; }
+  const QuerySessionOptions& options() const { return opt_; }
+
+  // --- engine views (lazily constructed, persistent, workspace-backed) ---
+
+  ParallelSpcsT<SpcsQueue>& profile_engine() {
+    if (!spcs_) {
+      spcs_ = std::make_unique<ParallelSpcsT<SpcsQueue>>(tt_, g_, opt_.spcs());
+    }
+    return *spcs_;
+  }
+
+  TimeQueryT<TimeQueue>& time_engine() {
+    if (!time_) {
+      time_ = std::make_unique<TimeQueryT<TimeQueue>>(tt_, g_, &ws_);
+    }
+    return *time_;
+  }
+
+  LcProfileQueryT<LcQueue>& lc_engine() {
+    if (!lc_) {
+      lc_ = std::make_unique<LcProfileQueryT<LcQueue>>(tt_, g_, &ws_);
+    }
+    return *lc_;
+  }
+
+  McTimeQueryT<McQueue>& mc_engine() {
+    if (!mc_) {
+      mc_ = std::make_unique<McTimeQueryT<McQueue>>(tt_, g_, &ws_);
+    }
+    return *mc_;
+  }
+
+  /// The time-expanded baseline needs its own graph; the engine binds to
+  /// the one passed first. A *different* graph recreates the engine —
+  /// meant for startup-time configuration, not per-request switching: the
+  /// retired engine's scratch stays in the session arena (monotone, no
+  /// per-object free) until the session itself is destroyed.
+  TeTimeQueryT<TimeQueue>& te_engine(const TeGraph& te) {
+    if (!te_ || te_graph_ != &te) {
+      te_ = std::make_unique<TeTimeQueryT<TimeQueue>>(te, &ws_);
+      te_graph_ = &te;
+    }
+    return *te_;
+  }
+
+  /// The accelerated s2s engine needs the station graph and (optionally) a
+  /// distance table; binds to the pair passed first (a different pair
+  /// recreates it). `dt` may be nullptr.
+  S2sQueryEngineT<SpcsQueue>& s2s_engine(const StationGraph& sg,
+                                         const DistanceTable* dt) {
+    if (!s2s_ || s2s_sg_ != &sg || s2s_dt_ != dt) {
+      s2s_ = std::make_unique<S2sQueryEngineT<SpcsQueue>>(tt_, g_, sg, dt,
+                                                          opt_.s2s());
+      s2s_sg_ = &sg;
+      s2s_dt_ = dt;
+    }
+    return *s2s_;
+  }
+
+  /// Builds the reversed timetable on first use (that build allocates; the
+  /// queries after it reuse everything).
+  AllToOneProfilesT<SpcsQueue>& all_to_one_engine() {
+    if (!all_to_one_) {
+      all_to_one_ =
+          std::make_unique<AllToOneProfilesT<SpcsQueue>>(tt_, opt_.spcs());
+    }
+    return *all_to_one_;
+  }
+
+  // --- unified query API (allocation-free once warm; every kind has its
+  // --- own result buffer, overwritten by the next query of that kind) ---
+
+  /// One-to-all profile query dist(S, ·, ·) (paper Table 1 workload).
+  const OneToAllResult& one_to_all(StationId s) {
+    profile_engine().one_to_all_into(s, one_to_all_buf_);
+    return one_to_all_buf_;
+  }
+
+  /// Station-to-station profile query, stopping criterion only.
+  const StationQueryResult& station_to_station(StationId s, StationId t) {
+    profile_engine().station_to_station_into(s, t, station_buf_);
+    return station_buf_;
+  }
+
+  /// Station-to-station profile query with the Section-4 accelerations;
+  /// requires a prior s2s_engine(sg, dt) call to bind the station graph.
+  const StationQueryResult& s2s_query(StationId s, StationId t) {
+    assert(s2s_ && "bind the station graph with s2s_engine(sg, dt) first");
+    s2s_->query_into(s, t, s2s_buf_);
+    return s2s_buf_;
+  }
+
+  /// All-to-one profile query dist(·, T, ·).
+  const OneToAllResult& all_to_one(StationId target) {
+    all_to_one_engine().all_to_one_into(target, all_to_one_buf_);
+    return all_to_one_buf_;
+  }
+
+  /// Earliest arrival at `target` departing `source` at `departure`
+  /// (kInvalidStation target: settle everything, query later via
+  /// time_engine().arrival_at).
+  Time earliest_arrival(StationId source, Time departure,
+                        StationId target = kInvalidStation) {
+    time_engine().run(source, departure, target);
+    return target == kInvalidStation ? departure
+                                     : time_engine().arrival_at(target);
+  }
+
+  /// Full journey extraction for one departure; nullptr when unreachable.
+  const Journey* journey(StationId source, Time departure, StationId target) {
+    time_engine().run(source, departure, target);
+    if (!extract_journey_into(tt_, g_, time_engine(), source, departure,
+                              target, path_scratch_, journey_buf_)) {
+      return nullptr;
+    }
+    return &journey_buf_;
+  }
+
+  /// Pareto front over (arrival, boardings) at `target`.
+  std::span<const McLabel> pareto(StationId source, Time departure,
+                                  StationId target,
+                                  std::uint32_t max_boards = 16) {
+    mc_engine().run(source, departure, max_boards);
+    return mc_engine().pareto(target);
+  }
+
+  // --- memory accounting ---
+
+  /// Arena bytes pinned by this session: its own workspace plus the
+  /// per-thread workspaces of every parallel engine it has constructed
+  /// (profile, s2s, all-to-one) — the capacity-planning number.
+  std::size_t scratch_bytes_reserved() const {
+    std::size_t total = ws_.bytes_reserved();
+    if (spcs_) total += spcs_->scratch_bytes_reserved();
+    if (s2s_) total += s2s_->scratch_bytes_reserved();
+    if (all_to_one_) total += all_to_one_->scratch_bytes_reserved();
+    return total;
+  }
+
+ private:
+  const Timetable& tt_;
+  const TdGraph& g_;
+  QuerySessionOptions opt_;
+
+  // Workspace of the single-threaded engines. The parallel engines own one
+  // workspace per pool thread internally.
+  QueryWorkspace ws_;
+
+  std::unique_ptr<ParallelSpcsT<SpcsQueue>> spcs_;
+  std::unique_ptr<TimeQueryT<TimeQueue>> time_;
+  std::unique_ptr<LcProfileQueryT<LcQueue>> lc_;
+  std::unique_ptr<McTimeQueryT<McQueue>> mc_;
+  std::unique_ptr<TeTimeQueryT<TimeQueue>> te_;
+  const TeGraph* te_graph_ = nullptr;
+  std::unique_ptr<S2sQueryEngineT<SpcsQueue>> s2s_;
+  const StationGraph* s2s_sg_ = nullptr;
+  const DistanceTable* s2s_dt_ = nullptr;
+  std::unique_ptr<AllToOneProfilesT<SpcsQueue>> all_to_one_;
+
+  // Reusable result buffers for the query API above, one per query kind.
+  OneToAllResult one_to_all_buf_;
+  OneToAllResult all_to_one_buf_;
+  StationQueryResult station_buf_;
+  StationQueryResult s2s_buf_;
+  Journey journey_buf_;
+  std::vector<NodeId> path_scratch_;
+};
+
+/// The paper's configuration: binary heaps everywhere.
+using QuerySession = QuerySessionT<>;
+/// The fastest measured configuration (docs/queues.md): bucket queues for
+/// the monotone engines, heaps where required.
+using FastQuerySession =
+    QuerySessionT<SpcsBucketQueue, TimeBucketQueue, TimeBinaryQueue,
+                  McBucketQueue>;
+
+}  // namespace pconn

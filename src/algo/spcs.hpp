@@ -32,6 +32,7 @@
 
 #include "algo/counters.hpp"
 #include "algo/queue_policy.hpp"
+#include "algo/workspace.hpp"
 #include "graph/td_graph.hpp"
 #include "timetable/timetable.hpp"
 #include "util/epoch_array.hpp"
@@ -77,6 +78,19 @@ struct NoHook {
 template <typename Queue = SpcsBinaryQueue>
 class SpcsThreadStateT {
  public:
+  SpcsThreadStateT() : SpcsThreadStateT(nullptr) {}
+  /// Places all scratch (queue, label matrices, epoch arrays) in the
+  /// workspace's arena; ws == nullptr keeps the plain-heap behaviour. The
+  /// state must not outlive the workspace.
+  explicit SpcsThreadStateT(QueryWorkspace* ws)
+      : heap_(scratch_alloc(ws)),
+        arr_(scratch_alloc(ws)),
+        maxconn_(scratch_alloc(ws)),
+        anc_(scratch_alloc(ws)),
+        best_(scratch_alloc(ws)),
+        noanc_(ArenaAllocator<std::uint32_t>(scratch_alloc(ws))),
+        done_(ArenaAllocator<std::uint8_t>(scratch_alloc(ws))) {}
+
   /// Queue keys are composite: (arrival << kKeyShift) | (W - 1 - li).
   /// Arrival-time ties are broken towards the HIGHER connection index —
   /// under the FIFO property a later connection can only arrive *equally*
@@ -281,8 +295,8 @@ class SpcsThreadStateT {
   EpochArray<std::uint8_t> anc_;
   EpochArray<std::uint64_t> best_;  // best queued key; non-addressable
                                     // queues with ancestor tracking only
-  std::vector<std::uint32_t> noanc_;
-  std::vector<std::uint8_t> done_;
+  std::vector<std::uint32_t, ArenaAllocator<std::uint32_t>> noanc_;
+  std::vector<std::uint8_t, ArenaAllocator<std::uint8_t>> done_;
   std::uint32_t width_ = 0;
   QueryStats stats_;
 };

@@ -3,7 +3,11 @@
 namespace pconn {
 
 template <typename Queue>
-TeTimeQueryT<Queue>::TeTimeQueryT(const TeGraph& g) : g_(g) {
+TeTimeQueryT<Queue>::TeTimeQueryT(const TeGraph& g, QueryWorkspace* ws)
+    : g_(g),
+      heap_(scratch_alloc(ws)),
+      dist_(scratch_alloc(ws)),
+      best_arrival_(scratch_alloc(ws)) {
   heap_.reset_capacity(g.num_nodes());
   dist_.assign(g.num_nodes(), kInfTime);
   // Station count is not stored in TeGraph; size lazily on first run.

@@ -6,6 +6,7 @@
 
 #include "algo/counters.hpp"
 #include "algo/queue_policy.hpp"
+#include "algo/workspace.hpp"
 #include "graph/te_graph.hpp"
 #include "timetable/timetable.hpp"
 #include "util/epoch_array.hpp"
@@ -17,7 +18,8 @@ namespace pconn {
 template <typename Queue = TimeBinaryQueue>
 class TeTimeQueryT {
  public:
-  explicit TeTimeQueryT(const TeGraph& g);
+  /// `ws` (optional) places all scratch in the workspace's arena.
+  explicit TeTimeQueryT(const TeGraph& g, QueryWorkspace* ws = nullptr);
 
   /// One-to-all earliest arrivals from `source` at absolute time
   /// `departure`. If `target` is given, stops as soon as the target's

@@ -3,8 +3,14 @@
 namespace pconn {
 
 template <typename Queue>
-TimeQueryT<Queue>::TimeQueryT(const Timetable& tt, const TdGraph& g)
-    : tt_(tt), g_(g) {
+TimeQueryT<Queue>::TimeQueryT(const Timetable& tt, const TdGraph& g,
+                              QueryWorkspace* ws)
+    : tt_(tt),
+      g_(g),
+      heap_(scratch_alloc(ws)),
+      dist_(scratch_alloc(ws)),
+      parent_(scratch_alloc(ws)),
+      settled_(scratch_alloc(ws)) {
   heap_.reset_capacity(g.num_nodes());
   dist_.assign(g.num_nodes(), kInfTime);
   parent_.assign(g.num_nodes(), kInvalidNode);

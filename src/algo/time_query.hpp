@@ -15,6 +15,7 @@
 
 #include "algo/counters.hpp"
 #include "algo/queue_policy.hpp"
+#include "algo/workspace.hpp"
 #include "graph/td_graph.hpp"
 #include "timetable/timetable.hpp"
 #include "util/epoch_array.hpp"
@@ -26,7 +27,10 @@ namespace pconn {
 template <typename Queue = TimeBinaryQueue>
 class TimeQueryT {
  public:
-  TimeQueryT(const Timetable& tt, const TdGraph& g);
+  /// `ws` (optional) places all scratch — dist/parent/settled arrays and
+  /// the queue — in the workspace's arena; the engine must not outlive it.
+  TimeQueryT(const Timetable& tt, const TdGraph& g,
+             QueryWorkspace* ws = nullptr);
 
   /// One-to-all run. Results stay valid until the next run.
   /// If `target` is given, stops once the target's station node is settled.

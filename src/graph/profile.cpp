@@ -5,8 +5,9 @@
 
 namespace pconn {
 
-Profile reduce_profile(const Profile& raw, Time period) {
-  Profile out;
+void reduce_profile_into(const Profile& raw, Time period, Profile& out) {
+  assert(&raw != &out);
+  out.clear();
   out.reserve(raw.size());
   // Backward scan: keep a point only if it arrives strictly earlier than
   // every kept point departing later the same day.
@@ -38,6 +39,11 @@ Profile reduce_profile(const Profile& raw, Time period) {
     const Time wrap_min = out.front().arr + period;
     while (out.size() > 1 && out.back().arr >= wrap_min) out.pop_back();
   }
+}
+
+Profile reduce_profile(const Profile& raw, Time period) {
+  Profile out;
+  reduce_profile_into(raw, period, out);
   return out;
 }
 

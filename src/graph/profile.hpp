@@ -29,6 +29,10 @@ using Profile = std::vector<ProfilePoint>;
 /// result is FIFO as a periodic function. Input must be sorted by dep.
 Profile reduce_profile(const Profile& raw, Time period);
 
+/// Allocation-free variant for warm query paths: writes the reduced profile
+/// into `out`, reusing its capacity. `&raw != &out`.
+void reduce_profile_into(const Profile& raw, Time period, Profile& out);
+
 /// Earliest absolute arrival when departing the source at absolute time t.
 /// The profile must be reduced (FIFO); returns kInfTime for empty profiles.
 Time eval_profile(const Profile& profile, Time t, Time period);

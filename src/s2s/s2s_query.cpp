@@ -22,6 +22,7 @@ struct MuHook {
   std::vector<Time> mu;  // [local conn * vias->size() + j]
 
   void prepare(std::uint32_t width) {
+    // assign() reuses the vector's high-water capacity across queries.
     mu.assign(static_cast<std::size_t>(width) * vias->size(), kInfTime);
   }
 
@@ -95,6 +96,19 @@ struct TargetHook {
 
 }  // namespace
 
+/// Engine-owned per-query scratch: one hook per pool thread, constructed
+/// once and re-prepared (capacity-reusing) per query, plus the via DFS and
+/// profile merge buffers. The hook types are local to this TU, hence the
+/// pimpl.
+template <typename Queue>
+struct S2sQueryEngineT<Queue>::Scratch {
+  std::vector<MuHook> mu_hooks;
+  std::vector<TargetHook> target_hooks;
+  ViaResult via;
+  ViaScratch via_scratch;
+  Profile raw;  // merge buffer for the target-transfer path
+};
+
 template <typename Queue>
 S2sQueryEngineT<Queue>::S2sQueryEngineT(const Timetable& tt, const TdGraph& g,
                                         const StationGraph& sg,
@@ -109,36 +123,48 @@ S2sQueryEngineT<Queue>::S2sQueryEngineT(const Timetable& tt, const TdGraph& g,
                                 .partition = opt.partition,
                                 .self_pruning = opt.self_pruning,
                                 .stopping_criterion = opt.stopping_criterion,
-                                .prune_on_relax = opt.prune_on_relax}) {}
+                                .prune_on_relax = opt.prune_on_relax}),
+      scratch_(std::make_unique<Scratch>()) {
+  scratch_->mu_hooks.resize(opt_.threads);
+  scratch_->target_hooks.resize(opt_.threads);
+}
 
 template <typename Queue>
-StationQueryResult S2sQueryEngineT<Queue>::query(StationId s, StationId t) {
+S2sQueryEngineT<Queue>::~S2sQueryEngineT() = default;
+
+template <typename Queue>
+void S2sQueryEngineT<Queue>::query_into(StationId s, StationId t,
+                                        StationQueryResult& out) {
   const bool have_table = dt_ != nullptr && opt_.table_pruning;
+  out.stats = QueryStats{};
 
   // Both endpoints in S_trans: the table already holds the answer.
   if (have_table && s != t && dt_->is_transfer(s) && dt_->is_transfer(t)) {
     last_kind_ = Kind::kTableLookup;
-    StationQueryResult res;
     Timer timer;
-    res.profile = dt_->profile(s, t);
-    res.stats.time_ms = timer.elapsed_ms();
-    return res;
+    const Profile& p = dt_->profile(s, t);
+    out.profile.assign(p.begin(), p.end());
+    out.stats.time_ms = timer.elapsed_ms();
+    return;
   }
 
   if (!have_table) {
     last_kind_ = Kind::kPlain;
-    return spcs_.station_to_station(s, t);
+    spcs_.station_to_station_into(s, t, out);
+    return;
   }
 
-  ViaResult via = find_via_stations(sg_, s, t, dt_->transfer_flags());
+  find_via_stations_into(sg_, s, t, dt_->transfer_flags(),
+                         scratch_->via_scratch, scratch_->via);
+  const ViaResult& via = scratch_->via;
   if (via.local || via.vias.empty()) {
     // Local queries get no table pruning (paper); disconnected targets
     // (no via stations) cannot use the table either.
     last_kind_ = Kind::kLocal;
-    return spcs_.station_to_station(s, t);
+    spcs_.station_to_station_into(s, t, out);
+    return;
   }
 
-  StationQueryResult res;
   Timer timer;
   const SpcsOptions o{.self_pruning = opt_.self_pruning,
                       .stopping_criterion = opt_.stopping_criterion,
@@ -146,7 +172,7 @@ StationQueryResult S2sQueryEngineT<Queue>::query(StationId s, StationId t) {
 
   if (dt_->is_transfer(t)) {
     last_kind_ = Kind::kTargetTransfer;
-    std::vector<TargetHook> hooks(opt_.threads);
+    std::vector<TargetHook>& hooks = scratch_->target_hooks;
     spcs_.run_partitioned(
         s, [&](std::size_t th, std::uint32_t lo, std::uint32_t hi) {
           TargetHook& hook = hooks[th];
@@ -162,7 +188,8 @@ StationQueryResult S2sQueryEngineT<Queue>::query(StationId s, StationId t) {
     // Merge matrix labels with the arrivals fixed by target pruning.
     auto conns = tt_.outgoing(s);
     const NodeId tn = g_.station_node(t);
-    Profile raw;
+    Profile& raw = scratch_->raw;
+    raw.clear();
     raw.reserve(conns.size());
     const auto& b = spcs_.last_boundaries();
     for (std::size_t th = 0; th < hooks.size(); ++th) {
@@ -172,10 +199,10 @@ StationQueryResult S2sQueryEngineT<Queue>::query(StationId s, StationId t) {
         raw.push_back({conns[b[th] + li].dep, arr});
       }
     }
-    res.profile = reduce_profile(raw, tt_.period());
+    reduce_profile_into(raw, tt_.period(), out.profile);
   } else {
     last_kind_ = Kind::kGlobal;
-    std::vector<MuHook> hooks(opt_.threads);
+    std::vector<MuHook>& hooks = scratch_->mu_hooks;
     spcs_.run_partitioned(
         s, [&](std::size_t th, std::uint32_t lo, std::uint32_t hi) {
           MuHook& hook = hooks[th];
@@ -187,13 +214,19 @@ StationQueryResult S2sQueryEngineT<Queue>::query(StationId s, StationId t) {
           spcs_.thread_state(th).run(g_, tt_, tt_.outgoing(s), lo, hi, t, o,
                                      hook);
         });
-    res.profile = spcs_.assemble_profile(s, t);
+    spcs_.assemble_profile_into(s, t, out.profile);
   }
 
   for (unsigned th = 0; th < opt_.threads; ++th) {
-    res.stats += spcs_.thread_state(th).stats();
+    out.stats += spcs_.thread_state(th).stats();
   }
-  res.stats.time_ms = timer.elapsed_ms();
+  out.stats.time_ms = timer.elapsed_ms();
+}
+
+template <typename Queue>
+StationQueryResult S2sQueryEngineT<Queue>::query(StationId s, StationId t) {
+  StationQueryResult res;
+  query_into(s, t, res);
   return res;
 }
 

@@ -4,34 +4,45 @@
 
 namespace pconn {
 
+void find_via_stations_into(const StationGraph& sg, StationId source,
+                            StationId target,
+                            const std::vector<std::uint8_t>& is_transfer,
+                            ViaScratch& scratch, ViaResult& out) {
+  out.vias.clear();
+  out.local = false;
+  if (is_transfer[target]) {
+    out.vias.push_back(target);
+    out.local = (source == target);
+    return;
+  }
+
+  scratch.seen.ensure_and_clear(sg.num_stations(), 0);  // O(touched) reset
+  scratch.stack.clear();
+  scratch.stack.push_back(target);
+  scratch.seen.set(target, 1);
+  while (!scratch.stack.empty()) {
+    StationId v = scratch.stack.back();
+    scratch.stack.pop_back();
+    if (v == source) out.local = true;
+    for (const StationGraph::Edge& e : sg.in_edges(v)) {
+      if (scratch.seen.get(e.head)) continue;
+      scratch.seen.set(e.head, 1);
+      if (is_transfer[e.head]) {
+        out.vias.push_back(e.head);  // touched, not expanded
+      } else {
+        scratch.stack.push_back(e.head);
+      }
+    }
+  }
+  std::sort(out.vias.begin(), out.vias.end());
+}
+
 ViaResult find_via_stations(const StationGraph& sg, StationId source,
                             StationId target,
                             const std::vector<std::uint8_t>& is_transfer) {
   ViaResult res;
-  if (is_transfer[target]) {
-    res.vias = {target};
-    res.local = (source == target);
-    return res;
-  }
-
-  std::vector<std::uint8_t> seen(sg.num_stations(), 0);
-  std::vector<StationId> stack = {target};
-  seen[target] = 1;
-  while (!stack.empty()) {
-    StationId v = stack.back();
-    stack.pop_back();
-    if (v == source) res.local = true;
-    for (const StationGraph::Edge& e : sg.in_edges(v)) {
-      if (seen[e.head]) continue;
-      seen[e.head] = 1;
-      if (is_transfer[e.head]) {
-        res.vias.push_back(e.head);  // touched, not expanded
-      } else {
-        stack.push_back(e.head);
-      }
-    }
-  }
-  std::sort(res.vias.begin(), res.vias.end());
+  ViaScratch scratch;
+  find_via_stations_into(sg, source, target, is_transfer, scratch, res);
   return res;
 }
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "graph/station_graph.hpp"
+#include "util/epoch_array.hpp"
 
 namespace pconn {
 
@@ -19,10 +20,24 @@ struct ViaResult {
   bool local = false;           // true iff the query S -> T is local
 };
 
+/// Reusable scratch for find_via_stations_into (warm query paths keep one
+/// per engine so the DFS allocates nothing after warm-up; the epoch array
+/// makes the per-query visited reset O(1) instead of O(|S|)).
+struct ViaScratch {
+  EpochArray<std::uint8_t> seen;
+  std::vector<StationId> stack;
+};
+
 /// `is_transfer` is indexed by station id. If `target` is itself a transfer
 /// station, via(T) = {T} and local(T) is empty (paper's special case).
 ViaResult find_via_stations(const StationGraph& sg, StationId source,
                             StationId target,
                             const std::vector<std::uint8_t>& is_transfer);
+
+/// Allocation-free variant: reuses `out` and `scratch` buffers.
+void find_via_stations_into(const StationGraph& sg, StationId source,
+                            StationId target,
+                            const std::vector<std::uint8_t>& is_transfer,
+                            ViaScratch& scratch, ViaResult& out);
 
 }  // namespace pconn

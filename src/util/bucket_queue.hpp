@@ -8,8 +8,19 @@
 // the window go to the overflow level, a flat vector that is redistributed
 // into a fresh window whenever the current one drains. Since pop keys are
 // monotone, a bucket can be filled only at or after the scan cursor, so
-// every bucket is touched O(1) times and a full query costs
-// O(pushes + windows * 2^BucketBits).
+// every bucket is touched O(1) times.
+//
+// Cursor advance is a bitset scan, not a per-bucket probe: a word-packed
+// occupancy bitset (bit b set iff bucket b is non-empty) lets the cursor
+// jump straight to the next occupied bucket with std::countr_zero —
+// O(window/64) words instead of O(window) `empty()` probes, which matters
+// on sparse windows where almost every bucket is empty.
+//
+// The rebase keeps a *running* minimum of the overflow radixes (updated as
+// entries are pushed), so re-anchoring the window is a single
+// redistribution pass; the min of the entries that stay in overflow is
+// recomputed during that same pass. Period-spanning queries that cross many
+// windows pay one pass per rebase instead of two.
 //
 // Within a bucket, entries are sorted by the full key on first pop, so the
 // composite-key tie-breaking (SPCS pops the later connection first) is
@@ -20,12 +31,18 @@
 //
 // Like LazyDAryHeap this queue is not addressable: duplicates per id are
 // allowed and the caller drops stale pops (QueryStats::stale_popped).
+// Constructed from a workspace allocator, the bucket window and the
+// overflow level live in the session arena (util/arena.hpp).
 #pragma once
 
 #include <algorithm>
+#include <array>
+#include <bit>
 #include <cassert>
 #include <cstdint>
 #include <vector>
+
+#include "util/arena.hpp"
 
 namespace pconn {
 
@@ -42,7 +59,13 @@ class BucketQueue {
   static constexpr bool kMonotone = true;
   static constexpr std::size_t kNumBuckets = std::size_t{1} << BucketBits;
 
-  BucketQueue() { buckets_.resize(kNumBuckets); }
+  BucketQueue() : BucketQueue(ScratchAlloc()) {}
+  explicit BucketQueue(ScratchAlloc alloc)
+      : buckets_(kNumBuckets, Bucket(ArenaAllocator<Entry>(alloc)),
+                 ArenaAllocator<Bucket>(alloc)),
+        overflow_(ArenaAllocator<Entry>(alloc)) {
+    occ_.fill(0);
+  }
   explicit BucketQueue(std::size_t capacity) : BucketQueue() {
     reset_capacity(capacity);
   }
@@ -66,11 +89,12 @@ class BucketQueue {
       // order; they collect in the overflow level and the next pop anchors
       // the window at their minimum radix.
       overflow_.push_back({key, id});
+      overflow_min_ = std::min(overflow_min_, r);
       return;
     }
     assert(r >= base_ + cur_ && "bucket queue requires monotone pushes");
     if (r - base_ < kNumBuckets) {
-      std::vector<Entry>& b = buckets_[r - base_];
+      Bucket& b = buckets_[r - base_];
       if (r == base_ + cur_ && cur_sorted_) {
         // The bucket is being drained in descending-key order; keep it
         // sorted so the next pop still returns the minimum full key.
@@ -82,8 +106,10 @@ class BucketQueue {
       } else {
         b.push_back({key, id});
       }
+      mark_occupied(r - base_);
     } else {
       overflow_.push_back({key, id});
+      overflow_min_ = std::min(overflow_min_, r);
     }
   }
 
@@ -99,22 +125,26 @@ class BucketQueue {
   /// Removes and returns the minimum entry.
   std::pair<Id, Key> pop() {
     settle_cursor();
-    Entry e = buckets_[cur_].back();
-    buckets_[cur_].pop_back();
+    Bucket& b = buckets_[cur_];
+    Entry e = b.back();
+    b.pop_back();
+    if (b.empty()) mark_empty(cur_);
     if (--size_ == 0) anchored_ = false;  // next push batch re-anchors
     return {e.id, e.key};
   }
 
   void clear() {
     if (size_ != 0) {
-      for (std::vector<Entry>& b : buckets_) b.clear();
+      for (Bucket& b : buckets_) b.clear();
       overflow_.clear();
     }
+    occ_.fill(0);
     size_ = 0;
     base_ = 0;
     cur_ = 0;
     cur_sorted_ = false;
     anchored_ = false;
+    overflow_min_ = kNoRadix;
   }
 
  private:
@@ -122,9 +152,28 @@ class BucketQueue {
     Key key;
     Id id;
   };
+  using Bucket = std::vector<Entry, ArenaAllocator<Entry>>;
+
+  static constexpr std::size_t kOccWords = (kNumBuckets + 63) / 64;
+  static constexpr std::uint64_t kNoRadix = ~std::uint64_t{0};
 
   static std::uint64_t radix(Key key) {
     return static_cast<std::uint64_t>(key) >> KeyShift;
+  }
+
+  void mark_occupied(std::size_t b) { occ_[b >> 6] |= std::uint64_t{1} << (b & 63); }
+  void mark_empty(std::size_t b) { occ_[b >> 6] &= ~(std::uint64_t{1} << (b & 63)); }
+
+  /// First occupied bucket at or after `from`; kNumBuckets when the rest of
+  /// the window is empty. One countr_zero per 64 buckets.
+  std::size_t first_occupied_from(std::size_t from) const {
+    std::size_t w = from >> 6;
+    std::uint64_t word = occ_[w] & (~std::uint64_t{0} << (from & 63));
+    while (word == 0) {
+      if (++w == kOccWords) return kNumBuckets;
+      word = occ_[w];
+    }
+    return (w << 6) + static_cast<std::size_t>(std::countr_zero(word));
   }
 
   /// Advances the scan cursor to the bucket holding the minimum entry and
@@ -133,7 +182,12 @@ class BucketQueue {
     assert(size_ != 0);
     if (!anchored_) rebase();
     while (true) {
-      if (!buckets_[cur_].empty()) {
+      const std::size_t idx = first_occupied_from(cur_);
+      if (idx != kNumBuckets) {
+        if (idx != cur_) {
+          cur_ = idx;
+          cur_sorted_ = false;
+        }
         if (!cur_sorted_) {
           std::sort(buckets_[cur_].begin(), buckets_[cur_].end(),
                     [](const Entry& a, const Entry& b) {
@@ -143,36 +197,42 @@ class BucketQueue {
         }
         return;
       }
-      cur_sorted_ = false;
-      if (++cur_ == kNumBuckets) rebase();
+      rebase();
     }
   }
 
   /// The window drained but overflow entries remain: re-anchor the window
-  /// at the smallest overflow radix and redistribute what now fits.
+  /// at the smallest overflow radix (kept as a running min by push, so no
+  /// separate scan) and redistribute what now fits; the min of what stays
+  /// in overflow falls out of the same pass.
   void rebase() {
-    assert(!overflow_.empty());
-    std::uint64_t min_r = radix(overflow_.front().key);
-    for (const Entry& e : overflow_) min_r = std::min(min_r, radix(e.key));
-    base_ = min_r;
+    assert(!overflow_.empty() && overflow_min_ != kNoRadix);
+    base_ = overflow_min_;
     cur_ = 0;
     cur_sorted_ = false;
     anchored_ = true;
+    occ_.fill(0);
     std::size_t kept = 0;
+    std::uint64_t kept_min = kNoRadix;
     for (Entry& e : overflow_) {
       const std::uint64_t r = radix(e.key);
       if (r - base_ < kNumBuckets) {
         buckets_[r - base_].push_back(e);
+        mark_occupied(r - base_);
       } else {
+        kept_min = std::min(kept_min, r);
         overflow_[kept++] = e;
       }
     }
     overflow_.resize(kept);
+    overflow_min_ = kept_min;
   }
 
-  std::vector<std::vector<Entry>> buckets_;  // window [base_, base_ + 2^B)
-  std::vector<Entry> overflow_;              // radix >= base_ + 2^B
+  std::vector<Bucket, ArenaAllocator<Bucket>> buckets_;  // the window
+  std::vector<Entry, ArenaAllocator<Entry>> overflow_;   // radix past it
+  std::array<std::uint64_t, kOccWords> occ_{};  // bit b: bucket b non-empty
   std::uint64_t base_ = 0;  // radix of buckets_[0]
+  std::uint64_t overflow_min_ = kNoRadix;  // running min radix in overflow_
   std::size_t cur_ = 0;     // scan cursor into buckets_
   bool cur_sorted_ = false;
   bool anchored_ = false;  // window is positioned; false while only the

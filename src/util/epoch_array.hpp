@@ -4,10 +4,16 @@
 // bench run issues; physically zeroing |V| x |conn(S)| label matrices per
 // query would dominate the measurement. An EpochArray keeps a per-slot
 // version stamp and treats stale slots as holding the default value.
+//
+// Storage is allocator-aware: constructed from a workspace's ScratchAlloc,
+// both the value and the stamp array live in the session arena
+// (util/arena.hpp); default-constructed arrays use the heap as before.
 #pragma once
 
 #include <cstdint>
 #include <vector>
+
+#include "util/arena.hpp"
 
 namespace pconn {
 
@@ -15,6 +21,9 @@ template <typename T>
 class EpochArray {
  public:
   EpochArray() = default;
+  explicit EpochArray(ScratchAlloc alloc)
+      : values_(ArenaAllocator<T>(alloc)),
+        epochs_(ArenaAllocator<std::uint32_t>(alloc)) {}
   EpochArray(std::size_t n, T def) { assign(n, def); }
 
   void assign(std::size_t n, T def) {
@@ -57,8 +66,8 @@ class EpochArray {
   bool touched(std::size_t i) const { return epochs_[i] == epoch_; }
 
  private:
-  std::vector<T> values_;
-  std::vector<std::uint32_t> epochs_;
+  std::vector<T, ArenaAllocator<T>> values_;
+  std::vector<std::uint32_t, ArenaAllocator<std::uint32_t>> epochs_;
   std::uint32_t epoch_ = 1;
   T default_{};
 };

@@ -12,6 +12,8 @@
 #include <limits>
 #include <vector>
 
+#include "util/arena.hpp"
+
 namespace pconn {
 
 /// What a push_or_decrease call did to the queue. The distinct values let
@@ -32,6 +34,11 @@ class DAryHeap {
       std::numeric_limits<std::uint32_t>::max();
 
   DAryHeap() = default;
+  /// Places the position map and the slot array in `alloc`'s arena
+  /// (workspace-backed engines); unbound allocs behave like the default.
+  explicit DAryHeap(ScratchAlloc alloc)
+      : pos_(ArenaAllocator<std::uint32_t>(alloc)),
+        slots_(ArenaAllocator<Slot>(alloc)) {}
   explicit DAryHeap(std::size_t capacity) { reset_capacity(capacity); }
 
   /// Grows the id space to at least `capacity` (amortized doubling, so a
@@ -178,8 +185,9 @@ class DAryHeap {
     pos_[moving.id] = static_cast<std::uint32_t>(i);
   }
 
-  std::vector<std::uint32_t> pos_;  // id -> slot index, kInvalidPos if absent
-  std::vector<Slot> slots_;
+  // id -> slot index, kInvalidPos if absent
+  std::vector<std::uint32_t, ArenaAllocator<std::uint32_t>> pos_;
+  std::vector<Slot, ArenaAllocator<Slot>> slots_;
 };
 
 template <typename Key>

@@ -17,6 +17,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/arena.hpp"
+
 namespace pconn {
 
 template <typename Key, unsigned Arity = 4>
@@ -33,6 +35,9 @@ class LazyDAryHeap {
   static constexpr bool kMonotone = false;
 
   LazyDAryHeap() = default;
+  /// Places the slot array in `alloc`'s arena (workspace-backed engines).
+  explicit LazyDAryHeap(ScratchAlloc alloc)
+      : slots_(ArenaAllocator<Slot>(alloc)) {}
   explicit LazyDAryHeap(std::size_t capacity) { reset_capacity(capacity); }
 
   /// Id-space bookkeeping only: lazy heaps hold duplicates, so no per-id
@@ -115,7 +120,7 @@ class LazyDAryHeap {
     slots_[i] = moving;
   }
 
-  std::vector<Slot> slots_;
+  std::vector<Slot, ArenaAllocator<Slot>> slots_;
   std::size_t capacity_ = 0;
 };
 

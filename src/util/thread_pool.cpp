@@ -21,7 +21,7 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::run(const std::function<void(std::size_t)>& fn) {
+void ThreadPool::run(TaskRef fn) {
   if (workers_.empty()) {
     fn(0);
     return;
@@ -42,7 +42,7 @@ void ThreadPool::run(const std::function<void(std::size_t)>& fn) {
 void ThreadPool::worker_loop(std::size_t index) {
   std::uint64_t seen_generation = 0;
   while (true) {
-    const std::function<void(std::size_t)>* job = nullptr;
+    const TaskRef* job = nullptr;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       start_cv_.wait(lock, [&] {

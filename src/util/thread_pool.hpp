@@ -3,16 +3,28 @@
 // The paper's parallelization is strictly fork-join: partition conn(S),
 // run p SPCS instances, barrier, merge. A persistent pool avoids paying
 // thread creation inside the ~millisecond query measurements.
+//
+// run() takes a non-owning TaskRef instead of a std::function: the callable
+// outlives the call by construction (fork-join), and a std::function would
+// heap-allocate its capture state on every query — the warm query path must
+// stay allocation-free (docs/architecture.md).
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
-#include <functional>
+#include <cstdint>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "util/function_ref.hpp"
+
 namespace pconn {
+
+/// Non-owning reference to a callable `void(std::size_t thread_index)`.
+/// Valid only while the referenced callable is alive — exactly the
+/// fork-join lifetime of ThreadPool::run.
+using TaskRef = FunctionRef<void(std::size_t)>;
 
 class ThreadPool {
  public:
@@ -28,7 +40,7 @@ class ThreadPool {
   /// Runs fn(t) for t in [0, num_threads()) — one call per worker plus the
   /// calling thread (which executes t = 0) — and blocks until all return.
   /// fn must be safe to invoke concurrently.
-  void run(const std::function<void(std::size_t)>& fn);
+  void run(TaskRef fn);
 
  private:
   void worker_loop(std::size_t index);
@@ -37,7 +49,7 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable start_cv_;
   std::condition_variable done_cv_;
-  const std::function<void(std::size_t)>* job_ = nullptr;
+  const TaskRef* job_ = nullptr;
   std::uint64_t generation_ = 0;
   std::size_t remaining_ = 0;
   bool stop_ = false;
