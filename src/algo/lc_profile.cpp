@@ -4,13 +4,21 @@
 
 namespace pconn {
 
+namespace {
+
+/// Merge order shared by the public merge_profiles and the engine's pooled
+/// scratch merge: lexicographic (departure, arrival).
+bool profile_point_less(const ProfilePoint& x, const ProfilePoint& y) {
+  return x.dep != y.dep ? x.dep < y.dep : x.arr < y.arr;
+}
+
+}  // namespace
+
 Profile merge_profiles(const Profile& a, const Profile& b, Time period) {
   Profile u;
   u.reserve(a.size() + b.size());
   std::merge(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(u),
-             [](const ProfilePoint& x, const ProfilePoint& y) {
-               return x.dep != y.dep ? x.dep < y.dep : x.arr < y.arr;
-             });
+             profile_point_less);
   return reduce_profile(u, period);
 }
 
@@ -22,7 +30,11 @@ LcProfileQueryT<Queue>::LcProfileQueryT(const Timetable& tt, const TdGraph& g,
       heap_(scratch_alloc(ws)),
       qkey_(scratch_alloc(ws)),
       touched_(ArenaAllocator<NodeId>(scratch_alloc(ws))),
-      dirty_(ArenaAllocator<std::uint8_t>(scratch_alloc(ws))) {
+      dirty_(ArenaAllocator<std::uint8_t>(scratch_alloc(ws))),
+      init_(ArenaAllocator<ProfilePoint>(scratch_alloc(ws))),
+      cand_(ArenaAllocator<ProfilePoint>(scratch_alloc(ws))),
+      union_(ArenaAllocator<ProfilePoint>(scratch_alloc(ws))),
+      merged_(ArenaAllocator<ProfilePoint>(scratch_alloc(ws))) {
   heap_.reset_capacity(g.num_nodes());
   labels_.resize(g.num_nodes());
   dirty_.assign(g.num_nodes(), 0);
@@ -72,18 +84,29 @@ void LcProfileQueryT<Queue>::run(StationId s) {
     }
   };
 
+  // Pointwise-minimum merge of labels_[v] with cand_ into merged_, all
+  // through the pooled scratch (no temporaries, capacities reused).
+  auto merge_into_scratch = [&](const Profile& label) {
+    union_.clear();
+    union_.reserve(label.size() + cand_.size());
+    std::merge(label.begin(), label.end(), cand_.begin(), cand_.end(),
+               std::back_inserter(union_), profile_point_less);
+    reduce_profile_into(union_, tt_.period(), merged_);
+  };
+
   const NodeId src = g_.station_node(s);
   // Initial label: departing S at any outgoing-connection time costs
   // nothing yet — profile points (dep, dep).
   {
-    Profile init;
+    init_.clear();
     for (const Connection& c : tt_.outgoing(s)) {
-      if (init.empty() || init.back().dep != c.dep) {
-        init.push_back({c.dep, c.dep});
+      if (init_.empty() || init_.back().dep != c.dep) {
+        init_.push_back({c.dep, c.dep});
       }
     }
-    if (init.empty()) return;
-    labels_[src] = reduce_profile(init, tt_.period());
+    if (init_.empty()) return;
+    reduce_profile_into(init_, tt_.period(), merged_);
+    labels_[src].assign(merged_.begin(), merged_.end());
     touch(src);
     enqueue(src, labels_[src].front().arr);
   }
@@ -100,28 +123,43 @@ void LcProfileQueryT<Queue>::run(StationId s) {
     stats_.settled++;
     stats_.label_points += labels_[v].size();
 
-    for (const TdGraph::Edge& e : g_.out_edges(v)) {
+    // SoA relax over v's edge block; the next edge's TTF points are
+    // prefetched while the current edge links the whole label profile.
+    const std::uint32_t eb = g_.edge_begin(v);
+    const std::uint32_t ee = g_.edge_end(v);
+    const NodeId* const heads = g_.heads_data();
+    for (std::uint32_t ei = eb; ei < ee; ++ei) {
+      if (ei + 1 < ee) g_.prefetch_edge_ttf(ei + 1);
+      const NodeId head = heads[ei];
+      const std::uint32_t w = g_.edge_word(ei);
       // Link: run every profile point through the edge. Boarding at the
       // source itself is free (same convention as TimeQuery / SPCS).
-      Profile cand;
-      cand.reserve(labels_[v].size());
+      cand_.clear();
+      cand_.reserve(labels_[v].size());
       Time cand_min = kInfTime;
+      const bool free_board = v == src && TdGraph::word_is_const(w);
       for (const ProfilePoint& p : labels_[v]) {
-        Time t = (v == src && e.ttf == kNoTtf) ? p.arr : g_.arrival_via(e, p.arr);
+        Time t = free_board ? p.arr : g_.arrival_by_word(w, p.arr);
         if (t == kInfTime) continue;
-        cand.push_back({p.dep, t});
+        cand_.push_back({p.dep, t});
         cand_min = std::min(cand_min, t);
       }
-      if (cand.empty()) continue;
+      if (cand_.empty()) continue;
       stats_.relaxed++;
 
-      Profile merged = labels_[e.head].empty()
-                           ? reduce_profile(cand, tt_.period())
-                           : merge_profiles(labels_[e.head], cand, tt_.period());
-      if (merged == labels_[e.head]) continue;
-      labels_[e.head] = std::move(merged);
-      touch(e.head);
-      enqueue(e.head, cand_min);
+      Profile& label = labels_[head];
+      if (label.empty()) {
+        reduce_profile_into(cand_, tt_.period(), merged_);
+      } else {
+        merge_into_scratch(label);
+      }
+      if (merged_.size() == label.size() &&
+          std::equal(merged_.begin(), merged_.end(), label.begin())) {
+        continue;
+      }
+      label.assign(merged_.begin(), merged_.end());
+      touch(head);
+      enqueue(head, cand_min);
     }
   }
 }

@@ -38,11 +38,13 @@ class LcProfileQueryT {
                 "monotone queue policies (bucket) cannot run it");
 
  public:
-  /// `ws` (optional) places the queue and bookkeeping arrays in the
-  /// workspace's arena. The per-node profile labels stay heap vectors:
-  /// label-correcting search grows them dynamically per query (they still
-  /// reuse capacity across queries), so LC — the paper's slow baseline —
-  /// is exempt from the strict zero-allocation warm-path guarantee.
+  /// `ws` (optional) places the queue, the bookkeeping arrays AND the
+  /// profile-merge scratch (link/union/reduce buffers) in the workspace's
+  /// arena. The per-node labels stay plain heap vectors but are only ever
+  /// written through capacity-reusing assign(), so once every buffer has
+  /// grown to its high-water mark a warm LC query performs no heap
+  /// allocation — the zero-allocation session guard covers LC like every
+  /// other engine (tests/session_test.cpp).
   LcProfileQueryT(const Timetable& tt, const TdGraph& g,
                   QueryWorkspace* ws = nullptr);
 
@@ -55,17 +57,23 @@ class LcProfileQueryT {
   const QueryStats& stats() const { return stats_; }
 
  private:
+  using ScratchProfile =
+      std::vector<ProfilePoint, ArenaAllocator<ProfilePoint>>;
+
   const Timetable& tt_;
   const TdGraph& g_;
   Queue heap_;
   EpochArray<Time> qkey_;  // non-addressable only: the node's live queued
                            // key (kInfTime = not queued); older entries in
                            // the heap are stale
-  std::vector<Profile> labels_;  // per node
+  std::vector<Profile> labels_;  // per node; written via assign() only
   // nodes whose label must be cleared
   std::vector<NodeId, ArenaAllocator<NodeId>> touched_;
   // membership flag for touched_
   std::vector<std::uint8_t, ArenaAllocator<std::uint8_t>> dirty_;
+  // Arena-pooled merge scratch, reused across relaxes and queries: the
+  // linked candidate profile, the merge union, and the reduced result.
+  ScratchProfile init_, cand_, union_, merged_;
   QueryStats stats_;
 };
 

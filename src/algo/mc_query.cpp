@@ -55,17 +55,30 @@ void McTimeQueryT<Queue>::run(StationId source, Time departure,
     if (fronts_[node].empty()) touched_.push_back(node);
     fronts_[node].push_back({arr, boards});
 
-    for (const TdGraph::Edge& e : g_.out_edges(node)) {
-      const bool boarding = g_.is_station_node(node) && e.ttf == kNoTtf;
+    // SoA relax: the domination test runs on the streamed head before the
+    // TTF evaluation; next head's bound + TTF points prefetched one ahead.
+    const std::uint32_t eb = g_.edge_begin(node);
+    const std::uint32_t ee = g_.edge_end(node);
+    const NodeId* const heads = g_.heads_data();
+    for (std::uint32_t ei = eb; ei < ee; ++ei) {
+      if (ei + 1 < ee) {
+        min_boards_.prefetch(heads[ei + 1]);
+        g_.prefetch_edge_ttf(ei + 1);
+      }
+      const NodeId head = heads[ei];
+      const std::uint32_t w = g_.edge_word(ei);
+      const bool boarding = g_.is_station_node(node) && TdGraph::word_is_const(w);
       std::uint32_t next_boards = boards + (boarding ? 1 : 0);
       if (next_boards > max_boards) continue;
+      if (next_boards >= min_boards_.get(head)) continue;  // dominated
       // Boarding at the source itself is free of the transfer time but
       // still counts as boarding a vehicle.
-      Time t = (node == src && e.ttf == kNoTtf) ? arr : g_.arrival_via(e, arr);
+      Time t = (node == src && TdGraph::word_is_const(w))
+                   ? arr
+                   : g_.arrival_by_word(w, arr);
       if (t == kInfTime) continue;
       stats_.relaxed++;
-      if (next_boards >= min_boards_.get(e.head)) continue;  // dominated
-      queue_.push(e.head, mc_key(t, next_boards));
+      queue_.push(head, mc_key(t, next_boards));
       stats_.pushed++;
     }
   }

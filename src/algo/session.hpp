@@ -9,8 +9,8 @@
 //  * reusable result buffers for the allocation-free query API.
 // After a warm-up query of each kind, steady-state queries perform no heap
 // allocations (tests/session_test.cpp proves this with a global
-// operator-new guard; the LC baseline is the documented exception — its
-// label-correcting profile merges are inherently dynamic).
+// operator-new guard; since PR 3 this includes the LC baseline, whose
+// profile-merge scratch is arena-pooled).
 //
 // Threading rules (see docs/architecture.md): a session is single-owner —
 // construct one per application thread and do not share it. The parallel

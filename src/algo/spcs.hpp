@@ -218,17 +218,33 @@ class SpcsThreadStateT {
         }
       }
 
-      for (const TdGraph::Edge& e : g.out_edges(v)) {
-        const Time t = g.arrival_via(e, key);
-        if (t == kInfTime) continue;
+      // Relax loop over the SoA edge block of v: heads stream independently
+      // of the packed ttf-or-weight words, the settled/self-pruning tests
+      // run on the streamed head before the (expensive) TTF evaluation, and
+      // the next edge's label slot + TTF points are prefetched one
+      // iteration ahead to overlap their cache misses with this edge's
+      // work. relax_pruned consequently counts every pruned edge, whether
+      // or not its arrival would have been finite (the seed evaluated
+      // first); settled/pushed accounting is unchanged.
+      const std::uint32_t eb = g.edge_begin(v);
+      const std::uint32_t ee = g.edge_end(v);
+      const NodeId* const heads = g.heads_data();
+      for (std::uint32_t ei = eb; ei < ee; ++ei) {
+        if (ei + 1 < ee) {
+          arr_.prefetch(static_cast<std::size_t>(heads[ei + 1]) * W + li);
+          g.prefetch_edge_ttf(ei + 1);
+        }
+        const NodeId head = heads[ei];
         const std::uint32_t wid = static_cast<std::uint32_t>(
-            static_cast<std::uint64_t>(e.head) * W + li);
+            static_cast<std::uint64_t>(head) * W + li);
         if (arr_.touched(wid)) continue;  // already settled for li
         if (opt.self_pruning && opt.prune_on_relax &&
-            static_cast<std::int32_t>(li) <= maxconn_.get(e.head)) {
+            static_cast<std::int32_t>(li) <= maxconn_.get(head)) {
           stats_.relax_pruned++;
           continue;
         }
+        const Time t = g.arrival_by_word(g.edge_word(ei), key);
+        if (t == kInfTime) continue;
         stats_.relaxed++;
         const std::uint64_t new_key = make_key(t, li);
         bool improved = true;

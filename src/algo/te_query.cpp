@@ -60,7 +60,13 @@ void TeTimeQueryT<Queue>::run(StationId source, Time departure,
       }
       // Arrival events still relax (stay-seated / off-train edges).
     }
-    for (const TeGraph::Edge& e : g_.out_edges(v)) {
+    // The TE edge records are already dense 8-byte (head, weight) pairs;
+    // the win here is prefetching the next head's distance slot while the
+    // current edge relaxes.
+    const std::span<const TeGraph::Edge> edges = g_.out_edges(v);
+    for (std::size_t ei = 0; ei < edges.size(); ++ei) {
+      if (ei + 1 < edges.size()) dist_.prefetch(edges[ei + 1].head);
+      const TeGraph::Edge& e = edges[ei];
       Time t = key + e.weight;
       stats_.relaxed++;
       if (t < dist_.get(e.head)) {

@@ -9,12 +9,10 @@ TimeQueryT<Queue>::TimeQueryT(const Timetable& tt, const TdGraph& g,
       g_(g),
       heap_(scratch_alloc(ws)),
       dist_(scratch_alloc(ws)),
-      parent_(scratch_alloc(ws)),
-      settled_(scratch_alloc(ws)) {
+      parent_(scratch_alloc(ws)) {
   heap_.reset_capacity(g.num_nodes());
   dist_.assign(g.num_nodes(), kInfTime);
   parent_.assign(g.num_nodes(), kInvalidNode);
-  settled_.assign(g.num_nodes(), 0);
 }
 
 template <typename Queue>
@@ -24,7 +22,6 @@ void TimeQueryT<Queue>::run(StationId source, Time departure,
   heap_.clear();
   dist_.clear();
   parent_.clear();
-  settled_.clear();
 
   const NodeId src = g_.station_node(source);
   dist_.set(src, departure);
@@ -42,27 +39,44 @@ void TimeQueryT<Queue>::run(StationId source, Time departure,
       }
     }
     stats_.settled++;
-    settled_.set(v, 1);
     if (target != kInvalidStation && v == g_.station_node(target)) break;
-    for (const TdGraph::Edge& e : g_.out_edges(v)) {
+    // SoA relax: stream heads and prefetch the next head's distance slot +
+    // TTF points one iteration ahead. Before the (expensive) TTF
+    // evaluation, test the streamed head against `dist <= key`: an edge
+    // arrival can never precede the entry time, so such a head — settled
+    // or merely already reached this early — cannot improve and the eval
+    // is skipped. This subsumes the seed's settled-array test (a settled
+    // head's final distance is <= the monotone pop key) and prunes more.
+    const std::uint32_t eb = g_.edge_begin(v);
+    const std::uint32_t ee = g_.edge_end(v);
+    const NodeId* const heads = g_.heads_data();
+    for (std::uint32_t ei = eb; ei < ee; ++ei) {
+      if (ei + 1 < ee) {
+        dist_.prefetch(heads[ei + 1]);
+        g_.prefetch_edge_ttf(ei + 1);
+      }
+      const NodeId head = heads[ei];
+      if (dist_.get(head) <= key) continue;  // t >= key >= dist: hopeless
+      const std::uint32_t w = g_.edge_word(ei);
       // No transfer penalty for the very first boarding at the source.
-      Time t = (v == src && e.ttf == kNoTtf) ? key : g_.arrival_via(e, key);
+      Time t = (v == src && TdGraph::word_is_const(w))
+                   ? key
+                   : g_.arrival_by_word(w, key);
       if (t == kInfTime) continue;
       stats_.relaxed++;
-      if (settled_.get(e.head)) continue;
-      if (t < dist_.get(e.head)) {
+      if (t < dist_.get(head)) {
         if constexpr (Queue::kAddressable) {
-          if (heap_.push_or_decrease(e.head, t) == QueuePush::kPushed) {
+          if (heap_.push_or_decrease(head, t) == QueuePush::kPushed) {
             stats_.pushed++;
           } else {
             stats_.decreased++;
           }
         } else {
-          heap_.push(e.head, t);
+          heap_.push(head, t);
           stats_.pushed++;
         }
-        dist_.set(e.head, t);
-        parent_.set(e.head, v);
+        dist_.set(head, t);
+        parent_.set(head, v);
       }
     }
   }

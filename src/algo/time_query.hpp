@@ -53,9 +53,13 @@ class TimeQueryT {
   const Timetable& tt_;
   const TdGraph& g_;
   Queue heap_;
+  // No settled array: pop keys are monotone and edge traversal never goes
+  // back in time, so an arrival pushed towards an already-settled head can
+  // never pass the `t < dist` test — the tentative-distance array alone
+  // identifies both stale pops and pointless relaxations (same invariant
+  // TeTimeQueryT relies on).
   EpochArray<Time> dist_;
   EpochArray<NodeId> parent_;
-  EpochArray<std::uint8_t> settled_;
   QueryStats stats_;
 };
 

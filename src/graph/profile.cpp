@@ -5,42 +5,6 @@
 
 namespace pconn {
 
-void reduce_profile_into(const Profile& raw, Time period, Profile& out) {
-  assert(&raw != &out);
-  out.clear();
-  out.reserve(raw.size());
-  // Backward scan: keep a point only if it arrives strictly earlier than
-  // every kept point departing later the same day.
-  Time min_arr = kInfTime;
-  for (std::size_t i = raw.size(); i-- > 0;) {
-    const ProfilePoint& p = raw[i];
-    if (p.arr == kInfTime) continue;
-    assert(p.dep < period && p.arr >= p.dep);
-    assert(i == 0 || raw[i - 1].dep <= p.dep);  // input sorted by departure
-    if (p.arr < min_arr) {
-      out.push_back(p);
-      min_arr = p.arr;
-    }
-  }
-  std::reverse(out.begin(), out.end());
-  // Equal departures can survive the scan (arrivals are strictly increasing
-  // afterwards, so the first of an equal-departure run is the best): dedup.
-  out.erase(std::unique(out.begin(), out.end(),
-                        [](const ProfilePoint& a, const ProfilePoint& b) {
-                          return a.dep == b.dep;
-                        }),
-            out.end());
-
-  // Cyclic pass: a late-evening point may still be dominated by an
-  // early-morning departure of the next period. After the linear scan,
-  // arrivals increase with departures, so the earliest arrival is
-  // out.front().arr and only tail points can be dominated by it + period.
-  if (out.size() > 1) {
-    const Time wrap_min = out.front().arr + period;
-    while (out.size() > 1 && out.back().arr >= wrap_min) out.pop_back();
-  }
-}
-
 Profile reduce_profile(const Profile& raw, Time period) {
   Profile out;
   reduce_profile_into(raw, period, out);

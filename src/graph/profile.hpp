@@ -6,6 +6,8 @@
 // are absolute (>= dep, may exceed the period).
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -30,8 +32,45 @@ using Profile = std::vector<ProfilePoint>;
 Profile reduce_profile(const Profile& raw, Time period);
 
 /// Allocation-free variant for warm query paths: writes the reduced profile
-/// into `out`, reusing its capacity. `&raw != &out`.
-void reduce_profile_into(const Profile& raw, Time period, Profile& out);
+/// into `out`, reusing its capacity. `&raw != &out`. Templated over the
+/// vector types so arena-backed profile buffers (the LC baseline's pooled
+/// merge scratch) reduce through the same code path as plain Profiles.
+template <typename VecIn, typename VecOut>
+void reduce_profile_into(const VecIn& raw, Time period, VecOut& out) {
+  assert(static_cast<const void*>(&raw) != static_cast<const void*>(&out));
+  out.clear();
+  out.reserve(raw.size());
+  // Backward scan: keep a point only if it arrives strictly earlier than
+  // every kept point departing later the same day.
+  Time min_arr = kInfTime;
+  for (std::size_t i = raw.size(); i-- > 0;) {
+    const ProfilePoint& p = raw[i];
+    if (p.arr == kInfTime) continue;
+    assert(p.dep < period && p.arr >= p.dep);
+    assert(i == 0 || raw[i - 1].dep <= p.dep);  // input sorted by departure
+    if (p.arr < min_arr) {
+      out.push_back(p);
+      min_arr = p.arr;
+    }
+  }
+  std::reverse(out.begin(), out.end());
+  // Equal departures can survive the scan (arrivals are strictly increasing
+  // afterwards, so the first of an equal-departure run is the best): dedup.
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const ProfilePoint& a, const ProfilePoint& b) {
+                          return a.dep == b.dep;
+                        }),
+            out.end());
+
+  // Cyclic pass: a late-evening point may still be dominated by an
+  // early-morning departure of the next period. After the linear scan,
+  // arrivals increase with departures, so the earliest arrival is
+  // out.front().arr and only tail points can be dominated by it + period.
+  if (out.size() > 1) {
+    const Time wrap_min = out.front().arr + period;
+    while (out.size() > 1 && out.back().arr >= wrap_min) out.pop_back();
+  }
+}
 
 /// Earliest absolute arrival when departing the source at absolute time t.
 /// The profile must be reduced (FIFO); returns kInfTime for empty profiles.

@@ -1,5 +1,6 @@
 #include "graph/td_graph.hpp"
 
+#include <cassert>
 #include <numeric>
 
 namespace pconn {
@@ -8,6 +9,7 @@ TdGraph TdGraph::build(const Timetable& tt) {
   TdGraph g;
   g.num_stations_ = tt.num_stations();
   g.period_ = tt.period();
+  g.ttfs_.reset(tt.period());
 
   // Node numbering: stations first, then route nodes grouped by route.
   g.station_of_.resize(tt.num_stations());
@@ -18,7 +20,16 @@ TdGraph TdGraph::build(const Timetable& tt) {
     for (StationId s : tt.route(r).stops) g.station_of_.push_back(s);
   }
 
-  std::vector<std::vector<Edge>> adj(g.station_of_.size());
+  // Collect edges per node, already in the packed SoA encoding.
+  struct RawEdge {
+    NodeId head;
+    std::uint32_t word;
+  };
+  auto const_word = [](Time weight) {
+    assert(weight < kConstFlag);
+    return kConstFlag | static_cast<std::uint32_t>(weight);
+  };
+  std::vector<std::vector<RawEdge>> adj(g.station_of_.size());
 
   for (RouteId r = 0; r < tt.num_routes(); ++r) {
     const Route& route = tt.route(r);
@@ -27,10 +38,10 @@ TdGraph TdGraph::build(const Timetable& tt) {
       NodeId rn = g.route_node(r, static_cast<std::uint32_t>(k));
       StationId s = route.stops[k];
       // Alighting is free.
-      adj[rn].push_back({g.station_node(s), kNoTtf, 0});
+      adj[rn].push_back({g.station_node(s), const_word(0)});
       // Boarding pays the transfer time; boarding at the terminus is useless.
       if (k + 1 < n) {
-        adj[g.station_node(s)].push_back({rn, kNoTtf, tt.transfer_time(s)});
+        adj[g.station_node(s)].push_back({rn, const_word(tt.transfer_time(s))});
       }
       // Travel edge with one connection point per trip.
       if (k + 1 < n) {
@@ -42,10 +53,10 @@ TdGraph TdGraph::build(const Timetable& tt) {
           Time dur = trip.arrivals[k + 1] - trip.departures[k];
           pts.push_back({dep, dur});
         }
-        std::uint32_t ttf_idx = static_cast<std::uint32_t>(g.ttfs_.size());
-        g.ttfs_.push_back(Ttf::build(std::move(pts), tt.period()));
+        std::uint32_t ttf_idx =
+            g.ttfs_.add(Ttf::build(std::move(pts), tt.period()));
         adj[rn].push_back(
-            {g.route_node(r, static_cast<std::uint32_t>(k + 1)), ttf_idx, 0});
+            {g.route_node(r, static_cast<std::uint32_t>(k + 1)), ttf_idx});
       }
     }
   }
@@ -56,9 +67,13 @@ TdGraph TdGraph::build(const Timetable& tt) {
   }
   std::partial_sum(g.edge_begin_.begin(), g.edge_begin_.end(),
                    g.edge_begin_.begin());
-  g.edges_.reserve(g.edge_begin_.back());
+  g.heads_.reserve(g.edge_begin_.back());
+  g.ttf_or_weight_.reserve(g.edge_begin_.back());
   for (auto& out : adj) {
-    g.edges_.insert(g.edges_.end(), out.begin(), out.end());
+    for (const RawEdge& e : out) {
+      g.heads_.push_back(e.head);
+      g.ttf_or_weight_.push_back(e.word);
+    }
   }
   return g;
 }
@@ -68,8 +83,9 @@ std::size_t TdGraph::memory_bytes() const {
   bytes += station_of_.size() * sizeof(StationId);
   bytes += route_node_begin_.size() * sizeof(NodeId);
   bytes += edge_begin_.size() * sizeof(std::uint32_t);
-  bytes += edges_.size() * sizeof(Edge);
-  for (const Ttf& f : ttfs_) bytes += f.size() * sizeof(TtfPoint);
+  bytes += heads_.size() * sizeof(NodeId);
+  bytes += ttf_or_weight_.size() * sizeof(std::uint32_t);
+  bytes += ttfs_.memory_bytes();
   return bytes;
 }
 

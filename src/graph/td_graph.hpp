@@ -9,13 +9,24 @@
 // Transfers between trains therefore cost exactly T(S); staying seated is
 // free. Query algorithms that start at a station S skip the boarding cost
 // at S itself (the paper's SPCS starts directly on route nodes).
+//
+// Storage is structure-of-arrays, tuned for the relax loop (the system's
+// hottest code): per edge only a 4-byte head and a 4-byte packed
+// ttf-or-weight word (top bit set = constant weight in the low 31 bits,
+// else a TtfPool index), so an edge block streams at 8 bytes/edge instead
+// of the seed's 12-byte AoS records, and the head array can be walked —
+// and prefetched — without touching weights. All travel-time functions
+// live in one TtfPool (graph/ttf_pool.hpp): contiguous points plus an O(1)
+// bucket-indexed eval that replaces the per-relax binary search. The
+// `Edge` struct survives as a decoded per-edge view so non-hot callers and
+// tests keep the familiar `for (const TdGraph::Edge& e : g.out_edges(v))`.
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
-#include "graph/ttf.hpp"
+#include "graph/ttf_pool.hpp"
 #include "timetable/timetable.hpp"
 
 namespace pconn {
@@ -24,16 +35,30 @@ constexpr std::uint32_t kNoTtf = std::numeric_limits<std::uint32_t>::max();
 
 class TdGraph {
  public:
+  using EdgeId = std::uint32_t;
+
+  /// Decoded view of one edge (storage is SoA; this is assembled on
+  /// access). Field semantics match the seed AoS record: ttf == kNoTtf
+  /// means a constant `weight`, otherwise `ttf` indexes the pool and
+  /// weight is 0.
   struct Edge {
     NodeId head;
-    std::uint32_t ttf;  // kNoTtf => constant `weight`
-    Time weight;        // used only when ttf == kNoTtf
+    std::uint32_t ttf;
+    Time weight;
   };
+
+  // --- packed ttf-or-weight word ----------------------------------------
+  static constexpr std::uint32_t kConstFlag = 1u << 31;
+  static bool word_is_const(std::uint32_t w) { return (w & kConstFlag) != 0; }
+  static Time word_weight(std::uint32_t w) {
+    return static_cast<Time>(w & ~kConstFlag);
+  }
+  static std::uint32_t word_ttf(std::uint32_t w) { return w; }
 
   static TdGraph build(const Timetable& tt);
 
   NodeId num_nodes() const { return static_cast<NodeId>(station_of_.size()); }
-  std::size_t num_edges() const { return edges_.size(); }
+  std::size_t num_edges() const { return heads_.size(); }
   std::size_t num_stations() const { return num_stations_; }
   Time period() const { return period_; }
 
@@ -49,16 +74,65 @@ class TdGraph {
     return route_node(tt.trip(c.train).route, c.pos);
   }
 
-  std::span<const Edge> out_edges(NodeId v) const {
-    return {edges_.data() + edge_begin_[v], edges_.data() + edge_begin_[v + 1]};
+  // --- SoA access (the relax loops stream these directly) ---------------
+  EdgeId edge_begin(NodeId v) const { return edge_begin_[v]; }
+  EdgeId edge_end(NodeId v) const { return edge_begin_[v + 1]; }
+  NodeId edge_head(EdgeId e) const { return heads_[e]; }
+  std::uint32_t edge_word(EdgeId e) const { return ttf_or_weight_[e]; }
+  const NodeId* heads_data() const { return heads_.data(); }
+  const std::uint32_t* words_data() const { return ttf_or_weight_.data(); }
+
+  const TtfPool& ttfs() const { return ttfs_; }
+
+  /// Absolute arrival via a packed ttf-or-weight word when reaching the
+  /// tail at absolute time t — the relax-loop entry point.
+  Time arrival_by_word(std::uint32_t w, Time t) const {
+    if (word_is_const(w)) return t + word_weight(w);
+    return ttfs_.arrival(word_ttf(w), t);
+  }
+  /// Prefetch hint for edge e's travel-time points (no-op on constant
+  /// edges: the weight is already in the streamed word).
+  void prefetch_edge_ttf(EdgeId e) const {
+    const std::uint32_t w = ttf_or_weight_[e];
+    if (!word_is_const(w)) ttfs_.prefetch_points(word_ttf(w));
   }
 
-  const Ttf& ttf(std::uint32_t idx) const { return ttfs_[idx]; }
+  // --- decoded compat view ----------------------------------------------
+  Edge edge(EdgeId e) const {
+    const std::uint32_t w = ttf_or_weight_[e];
+    if (word_is_const(w)) return {heads_[e], kNoTtf, word_weight(w)};
+    return {heads_[e], word_ttf(w), 0};
+  }
 
-  /// Absolute arrival at e.head when reaching the tail at absolute time t.
+  class EdgeIterator {
+   public:
+    EdgeIterator(const TdGraph* g, EdgeId e) : g_(g), e_(e) {}
+    Edge operator*() const { return g_->edge(e_); }
+    EdgeIterator& operator++() {
+      ++e_;
+      return *this;
+    }
+    bool operator!=(const EdgeIterator& o) const { return e_ != o.e_; }
+    bool operator==(const EdgeIterator& o) const { return e_ == o.e_; }
+
+   private:
+    const TdGraph* g_;
+    EdgeId e_;
+  };
+  struct EdgeRange {
+    EdgeIterator first, last;
+    EdgeIterator begin() const { return first; }
+    EdgeIterator end() const { return last; }
+  };
+  EdgeRange out_edges(NodeId v) const {
+    return {EdgeIterator(this, edge_begin(v)), EdgeIterator(this, edge_end(v))};
+  }
+
+  /// Absolute arrival at e.head when reaching the tail at absolute time t
+  /// (compat overload for the decoded view).
   Time arrival_via(const Edge& e, Time t) const {
     if (e.ttf == kNoTtf) return t + e.weight;
-    return ttfs_[e.ttf].arrival(t);
+    return ttfs_.arrival(e.ttf, t);
   }
 
   /// Rough memory footprint of the structure in bytes (bench reporting).
@@ -67,11 +141,12 @@ class TdGraph {
  private:
   std::size_t num_stations_ = 0;
   Time period_ = kDayseconds;
-  std::vector<StationId> station_of_;          // per node
-  std::vector<NodeId> route_node_begin_;       // per route
-  std::vector<std::uint32_t> edge_begin_;      // CSR offsets, num_nodes()+1
-  std::vector<Edge> edges_;
-  std::vector<Ttf> ttfs_;
+  std::vector<StationId> station_of_;       // per node
+  std::vector<NodeId> route_node_begin_;    // per route
+  std::vector<std::uint32_t> edge_begin_;   // CSR offsets, num_nodes()+1
+  std::vector<NodeId> heads_;               // per edge
+  std::vector<std::uint32_t> ttf_or_weight_;  // per edge, packed (see top)
+  TtfPool ttfs_;
 };
 
 }  // namespace pconn

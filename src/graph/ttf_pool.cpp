@@ -1,0 +1,37 @@
+#include "graph/ttf_pool.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace pconn {
+
+std::uint32_t TtfPool::add(const Ttf& f) {
+  assert(f.period() == period_ || f.empty());
+  const std::uint32_t idx = static_cast<std::uint32_t>(meta_.size());
+  TtfMeta m;
+  m.first = static_cast<std::uint32_t>(points_.size());
+  m.count = static_cast<std::uint32_t>(f.size());
+  m.bucket0 = static_cast<std::uint32_t>(bucket_idx_.size());
+  points_.insert(points_.end(), f.points().begin(), f.points().end());
+
+  // One bucket per point (rounded to a power of two, capped at 2^16): the
+  // expected scan past the bucket entry is then <= 1 point. Empty
+  // functions keep a single bucket so eval's index lookup stays branchless.
+  const std::uint32_t buckets = static_cast<std::uint32_t>(std::min<std::size_t>(
+      std::bit_ceil(std::max<std::size_t>(std::size_t{1}, f.size())),
+      std::size_t{1} << 16));
+  m.log2b = static_cast<std::uint32_t>(std::countr_zero(buckets));
+
+  // bucket_idx_[b] = first point whose departure maps to bucket b or later
+  // (two-pointer over the sorted departures; m.first + count when every
+  // point maps earlier — the scan then wraps to the function's start).
+  std::uint32_t i = 0;
+  for (std::uint32_t b = 0; b < buckets; ++b) {
+    while (i < m.count && bucket_of(f.points()[i].dep, m.log2b) < b) ++i;
+    bucket_idx_.push_back(m.first + i);
+  }
+  meta_.push_back(m);
+  return idx;
+}
+
+}  // namespace pconn

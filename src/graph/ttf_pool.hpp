@@ -1,0 +1,147 @@
+// TtfPool — all travel-time functions of one graph in a single CSR.
+//
+// The seed representation kept one heap-allocated std::vector<TtfPoint> per
+// Ttf; every time-dependent relax chased edge -> Ttf object -> points
+// vector through two dependent cache misses and then binary-searched the
+// points. The pool stores every function's points back-to-back in one
+// contiguous array (16 bytes of metadata per function) and replaces the
+// per-call binary search with a precomputed time-bucket index:
+//
+//   * per function, B = bit_ceil(|points|) buckets partition [0, period);
+//   * bucket_idx_[b] holds the first point whose departure falls into
+//     bucket b or later, so eval() starts its scan there and walks past at
+//     most the points sharing the query's bucket — O(1) expected, against
+//     O(log n) dependent branchy loads for the search;
+//   * the bucket of a time is a multiply-shift against a precomputed
+//     2^32/period reciprocal (no division); the mapping may undershoot by
+//     up to two buckets, which only lengthens the scan, never skips points.
+//
+// Results are bit-identical to Ttf::eval / Ttf::point_used on the same
+// points (tests/ttf_test.cpp proves it exhaustively); the pool is the
+// read side, Ttf stays the build/test-side representation.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/ttf.hpp"
+#include "util/prefetch.hpp"
+
+namespace pconn {
+
+class TtfPool {
+ public:
+  explicit TtfPool(Time period = kDayseconds) { reset(period); }
+
+  /// Drops all functions and re-anchors the bucket mapping on `period`.
+  void reset(Time period) {
+    assert(period > 0);
+    period_ = period;
+    inv_period_ = (std::uint64_t{1} << 32) / period;
+    points_.clear();
+    meta_.clear();
+    bucket_idx_.clear();
+  }
+
+  /// Appends a built (sorted, pruned) function; returns its pool index.
+  std::uint32_t add(const Ttf& f);
+
+  std::size_t size() const { return meta_.size(); }
+  std::size_t num_points() const { return points_.size(); }
+  Time period() const { return period_; }
+
+  bool empty_at(std::uint32_t f) const { return meta_[f].count == 0; }
+  std::span<const TtfPoint> points(std::uint32_t f) const {
+    const TtfMeta& m = meta_[f];
+    return {points_.data() + m.first, m.count};
+  }
+
+  /// Travel time when showing up at absolute time t (kInfTime when empty).
+  /// Same contract as Ttf::eval, minus the binary search.
+  Time eval(std::uint32_t f, Time t) const {
+    const TtfMeta& m = meta_[f];
+    if (m.count == 0) return kInfTime;
+    const Time tau = t % period_;
+    const TtfPoint& p = points_[scan_from_bucket(m, tau)];
+    const Time wait = p.dep >= tau ? p.dep - tau : period_ + p.dep - tau;
+    return wait + p.dur;
+  }
+
+  /// Absolute arrival when entering the edge at absolute time t.
+  Time arrival(std::uint32_t f, Time t) const {
+    const Time w = eval(f, t);
+    return w == kInfTime ? kInfTime : t + w;
+  }
+
+  /// The connection point eval() uses, as an index into points(f).
+  /// Identical to Ttf::point_used (journey unpacking relies on this).
+  std::size_t point_used(std::uint32_t f, Time t) const {
+    const TtfMeta& m = meta_[f];
+    assert(m.count != 0);
+    return scan_from_bucket(m, t % period_) - m.first;
+  }
+
+  /// Batch evaluation: absolute arrivals via functions fs[0..n) for one
+  /// entry time, with the next function's points prefetched one iteration
+  /// ahead (the relax-loop access pattern, benchable in isolation).
+  void arrival_n(const std::uint32_t* fs, std::size_t n, Time t,
+                 Time* out) const {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i + 1 < n) prefetch_points(fs[i + 1]);
+      out[i] = arrival(fs[i], t);
+    }
+  }
+
+  /// Hints the function's point block into cache (relax lookahead).
+  void prefetch_points(std::uint32_t f) const {
+    pconn::prefetch(points_.data() + meta_[f].first);
+  }
+
+  /// Pool footprint in bytes: points, metadata and the evaluation index.
+  std::size_t memory_bytes() const {
+    return points_.size() * sizeof(TtfPoint) + meta_.size() * sizeof(TtfMeta) +
+           bucket_idx_.size() * sizeof(std::uint32_t);
+  }
+  /// Index-only share of memory_bytes() (docs/architecture.md reporting).
+  std::size_t index_bytes() const {
+    return meta_.size() * sizeof(TtfMeta) +
+           bucket_idx_.size() * sizeof(std::uint32_t);
+  }
+
+ private:
+  struct TtfMeta {
+    std::uint32_t first;    // index of the first point in points_
+    std::uint32_t count;    // number of points
+    std::uint32_t bucket0;  // index of bucket 0 in bucket_idx_
+    std::uint32_t log2b;    // log2 of the function's bucket count
+  };
+
+  /// Bucket of a reduced time: floor(tau * B / period), computed as a
+  /// multiply-shift against inv_period_. The truncated reciprocal can
+  /// undershoot the exact quotient by at most two, so the scan below may
+  /// start up to two buckets early — correct, marginally longer.
+  std::uint32_t bucket_of(Time tau, std::uint32_t log2b) const {
+    return static_cast<std::uint32_t>(
+        ((static_cast<std::uint64_t>(tau) << log2b) * inv_period_) >> 32);
+  }
+
+  /// First point with dep >= tau (wrapping to the function's first point),
+  /// as an absolute index into points_. Exactly lower_bound, entered via
+  /// the bucket table.
+  std::uint32_t scan_from_bucket(const TtfMeta& m, Time tau) const {
+    std::uint32_t i = bucket_idx_[m.bucket0 + bucket_of(tau, m.log2b)];
+    const std::uint32_t end = m.first + m.count;
+    while (i < end && points_[i].dep < tau) ++i;
+    return i < end ? i : m.first;
+  }
+
+  Time period_ = kDayseconds;
+  std::uint64_t inv_period_ = 0;          // floor(2^32 / period_)
+  std::vector<TtfPoint> points_;          // all functions, back to back
+  std::vector<TtfMeta> meta_;             // one per function
+  std::vector<std::uint32_t> bucket_idx_; // per-function bucket tables
+};
+
+}  // namespace pconn

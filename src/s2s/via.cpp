@@ -24,13 +24,15 @@ void find_via_stations_into(const StationGraph& sg, StationId source,
     StationId v = scratch.stack.back();
     scratch.stack.pop_back();
     if (v == source) out.local = true;
-    for (const StationGraph::Edge& e : sg.in_edges(v)) {
-      if (scratch.seen.get(e.head)) continue;
-      scratch.seen.set(e.head, 1);
-      if (is_transfer[e.head]) {
-        out.vias.push_back(e.head);  // touched, not expanded
+    // The DFS only needs tails of edges into v: stream the dense SoA head
+    // array instead of striding over full edge records.
+    for (StationId u : sg.in_heads(v)) {
+      if (scratch.seen.get(u)) continue;
+      scratch.seen.set(u, 1);
+      if (is_transfer[u]) {
+        out.vias.push_back(u);  // touched, not expanded
       } else {
-        scratch.stack.push_back(e.head);
+        scratch.stack.push_back(u);
       }
     }
   }

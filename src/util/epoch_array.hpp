@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "util/arena.hpp"
+#include "util/prefetch.hpp"
 
 namespace pconn {
 
@@ -64,6 +65,13 @@ class EpochArray {
   }
 
   bool touched(std::size_t i) const { return epochs_[i] == epoch_; }
+
+  /// Prefetch hint for slot i (relax-loop lookahead): the stamp word
+  /// decides touched()/get(), the value line follows on set().
+  void prefetch(std::size_t i) const {
+    pconn::prefetch(epochs_.data() + i);
+    pconn::prefetch(values_.data() + i);
+  }
 
  private:
   std::vector<T, ArenaAllocator<T>> values_;

@@ -1,0 +1,22 @@
+// Portable software-prefetch hint.
+//
+// The relax loops of the query engines walk CSR edge arrays whose heads
+// point at label slots scattered over |V| x |conn(S)| matrices — a nearly
+// guaranteed cache miss per edge. Issuing the prefetch for edge i+1 while
+// edge i is being evaluated overlaps that miss with useful work; on the
+// Table-1 networks the label-slot prefetch alone is worth ~10% of the
+// settle loop (bench_layout tracks it).
+#pragma once
+
+namespace pconn {
+
+/// Read-prefetch into all cache levels; no-op where unsupported.
+inline void prefetch(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#else
+  (void)p;
+#endif
+}
+
+}  // namespace pconn

@@ -89,14 +89,16 @@ TEST(TdGraph, TravelEdgeEvaluatesTimetable) {
   // Line 1 trips depart A at 08:00..11:00 hourly, 600 s to B.
   const Connection& c = tt.outgoing(0)[0];  // earliest from A
   NodeId r = g.departure_node(tt, c);
-  const TdGraph::Edge* travel = nullptr;
+  // Edges are decoded views over SoA storage: copy, don't keep a pointer
+  // into the iteration.
+  TdGraph::Edge travel{kInvalidNode, kNoTtf, 0};
   for (const TdGraph::Edge& e : g.out_edges(r)) {
-    if (e.ttf != kNoTtf) travel = &e;
+    if (e.ttf != kNoTtf) travel = e;
   }
-  ASSERT_NE(travel, nullptr);
-  EXPECT_EQ(g.arrival_via(*travel, c.dep), c.arr);
+  ASSERT_NE(travel.head, kInvalidNode);
+  EXPECT_EQ(g.arrival_via(travel, c.dep), c.arr);
   // Showing up one second late waits for the next trip of that route.
-  Time next = g.arrival_via(*travel, c.dep + 1);
+  Time next = g.arrival_via(travel, c.dep + 1);
   EXPECT_GT(next, c.arr);
 }
 

@@ -266,6 +266,10 @@ TEST(QuerySession, WarmQueriesDoNotAllocate) {
       session.te_engine(te).run(s, dep, target);
       checksum += static_cast<std::uint64_t>(
           session.te_engine(te).arrival_at(target));
+      // The LC baseline is covered too since PR 3: its merge scratch is
+      // arena-pooled and labels are written via capacity-reusing assign().
+      session.lc_engine().run(s);
+      checksum += session.lc_engine().profile(target).size();
     }
   };
 

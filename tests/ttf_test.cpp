@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "graph/ttf.hpp"
+#include "graph/ttf_pool.hpp"
 #include "util/rng.hpp"
 
 namespace pconn {
@@ -109,6 +110,102 @@ TEST_P(TtfRandomTest, EquivalentToBruteForceAndFifo) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TtfRandomTest,
                          ::testing::Range<std::uint64_t>(1, 41));
+
+// ------------------------------------------------------------------ pool ---
+
+TEST(TtfPool, EmptyFunctionStaysInfinite) {
+  TtfPool pool(kP);
+  std::uint32_t f = pool.add(Ttf::build({}, kP));
+  EXPECT_TRUE(pool.empty_at(f));
+  EXPECT_EQ(pool.eval(f, 123), kInfTime);
+  EXPECT_EQ(pool.arrival(f, 123), kInfTime);
+}
+
+TEST(TtfPool, MatchesTtfOnHandCases) {
+  TtfPool pool(kP);
+  Ttf a = Ttf::build({{1000, 600}, {2000, 500}, {3000, 400}}, kP);
+  Ttf b = Ttf::build({{600, 1800}, {23 * 3600 + 59 * 60, 36000}}, kP);
+  std::uint32_t ia = pool.add(a), ib = pool.add(b);
+  for (Time t : {0u, 999u, 1000u, 1500u, 2999u, 3000u, 4000u, kP - 1,
+                 kP + 777u, 3 * kP + 12345u}) {
+    EXPECT_EQ(pool.eval(ia, t), a.eval(t)) << "t=" << t;
+    EXPECT_EQ(pool.point_used(ia, t), a.point_used(t)) << "t=" << t;
+    EXPECT_EQ(pool.eval(ib, t), b.eval(t)) << "t=" << t;
+    EXPECT_EQ(pool.point_used(ib, t), b.point_used(t)) << "t=" << t;
+  }
+}
+
+// The tentpole guarantee of the indexed evaluation: bit-identical to both
+// the seed binary search (Ttf::eval / point_used) and the exhaustive
+// minimum over all points, on randomized point sets of many shapes and
+// periods, at every time of the period plus wrap-around samples.
+class TtfPoolRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TtfPoolRandomTest, IndexedEvalEqualsSearchAndBruteForce) {
+  Rng rng(GetParam() * 977 + 5);
+  const Time period = 2000 + static_cast<Time>(rng.next_below(20000));
+  TtfPool pool(period);
+  std::vector<Ttf> ttfs;
+  // A mixed bag of sizes, including 1-point functions (the constant-ish
+  // case) and sizes around the bucket-count power-of-two boundaries.
+  for (std::size_t n : {1u, 2u, 3u, 4u, 5u, 8u, 9u, 17u, 33u, 70u}) {
+    std::vector<TtfPoint> pts;
+    for (std::size_t i = 0; i < n; ++i) {
+      pts.push_back({static_cast<Time>(rng.next_below(period)),
+                     static_cast<Time>(1 + rng.next_below(3 * period))});
+    }
+    ttfs.push_back(Ttf::build(std::move(pts), period));
+    ASSERT_EQ(pool.add(ttfs.back()), ttfs.size() - 1);
+  }
+  for (std::uint32_t f = 0; f < ttfs.size(); ++f) {
+    const Ttf& ref = ttfs[f];
+    ASSERT_EQ(pool.points(f).size(), ref.size());
+    for (Time t = 0; t < period; ++t) {
+      ASSERT_EQ(pool.eval(f, t), ref.eval(t)) << "f=" << f << " t=" << t;
+      ASSERT_EQ(pool.point_used(f, t), ref.point_used(t))
+          << "f=" << f << " t=" << t;
+    }
+    // Absolute times beyond the period reduce like the seed's.
+    for (Time t : {period, period + 1, 2 * period + period / 2,
+                   5 * period + period - 1}) {
+      ASSERT_EQ(pool.arrival(f, t), ref.arrival(t)) << "f=" << f << " t=" << t;
+    }
+    // Exhaustive reference over the *kept* points.
+    for (Time t = 0; t < period; t += 61) {
+      Time brute = kInfTime;
+      for (const TtfPoint& p : pool.points(f)) {
+        brute = std::min(brute, delta(t, p.dep, period) + p.dur);
+      }
+      ASSERT_EQ(pool.eval(f, t), brute) << "f=" << f << " t=" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TtfPoolRandomTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(TtfPool, BatchArrivalMatchesScalar) {
+  Rng rng(123);
+  const Time period = kP;
+  TtfPool pool(period);
+  std::vector<std::uint32_t> idx;
+  for (int f = 0; f < 40; ++f) {
+    std::vector<TtfPoint> pts;
+    const std::size_t n = 1 + rng.next_below(20);
+    for (std::size_t i = 0; i < n; ++i) {
+      pts.push_back({static_cast<Time>(rng.next_below(period)),
+                     static_cast<Time>(1 + rng.next_below(7200))});
+    }
+    idx.push_back(pool.add(Ttf::build(std::move(pts), period)));
+  }
+  std::vector<Time> batch(idx.size());
+  for (Time t : {0u, 4321u, 43199u, 86399u, 100000u}) {
+    pool.arrival_n(idx.data(), idx.size(), t, batch.data());
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      EXPECT_EQ(batch[i], pool.arrival(idx[i], t)) << "i=" << i << " t=" << t;
+    }
+  }
+}
 
 }  // namespace
 }  // namespace pconn
