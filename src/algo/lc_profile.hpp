@@ -15,6 +15,7 @@
 
 #include "algo/counters.hpp"
 #include "algo/queue_policy.hpp"
+#include "algo/relax_batch.hpp"
 #include "algo/workspace.hpp"
 #include "graph/profile.hpp"
 #include "graph/td_graph.hpp"
@@ -56,6 +57,13 @@ class LcProfileQueryT {
 
   const QueryStats& stats() const { return stats_; }
 
+  /// Relax-loop phasing (algo/relax_batch.hpp). LC's batch dimension is
+  /// the label profile itself: linking a TTF edge evaluates every profile
+  /// point through one function, which batch mode hands to the vectorized
+  /// arrival_tn as a whole. Bit-identical results and accounting.
+  void set_relax_mode(RelaxMode m) { relax_mode_ = m; }
+  RelaxMode relax_mode() const { return relax_mode_; }
+
  private:
   using ScratchProfile =
       std::vector<ProfilePoint, ArenaAllocator<ProfilePoint>>;
@@ -74,6 +82,7 @@ class LcProfileQueryT {
   // Arena-pooled merge scratch, reused across relaxes and queries: the
   // linked candidate profile, the merge union, and the reduced result.
   ScratchProfile init_, cand_, union_, merged_;
+  RelaxMode relax_mode_ = default_relax_mode();
   QueryStats stats_;
 };
 

@@ -24,6 +24,7 @@
 
 #include "algo/counters.hpp"
 #include "algo/queue_policy.hpp"
+#include "algo/relax_batch.hpp"
 #include "algo/workspace.hpp"
 #include "graph/td_graph.hpp"
 #include "timetable/timetable.hpp"
@@ -66,6 +67,11 @@ class McTimeQueryT {
 
   const QueryStats& stats() const { return stats_; }
 
+  /// Relax-loop phasing (algo/relax_batch.hpp); bit-identical results and
+  /// accounting in both modes.
+  void set_relax_mode(RelaxMode m) { relax_mode_ = m; }
+  RelaxMode relax_mode() const { return relax_mode_; }
+
  private:
   using Front = std::vector<McLabel, ArenaAllocator<McLabel>>;
 
@@ -76,6 +82,8 @@ class McTimeQueryT {
   // vectors keep their capacity across queries).
   std::vector<Front, ArenaAllocator<Front>> fronts_;
   EpochArray<std::uint32_t> min_boards_;
+  RelaxBatch batch_;  // gather/eval scratch of the batch relax mode
+  RelaxMode relax_mode_ = default_relax_mode();
   QueryStats stats_;
   std::vector<NodeId, ArenaAllocator<NodeId>> touched_;
 };

@@ -29,6 +29,7 @@ struct ParallelSpcsOptions {
   bool self_pruning = true;
   bool stopping_criterion = true;  // station-to-station queries only
   bool prune_on_relax = false;     // see SpcsOptions::prune_on_relax
+  RelaxMode relax = default_relax_mode();  // see SpcsOptions::relax
 };
 
 struct OneToAllResult {

@@ -1,0 +1,141 @@
+// Batched gather -> eval -> commit edge relaxation
+// (docs/architecture.md "Batch relaxation").
+//
+// The settle loops used to interleave the (expensive) travel-time-function
+// evaluation with the queue push logic, edge by edge. Every engine now
+// splits a settle into three phases:
+//   1. gather — stream the SoA head/word arrays, run the cheap pre-tests
+//      (settled / self-pruning / domination) on the streamed heads, and
+//      append the surviving edges' packed words to a batch buffer;
+//   2. eval   — evaluate the whole batch with one TtfPool::arrival_n /
+//      arrival_tn call (AVX2 gather kernel under runtime dispatch,
+//      constant-weight words inline);
+//   3. commit — walk the batch *in edge order* and run the queue
+//      push/decrease logic against the evaluated arrivals.
+// Committing in edge order, and re-running any pre-test whose state the
+// commits themselves advance (TimeQuery's dist bound), keeps results AND
+// settled/pushed accounting bit-identical to the interleaved loop —
+// tests/batch_relax_test.cpp proves this differentially for every engine
+// and queue policy.
+//
+// The interleaved loop survives behind RelaxMode::kInterleaved as the
+// measurement baseline (bench_batchrelax) and as an escape hatch
+// (PCONN_NO_BATCH_RELAX=1 flips the process-wide default).
+//
+// RelaxBatch is the workspace-resident buffer of phase 1/2: engines own
+// one, placed in their QueryWorkspace's arena, and reserve() it to the
+// graph's maximum out-degree at construction so warm queries never touch
+// the allocator (the zero-allocation session guard covers batch mode).
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "timetable/types.hpp"
+#include "util/arena.hpp"
+
+namespace pconn {
+
+enum class RelaxMode : std::uint8_t {
+  kInterleaved,  // seed behaviour: eval and push logic per edge
+  kBatch,        // gather -> batch eval -> commit where profitable
+                 // (TTF fan-out >= kBatchRelaxMinEdges; the default)
+  kBatchAlways,  // phased loop on every settle, no profitability test —
+                 // exercises the batch bodies in the differential tests
+                 // and the A/B bench even where fan-outs are tiny
+};
+
+/// Fan-out threshold of the batch mode: a settled node whose block holds
+/// fewer time-dependent edges (TdGraph::ttf_out_degree; plain out-degree
+/// for the all-constant TE graph) runs the interleaved body even under
+/// RelaxMode::kBatch. The three-phase structure (buffer writes, a kernel
+/// call, a second pass) only pays for itself once TTF evaluations can fill
+/// vector lanes: constant words cost a single add either way, and forcing
+/// the model's 2-3-edge route nodes through the phases costs ~20%
+/// (bench_batchrelax). LC is exempt — its batch dimension is the label
+/// profile, profitable at any size. Results are identical on both sides
+/// of the threshold by construction.
+inline constexpr std::uint32_t kBatchRelaxMinEdges = 8;
+
+/// Process-wide default: batch, unless PCONN_NO_BATCH_RELAX is set (the
+/// A/B escape hatch, mirroring PCONN_NO_AVX2 for the kernels).
+inline RelaxMode default_relax_mode() {
+  static const RelaxMode mode = std::getenv("PCONN_NO_BATCH_RELAX") != nullptr
+                                    ? RelaxMode::kInterleaved
+                                    : RelaxMode::kBatch;
+  return mode;
+}
+
+inline const char* relax_mode_name(RelaxMode m) {
+  switch (m) {
+    case RelaxMode::kInterleaved: return "interleaved";
+    case RelaxMode::kBatch: return "batch";
+    case RelaxMode::kBatchAlways: return "batch-always";
+  }
+  return "?";
+}
+
+/// The gather/eval scratch of one engine: parallel arrays of packed
+/// ttf-or-weight words, per-edge auxiliary ids (head node, label slot, or
+/// whatever the engine commits against), and the evaluated arrivals. All
+/// storage is arena-backed when constructed from a workspace allocator.
+class RelaxBatch {
+ public:
+  RelaxBatch() = default;
+  explicit RelaxBatch(ScratchAlloc alloc)
+      : words_(ArenaAllocator<std::uint32_t>(alloc)),
+        aux_(ArenaAllocator<std::uint32_t>(alloc)),
+        aux2_(ArenaAllocator<std::uint32_t>(alloc)),
+        out_(ArenaAllocator<Time>(alloc)) {}
+
+  /// Grows every array's capacity to at least n (amortized; engines call
+  /// this once with the graph's max out-degree).
+  void reserve(std::size_t n) {
+    if (n <= capacity_) return;
+    words_.reserve(n);
+    aux_.reserve(n);
+    aux2_.reserve(n);
+    out_.reserve(n);
+    capacity_ = n;
+  }
+  std::size_t capacity() const { return capacity_; }
+
+  void clear() {
+    words_.clear();
+    aux_.clear();
+    aux2_.clear();
+  }
+  void push(std::uint32_t word, std::uint32_t aux) {
+    words_.push_back(word);
+    aux_.push_back(aux);
+  }
+  /// Two-channel variant (e.g. head + boarding count for the
+  /// multi-criteria engine).
+  void push2(std::uint32_t word, std::uint32_t aux, std::uint32_t aux2) {
+    words_.push_back(word);
+    aux_.push_back(aux);
+    aux2_.push_back(aux2);
+  }
+  std::size_t size() const { return words_.size(); }
+
+  const std::uint32_t* words() const { return words_.data(); }
+  std::uint32_t aux(std::size_t i) const { return aux_[i]; }
+  std::uint32_t aux2(std::size_t i) const { return aux2_[i]; }
+
+  /// Sizes the output array for the current batch and returns it.
+  Time* prepare_out() {
+    out_.resize(words_.size());
+    return out_.data();
+  }
+  Time out(std::size_t i) const { return out_[i]; }
+
+ private:
+  std::vector<std::uint32_t, ArenaAllocator<std::uint32_t>> words_;
+  std::vector<std::uint32_t, ArenaAllocator<std::uint32_t>> aux_;
+  std::vector<std::uint32_t, ArenaAllocator<std::uint32_t>> aux2_;
+  std::vector<Time, ArenaAllocator<Time>> out_;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace pconn

@@ -46,13 +46,15 @@ struct QuerySessionOptions {
   bool prune_on_relax = false;
   bool table_pruning = true;   // s2s engine only
   bool target_pruning = true;  // s2s engine only
+  RelaxMode relax = default_relax_mode();  // see SpcsOptions::relax
 
   ParallelSpcsOptions spcs() const {
     return {.threads = threads,
             .partition = partition,
             .self_pruning = self_pruning,
             .stopping_criterion = stopping_criterion,
-            .prune_on_relax = prune_on_relax};
+            .prune_on_relax = prune_on_relax,
+            .relax = relax};
   }
   S2sOptions s2s() const {
     return {.threads = threads,
@@ -61,7 +63,8 @@ struct QuerySessionOptions {
             .stopping_criterion = stopping_criterion,
             .table_pruning = table_pruning,
             .target_pruning = target_pruning,
-            .prune_on_relax = prune_on_relax};
+            .prune_on_relax = prune_on_relax,
+            .relax = relax};
   }
 };
 
@@ -97,6 +100,7 @@ class QuerySessionT {
   TimeQueryT<TimeQueue>& time_engine() {
     if (!time_) {
       time_ = std::make_unique<TimeQueryT<TimeQueue>>(tt_, g_, &ws_);
+      time_->set_relax_mode(opt_.relax);
     }
     return *time_;
   }
@@ -104,6 +108,7 @@ class QuerySessionT {
   LcProfileQueryT<LcQueue>& lc_engine() {
     if (!lc_) {
       lc_ = std::make_unique<LcProfileQueryT<LcQueue>>(tt_, g_, &ws_);
+      lc_->set_relax_mode(opt_.relax);
     }
     return *lc_;
   }
@@ -111,6 +116,7 @@ class QuerySessionT {
   McTimeQueryT<McQueue>& mc_engine() {
     if (!mc_) {
       mc_ = std::make_unique<McTimeQueryT<McQueue>>(tt_, g_, &ws_);
+      mc_->set_relax_mode(opt_.relax);
     }
     return *mc_;
   }
@@ -123,6 +129,7 @@ class QuerySessionT {
   TeTimeQueryT<TimeQueue>& te_engine(const TeGraph& te) {
     if (!te_ || te_graph_ != &te) {
       te_ = std::make_unique<TeTimeQueryT<TimeQueue>>(te, &ws_);
+      te_->set_relax_mode(opt_.relax);
       te_graph_ = &te;
     }
     return *te_;

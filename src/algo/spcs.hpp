@@ -32,6 +32,7 @@
 
 #include "algo/counters.hpp"
 #include "algo/queue_policy.hpp"
+#include "algo/relax_batch.hpp"
 #include "algo/workspace.hpp"
 #include "graph/td_graph.hpp"
 #include "timetable/timetable.hpp"
@@ -51,6 +52,11 @@ struct SpcsOptions {
   /// operations entirely. Results are unchanged; Table 1 runs with this
   /// OFF to match the paper's settled-connection accounting.
   bool prune_on_relax = false;
+  /// Relax-loop phasing (algo/relax_batch.hpp): batch gathers a settled
+  /// node's surviving edges and evaluates them with one vectorized
+  /// arrival_n call; interleaved is the per-edge seed behaviour. Results
+  /// and accounting are bit-identical either way.
+  RelaxMode relax = default_relax_mode();
 };
 
 /// Verdict of a SettleHook for a popped-and-settled queue item.
@@ -89,7 +95,8 @@ class SpcsThreadStateT {
         anc_(scratch_alloc(ws)),
         best_(scratch_alloc(ws)),
         noanc_(ArenaAllocator<std::uint32_t>(scratch_alloc(ws))),
-        done_(ArenaAllocator<std::uint8_t>(scratch_alloc(ws))) {}
+        done_(ArenaAllocator<std::uint8_t>(scratch_alloc(ws))),
+        batch_(scratch_alloc(ws)) {}
 
   /// Queue keys are composite: (arrival << kKeyShift) | (W - 1 - li).
   /// Arrival-time ties are broken towards the HIGHER connection index —
@@ -120,6 +127,7 @@ class SpcsThreadStateT {
     width_ = W;
     const std::size_t slots = static_cast<std::size_t>(g.num_nodes()) * W;
     if (heap_.capacity() < slots) heap_.reset_capacity(slots);
+    batch_.reserve(g.max_out_degree());
     arr_.ensure_and_clear(slots, kInfTime);
     if (opt.self_pruning) maxconn_.ensure_and_clear(g.num_nodes(), -1);
     if constexpr (Hook::kWantsAncestors) {
@@ -218,33 +226,26 @@ class SpcsThreadStateT {
         }
       }
 
-      // Relax loop over the SoA edge block of v: heads stream independently
-      // of the packed ttf-or-weight words, the settled/self-pruning tests
-      // run on the streamed head before the (expensive) TTF evaluation, and
-      // the next edge's label slot + TTF points are prefetched one
-      // iteration ahead to overlap their cache misses with this edge's
-      // work. relax_pruned consequently counts every pruned edge, whether
-      // or not its arrival would have been finite (the seed evaluated
-      // first); settled/pushed accounting is unchanged.
+      // Relax over the SoA edge block of v: heads stream independently of
+      // the packed ttf-or-weight words and the settled/self-pruning tests
+      // run on the streamed head before the (expensive) TTF evaluation.
+      // Batch mode (the default) phases the loop as gather -> eval ->
+      // commit (algo/relax_batch.hpp): the pre-tests only read state that
+      // settles mutate (arr_, maxconn_), never state the commits below
+      // touch, so running them all before any commit is exact — results
+      // and accounting stay bit-identical to the interleaved loop.
+      // relax_pruned counts every pruned edge, whether or not its arrival
+      // would have been finite (the seed evaluated first); settled/pushed
+      // accounting is unchanged.
       const std::uint32_t eb = g.edge_begin(v);
       const std::uint32_t ee = g.edge_end(v);
       const NodeId* const heads = g.heads_data();
-      for (std::uint32_t ei = eb; ei < ee; ++ei) {
-        if (ei + 1 < ee) {
-          arr_.prefetch(static_cast<std::size_t>(heads[ei + 1]) * W + li);
-          g.prefetch_edge_ttf(ei + 1);
-        }
-        const NodeId head = heads[ei];
-        const std::uint32_t wid = static_cast<std::uint32_t>(
-            static_cast<std::uint64_t>(head) * W + li);
-        if (arr_.touched(wid)) continue;  // already settled for li
-        if (opt.self_pruning && opt.prune_on_relax &&
-            static_cast<std::int32_t>(li) <= maxconn_.get(head)) {
-          stats_.relax_pruned++;
-          continue;
-        }
-        const Time t = g.arrival_by_word(g.edge_word(ei), key);
-        if (t == kInfTime) continue;
+      const std::uint32_t* const words = g.words_data();
+
+      // Queue push/decrease + ancestor accounting for one surviving edge
+      // with evaluated (finite) arrival t. Both modes invoke this in edge
+      // order, so per-policy queue contents evolve identically.
+      const auto commit = [&](std::uint32_t wid, Time t) {
         stats_.relaxed++;
         const std::uint64_t new_key = make_key(t, li);
         bool improved = true;
@@ -294,6 +295,53 @@ class SpcsThreadStateT {
             }
           }
         }
+      };
+
+      // Settled / relax-time self-pruning pre-tests on a streamed head;
+      // returns false when the edge is discarded before evaluation.
+      const auto survives = [&](NodeId head, std::uint32_t wid) {
+        if (arr_.touched(wid)) return false;  // already settled for li
+        if (opt.self_pruning && opt.prune_on_relax &&
+            static_cast<std::int32_t>(li) <= maxconn_.get(head)) {
+          stats_.relax_pruned++;
+          return false;
+        }
+        return true;
+      };
+
+      if (opt.relax != RelaxMode::kInterleaved &&
+          (opt.relax == RelaxMode::kBatchAlways ||
+           g.ttf_out_degree(v) >= kBatchRelaxMinEdges)) {
+        batch_.clear();
+        for (std::uint32_t ei = eb; ei < ee; ++ei) {
+          if (ei + 1 < ee) {
+            arr_.prefetch(static_cast<std::size_t>(heads[ei + 1]) * W + li);
+          }
+          const NodeId head = heads[ei];
+          const std::uint32_t wid = static_cast<std::uint32_t>(
+              static_cast<std::uint64_t>(head) * W + li);
+          if (survives(head, wid)) batch_.push(words[ei], wid);
+        }
+        Time* const out = batch_.prepare_out();
+        g.arrivals_by_words(batch_.words(), batch_.size(), key, out);
+        for (std::size_t i = 0; i < batch_.size(); ++i) {
+          if (out[i] == kInfTime) continue;
+          commit(batch_.aux(i), out[i]);
+        }
+      } else {
+        for (std::uint32_t ei = eb; ei < ee; ++ei) {
+          if (ei + 1 < ee) {
+            arr_.prefetch(static_cast<std::size_t>(heads[ei + 1]) * W + li);
+            g.prefetch_edge_ttf(ei + 1);
+          }
+          const NodeId head = heads[ei];
+          const std::uint32_t wid = static_cast<std::uint32_t>(
+              static_cast<std::uint64_t>(head) * W + li);
+          if (!survives(head, wid)) continue;
+          const Time t = g.arrival_by_word(words[ei], key);
+          if (t == kInfTime) continue;
+          commit(wid, t);
+        }
       }
     }
   }
@@ -313,6 +361,7 @@ class SpcsThreadStateT {
                                     // queues with ancestor tracking only
   std::vector<std::uint32_t, ArenaAllocator<std::uint32_t>> noanc_;
   std::vector<std::uint8_t, ArenaAllocator<std::uint8_t>> done_;
+  RelaxBatch batch_;  // gather/eval scratch of the batch relax mode
   std::uint32_t width_ = 0;
   QueryStats stats_;
 };

@@ -6,6 +6,7 @@
 
 #include "algo/counters.hpp"
 #include "algo/queue_policy.hpp"
+#include "algo/relax_batch.hpp"
 #include "algo/workspace.hpp"
 #include "graph/te_graph.hpp"
 #include "timetable/timetable.hpp"
@@ -34,11 +35,18 @@ class TeTimeQueryT {
 
   const QueryStats& stats() const { return stats_; }
 
+  /// Relax-loop phasing (algo/relax_batch.hpp). TE edges are all constant,
+  /// so the "eval" phase is a vector add; bit-identical either way.
+  void set_relax_mode(RelaxMode m) { relax_mode_ = m; }
+  RelaxMode relax_mode() const { return relax_mode_; }
+
  private:
   const TeGraph& g_;
   Queue heap_;
   EpochArray<Time> dist_;
   EpochArray<Time> best_arrival_;  // per station, over settled arrival events
+  RelaxBatch batch_;  // gather/eval scratch of the batch relax mode
+  RelaxMode relax_mode_ = default_relax_mode();
   StationId source_ = kInvalidStation;
   Time departure_ = 0;
   QueryStats stats_;

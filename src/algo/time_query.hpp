@@ -15,6 +15,7 @@
 
 #include "algo/counters.hpp"
 #include "algo/queue_policy.hpp"
+#include "algo/relax_batch.hpp"
 #include "algo/workspace.hpp"
 #include "graph/td_graph.hpp"
 #include "timetable/timetable.hpp"
@@ -49,6 +50,12 @@ class TimeQueryT {
 
   const QueryStats& stats() const { return stats_; }
 
+  /// Relax-loop phasing (algo/relax_batch.hpp); results and accounting are
+  /// bit-identical in both modes. Defaults to batch (PCONN_NO_BATCH_RELAX
+  /// flips the process default); the setter exists for A/B measurement.
+  void set_relax_mode(RelaxMode m) { relax_mode_ = m; }
+  RelaxMode relax_mode() const { return relax_mode_; }
+
  private:
   const Timetable& tt_;
   const TdGraph& g_;
@@ -60,6 +67,8 @@ class TimeQueryT {
   // TeTimeQueryT relies on).
   EpochArray<Time> dist_;
   EpochArray<NodeId> parent_;
+  RelaxBatch batch_;  // gather/eval scratch of the batch relax mode
+  RelaxMode relax_mode_ = default_relax_mode();
   QueryStats stats_;
 };
 

@@ -1,15 +1,20 @@
 #include "graph/td_graph.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <numeric>
 
 namespace pconn {
 
 TdGraph TdGraph::build(const Timetable& tt) {
+  return build(tt, TtfIndexOptions::from_env());
+}
+
+TdGraph TdGraph::build(const Timetable& tt, const TtfIndexOptions& idx) {
   TdGraph g;
   g.num_stations_ = tt.num_stations();
   g.period_ = tt.period();
-  g.ttfs_.reset(tt.period());
+  g.ttfs_.reset(tt.period(), idx);
 
   // Node numbering: stations first, then route nodes grouped by route.
   g.station_of_.resize(tt.num_stations());
@@ -64,16 +69,23 @@ TdGraph TdGraph::build(const Timetable& tt) {
   g.edge_begin_.assign(g.station_of_.size() + 1, 0);
   for (std::size_t v = 0; v < adj.size(); ++v) {
     g.edge_begin_[v + 1] = static_cast<std::uint32_t>(adj[v].size());
+    g.max_out_degree_ =
+        std::max(g.max_out_degree_, static_cast<std::uint32_t>(adj[v].size()));
   }
   std::partial_sum(g.edge_begin_.begin(), g.edge_begin_.end(),
                    g.edge_begin_.begin());
   g.heads_.reserve(g.edge_begin_.back());
   g.ttf_or_weight_.reserve(g.edge_begin_.back());
+  g.ttf_out_degree_.reserve(adj.size());
   for (auto& out : adj) {
+    std::size_t ttf_edges = 0;
     for (const RawEdge& e : out) {
       g.heads_.push_back(e.head);
       g.ttf_or_weight_.push_back(e.word);
+      if (!word_is_const(e.word)) ++ttf_edges;
     }
+    g.ttf_out_degree_.push_back(
+        static_cast<std::uint8_t>(std::min<std::size_t>(ttf_edges, 255)));
   }
   return g;
 }

@@ -48,7 +48,9 @@ class TdGraph {
   };
 
   // --- packed ttf-or-weight word ----------------------------------------
-  static constexpr std::uint32_t kConstFlag = 1u << 31;
+  // The encoding is shared with TtfPool::arrival_n, whose batch kernel
+  // evaluates constant words inline.
+  static constexpr std::uint32_t kConstFlag = TtfPool::kConstFlag;
   static bool word_is_const(std::uint32_t w) { return (w & kConstFlag) != 0; }
   static Time word_weight(std::uint32_t w) {
     return static_cast<Time>(w & ~kConstFlag);
@@ -56,6 +58,10 @@ class TdGraph {
   static std::uint32_t word_ttf(std::uint32_t w) { return w; }
 
   static TdGraph build(const Timetable& tt);
+  /// Build with an explicit per-network TTF-index configuration (memory /
+  /// eval-speed knob, see TtfIndexOptions). Results are bit-identical for
+  /// any configuration; only index memory and scan lengths change.
+  static TdGraph build(const Timetable& tt, const TtfIndexOptions& idx);
 
   NodeId num_nodes() const { return static_cast<NodeId>(station_of_.size()); }
   std::size_t num_edges() const { return heads_.size(); }
@@ -85,11 +91,26 @@ class TdGraph {
   const TtfPool& ttfs() const { return ttfs_; }
 
   /// Absolute arrival via a packed ttf-or-weight word when reaching the
-  /// tail at absolute time t — the relax-loop entry point.
+  /// tail at absolute time t — the interleaved relax-loop entry point.
   Time arrival_by_word(std::uint32_t w, Time t) const {
     if (word_is_const(w)) return t + word_weight(w);
     return ttfs_.arrival(word_ttf(w), t);
   }
+  /// Batched variant for the gather -> eval -> commit relax loops: arrivals
+  /// via words[0..n) for one entry time, constant words evaluated inline
+  /// (vectorized; see TtfPool::arrival_n).
+  void arrivals_by_words(const std::uint32_t* words, std::size_t n, Time t,
+                         Time* out) const {
+    ttfs_.arrival_n(words, n, t, out);
+  }
+  /// Largest out-degree of any node — the capacity bound the engines'
+  /// batch buffers reserve once so warm queries never reallocate.
+  std::uint32_t max_out_degree() const { return max_out_degree_; }
+  /// Time-dependent (non-constant) edges in v's block, saturated at 255 —
+  /// the relax loops' batch-profitability test: a block whose TTF fan-out
+  /// is below the batch threshold runs interleaved (constant words cost a
+  /// single add either way, so only TTF evals justify the phased loop).
+  std::uint32_t ttf_out_degree(NodeId v) const { return ttf_out_degree_[v]; }
   /// Prefetch hint for edge e's travel-time points (no-op on constant
   /// edges: the weight is already in the streamed word).
   void prefetch_edge_ttf(EdgeId e) const {
@@ -141,11 +162,13 @@ class TdGraph {
  private:
   std::size_t num_stations_ = 0;
   Time period_ = kDayseconds;
+  std::uint32_t max_out_degree_ = 0;
   std::vector<StationId> station_of_;       // per node
   std::vector<NodeId> route_node_begin_;    // per route
   std::vector<std::uint32_t> edge_begin_;   // CSR offsets, num_nodes()+1
   std::vector<NodeId> heads_;               // per edge
   std::vector<std::uint32_t> ttf_or_weight_;  // per edge, packed (see top)
+  std::vector<std::uint8_t> ttf_out_degree_;  // per node, saturated at 255
   TtfPool ttfs_;
 };
 

@@ -2,11 +2,29 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdlib>
+
+#include "util/simd.hpp"
 
 namespace pconn {
 
+TtfIndexOptions TtfIndexOptions::from_env() {
+  TtfIndexOptions opt;
+  if (const char* v = std::getenv("PCONN_TTF_BUCKET_DENSITY")) {
+    opt.buckets_per_point = std::atof(v);
+  }
+  if (const char* v = std::getenv("PCONN_TTF_MIN_INDEXED")) {
+    opt.min_indexed_points = static_cast<std::uint32_t>(std::atoi(v));
+  }
+  return opt;
+}
+
 std::uint32_t TtfPool::add(const Ttf& f) {
   assert(f.period() == period_ || f.empty());
+  // The AVX2 kernels gather metadata and points through signed 32-bit
+  // lanes; both stay far below 2^29 entries on any real network.
+  assert(meta_.size() < (std::size_t{1} << 29));
+  assert(points_.size() + f.size() < (std::size_t{1} << 29));
   const std::uint32_t idx = static_cast<std::uint32_t>(meta_.size());
   TtfMeta m;
   m.first = static_cast<std::uint32_t>(points_.size());
@@ -14,12 +32,19 @@ std::uint32_t TtfPool::add(const Ttf& f) {
   m.bucket0 = static_cast<std::uint32_t>(bucket_idx_.size());
   points_.insert(points_.end(), f.points().begin(), f.points().end());
 
-  // One bucket per point (rounded to a power of two, capped at 2^16): the
-  // expected scan past the bucket entry is then <= 1 point. Empty
-  // functions keep a single bucket so eval's index lookup stays branchless.
-  const std::uint32_t buckets = static_cast<std::uint32_t>(std::min<std::size_t>(
-      std::bit_ceil(std::max<std::size_t>(std::size_t{1}, f.size())),
-      std::size_t{1} << 16));
+  // Default density: one bucket per point (rounded to a power of two,
+  // capped at 2^16) — the expected scan past the bucket entry is then <= 1
+  // point. The index options scale the density per network and drop the
+  // index for small functions: those (and empty ones) keep a single bucket
+  // pointing at their first point, so eval's index lookup stays branchless
+  // and the scan is the plain linear lower_bound.
+  std::uint32_t buckets = 1;
+  if (f.size() >= idx_.min_indexed_points) {
+    const double want =
+        std::max(1.0, static_cast<double>(f.size()) * idx_.buckets_per_point);
+    buckets = static_cast<std::uint32_t>(std::min<std::size_t>(
+        std::bit_ceil(static_cast<std::size_t>(want)), std::size_t{1} << 16));
+  }
   m.log2b = static_cast<std::uint32_t>(std::countr_zero(buckets));
 
   // bucket_idx_[b] = first point whose departure maps to bucket b or later
@@ -32,6 +57,215 @@ std::uint32_t TtfPool::add(const Ttf& f) {
   }
   meta_.push_back(m);
   return idx;
+}
+
+void TtfPool::arrival_n_scalar(const std::uint32_t* entries, std::size_t n,
+                               Time t, Time* out) const {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + 1 < n) {
+      const std::uint32_t next = entries[i + 1];
+      if (!(next & kConstFlag)) prefetch_points(next);
+    }
+    out[i] = arrival_entry(entries[i], t);
+  }
+}
+
+void TtfPool::arrival_tn_scalar(std::uint32_t f, const Time* ts, std::size_t n,
+                                Time* out) const {
+  for (std::size_t i = 0; i < n; ++i) out[i] = arrival(f, ts[i]);
+}
+
+void TtfPool::arrival_tn_sorted(std::uint32_t f, const Time* ts, std::size_t n,
+                                Time* out) const {
+  arrival_tn_sorted_fused(
+      f, n, [ts](std::size_t i) { return ts[i]; },
+      [out](std::size_t i, Time a) { out[i] = a; });
+}
+
+#if PCONN_HAVE_AVX2_DISPATCH
+
+// Both kernels share the bucket-mapping identity
+//   bucket_of(tau, b) = ((tau << b) * inv) >> 32 = (tau * inv) >> (32 - b)
+// with tau * inv < 2^32 (tau < period, inv = floor(2^32 / period)), so the
+// per-lane bucket is a 32-bit multiply plus a variable shift — no division
+// anywhere. All comparisons run in signed 32-bit lanes, which is safe
+// because times stay below 2^30 (asserted in reset) and pool indices below
+// 2^29 (asserted in add).
+
+[[gnu::target("avx2")]] void TtfPool::arrival_n_avx2(
+    const std::uint32_t* entries, std::size_t n, Time t, Time* out) const {
+  const std::uint32_t tau = t % period_;
+  const std::uint32_t tau_inv = static_cast<std::uint32_t>(tau * inv_period_);
+  const int* const meta_base = reinterpret_cast<const int*>(meta_.data());
+  const int* const bidx_base = reinterpret_cast<const int*>(bucket_idx_.data());
+  const int* const pts_base = reinterpret_cast<const int*>(points_.data());
+
+  const __m256i vzero = _mm256_setzero_si256();
+  const __m256i vtau = _mm256_set1_epi32(static_cast<int>(tau));
+  const __m256i vtau_inv = _mm256_set1_epi32(static_cast<int>(tau_inv));
+  const __m256i v32 = _mm256_set1_epi32(32);
+  const __m256i vperiod = _mm256_set1_epi32(static_cast<int>(period_));
+  const __m256i vt = _mm256_set1_epi32(static_cast<int>(t));
+  const __m256i vinf = _mm256_set1_epi32(static_cast<int>(kInfTime));
+  const __m256i vconst = _mm256_set1_epi32(static_cast<int>(kConstFlag));
+
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i w =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(entries + i));
+    // Lanes with the top bit set carry an inline constant; every gather is
+    // masked to the TTF lanes (and, for points, to non-empty functions) so
+    // no lane ever reads outside the pool arrays.
+    const __m256i is_const = _mm256_srai_epi32(w, 31);
+    const __m256i is_ttf = _mm256_cmpeq_epi32(is_const, vzero);
+    const __m256i f4 = _mm256_slli_epi32(_mm256_andnot_si256(is_const, w), 2);
+    const __m256i first =
+        _mm256_mask_i32gather_epi32(vzero, meta_base + 0, f4, is_ttf, 4);
+    const __m256i count =
+        _mm256_mask_i32gather_epi32(vzero, meta_base + 1, f4, is_ttf, 4);
+    const __m256i bucket0 =
+        _mm256_mask_i32gather_epi32(vzero, meta_base + 2, f4, is_ttf, 4);
+    const __m256i log2b =
+        _mm256_mask_i32gather_epi32(vzero, meta_base + 3, f4, is_ttf, 4);
+    const __m256i bucket =
+        _mm256_srlv_epi32(vtau_inv, _mm256_sub_epi32(v32, log2b));
+    const __m256i live =
+        _mm256_andnot_si256(_mm256_cmpeq_epi32(count, vzero), is_ttf);
+    __m256i pos = _mm256_mask_i32gather_epi32(
+        vzero, bidx_base, _mm256_add_epi32(bucket0, bucket), live, 4);
+    const __m256i end = _mm256_add_epi32(first, count);
+    // Linear lower_bound past the bucket entry: lanes advance while their
+    // point departs before tau; the default of tau for masked-off lanes
+    // stops them immediately. Expected 0-1 iterations at default density.
+    for (;;) {
+      const __m256i in_range =
+          _mm256_and_si256(_mm256_cmpgt_epi32(end, pos), live);
+      if (_mm256_testz_si256(in_range, in_range)) break;
+      const __m256i dep = _mm256_mask_i32gather_epi32(
+          vtau, pts_base, _mm256_slli_epi32(pos, 1), in_range, 4);
+      const __m256i advance =
+          _mm256_and_si256(in_range, _mm256_cmpgt_epi32(vtau, dep));
+      if (_mm256_testz_si256(advance, advance)) break;
+      pos = _mm256_sub_epi32(pos, advance);  // advance lanes hold -1
+    }
+    // Lanes that scanned to their function's end wrap to its first point.
+    pos = _mm256_blendv_epi8(first, pos, _mm256_cmpgt_epi32(end, pos));
+    const __m256i p2 = _mm256_slli_epi32(pos, 1);
+    const __m256i dep =
+        _mm256_mask_i32gather_epi32(vzero, pts_base + 0, p2, live, 4);
+    const __m256i dur =
+        _mm256_mask_i32gather_epi32(vzero, pts_base + 1, p2, live, 4);
+    const __m256i wrap = _mm256_cmpgt_epi32(vtau, dep);
+    const __m256i wait = _mm256_add_epi32(_mm256_sub_epi32(dep, vtau),
+                                          _mm256_and_si256(wrap, vperiod));
+    __m256i res = _mm256_add_epi32(vt, _mm256_add_epi32(wait, dur));
+    res = _mm256_blendv_epi8(vinf, res, live);  // empty functions
+    const __m256i cres = _mm256_add_epi32(vt, _mm256_andnot_si256(vconst, w));
+    res = _mm256_blendv_epi8(res, cres, is_const);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), res);
+  }
+  arrival_n_scalar(entries + i, n - i, t, out + i);
+}
+
+namespace {
+
+/// Per-32-bit-lane high half of the unsigned product a*b.
+[[gnu::target("avx2")]] inline __m256i mul_hi_epu32(__m256i a, __m256i b) {
+  const __m256i even = _mm256_srli_epi64(_mm256_mul_epu32(a, b), 32);
+  const __m256i odd = _mm256_mul_epu32(_mm256_srli_epi64(a, 32),
+                                       _mm256_srli_epi64(b, 32));
+  // even holds lanes 0,2,.. in the low 64-bit halves; odd's products sit
+  // with their high 32 bits exactly in the odd lane positions.
+  return _mm256_blend_epi32(even, odd, 0b10101010);
+}
+
+}  // namespace
+
+[[gnu::target("avx2")]] void TtfPool::arrival_tn_avx2(std::uint32_t f,
+                                                      const Time* ts,
+                                                      std::size_t n,
+                                                      Time* out) const {
+  const TtfMeta& m = meta_[f];
+  if (m.count == 0) {
+    std::fill(out, out + n, kInfTime);
+    return;
+  }
+  const int* const bidx_base = reinterpret_cast<const int*>(bucket_idx_.data());
+  const int* const pts_base = reinterpret_cast<const int*>(points_.data());
+  const std::uint32_t inv32 = static_cast<std::uint32_t>(inv_period_);
+
+  const __m256i vinv = _mm256_set1_epi32(static_cast<int>(inv32));
+  const __m256i vperiod = _mm256_set1_epi32(static_cast<int>(period_));
+  const __m256i vperiod_m1 =
+      _mm256_set1_epi32(static_cast<int>(period_ - 1));
+  const __m256i vfirst = _mm256_set1_epi32(static_cast<int>(m.first));
+  const __m256i vend = _mm256_set1_epi32(static_cast<int>(m.first + m.count));
+  const __m256i vbucket0 = _mm256_set1_epi32(static_cast<int>(m.bucket0));
+  const __m128i vshift =
+      _mm_cvtsi32_si128(static_cast<int>(32 - m.log2b));
+
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i t =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ts + i));
+    // tau = t % period via the truncated reciprocal: the quotient estimate
+    // undershoots by at most one, fixed with a single conditional subtract.
+    const __m256i q = mul_hi_epu32(t, vinv);
+    __m256i tau = _mm256_sub_epi32(t, _mm256_mullo_epi32(q, vperiod));
+    const __m256i over = _mm256_cmpgt_epi32(tau, vperiod_m1);
+    tau = _mm256_sub_epi32(tau, _mm256_and_si256(over, vperiod));
+    // bucket = (tau * inv) >> (32 - log2b); tau * inv < 2^32, so the low
+    // 32-bit product is exact.
+    const __m256i bucket =
+        _mm256_srl_epi32(_mm256_mullo_epi32(tau, vinv), vshift);
+    __m256i pos = _mm256_i32gather_epi32(
+        bidx_base, _mm256_add_epi32(vbucket0, bucket), 4);
+    for (;;) {
+      const __m256i in_range = _mm256_cmpgt_epi32(vend, pos);
+      if (_mm256_testz_si256(in_range, in_range)) break;
+      const __m256i dep = _mm256_mask_i32gather_epi32(
+          tau, pts_base, _mm256_slli_epi32(pos, 1), in_range, 4);
+      const __m256i advance =
+          _mm256_and_si256(in_range, _mm256_cmpgt_epi32(tau, dep));
+      if (_mm256_testz_si256(advance, advance)) break;
+      pos = _mm256_sub_epi32(pos, advance);
+    }
+    pos = _mm256_blendv_epi8(vfirst, pos, _mm256_cmpgt_epi32(vend, pos));
+    const __m256i p2 = _mm256_slli_epi32(pos, 1);
+    const __m256i dep = _mm256_i32gather_epi32(pts_base + 0, p2, 4);
+    const __m256i dur = _mm256_i32gather_epi32(pts_base + 1, p2, 4);
+    const __m256i wrap = _mm256_cmpgt_epi32(tau, dep);
+    const __m256i wait = _mm256_add_epi32(_mm256_sub_epi32(dep, tau),
+                                          _mm256_and_si256(wrap, vperiod));
+    const __m256i res = _mm256_add_epi32(t, _mm256_add_epi32(wait, dur));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), res);
+  }
+  arrival_tn_scalar(f, ts + i, n - i, out + i);
+}
+
+#endif  // PCONN_HAVE_AVX2_DISPATCH
+
+void TtfPool::arrival_n(const std::uint32_t* entries, std::size_t n, Time t,
+                        Time* out) const {
+#if PCONN_HAVE_AVX2_DISPATCH
+  if (n >= 8 && cpu_has_avx2()) {
+    arrival_n_avx2(entries, n, t, out);
+    return;
+  }
+#endif
+  arrival_n_scalar(entries, n, t, out);
+}
+
+void TtfPool::arrival_tn(std::uint32_t f, const Time* ts, std::size_t n,
+                         Time* out) const {
+#if PCONN_HAVE_AVX2_DISPATCH
+  // period_ == 1 would need the 33-bit reciprocal; never a real timetable.
+  if (n >= 8 && period_ > 1 && cpu_has_avx2()) {
+    arrival_tn_avx2(f, ts, n, out);
+    return;
+  }
+#endif
+  arrival_tn_scalar(f, ts, n, out);
 }
 
 }  // namespace pconn

@@ -7,7 +7,12 @@
 // contiguous array (16 bytes of metadata per function) and replaces the
 // per-call binary search with a precomputed time-bucket index:
 //
-//   * per function, B = bit_ceil(|points|) buckets partition [0, period);
+//   * per function, B buckets partition [0, period); B defaults to
+//     bit_ceil(|points|) and is tunable per network (TtfIndexOptions):
+//     `buckets_per_point` scales the bucket count and functions below
+//     `min_indexed_points` drop the index entirely — they keep a single
+//     bucket pointing at their first point, so evaluation degenerates to
+//     the linear lower_bound scan (identical results, no index memory);
 //   * bucket_idx_[b] holds the first point whose departure falls into
 //     bucket b or later, so eval() starts its scan there and walks past at
 //     most the points sharing the query's bucket — O(1) expected, against
@@ -15,6 +20,19 @@
 //   * the bucket of a time is a multiply-shift against a precomputed
 //     2^32/period reciprocal (no division); the mapping may undershoot by
 //     up to two buckets, which only lengthens the scan, never skips points.
+//
+// Batch evaluation (the relax-loop entry points since the gather ->
+// eval -> commit restructure, docs/architecture.md "Batch relaxation"):
+//   * arrival_n()  — many functions, one entry time. Entries may carry the
+//     kConstFlag top bit, in which case the low 31 bits are an inline
+//     constant travel time (the TdGraph packed-word encoding) evaluated
+//     without touching the pool;
+//   * arrival_tn() — one function, many entry times (the LC link step).
+// Both run an 8-lane AVX2 gather kernel when the CPU has it (runtime
+// dispatch, PCONN_NO_AVX2 escape hatch) and a scalar loop otherwise; the
+// kernels replace the per-eval hardware division of `t % period` with the
+// same reciprocal multiply the bucket mapping uses and are bit-identical
+// to the scalar path (tests/ttf_test.cpp sweeps per second).
 //
 // Results are bit-identical to Ttf::eval / Ttf::point_used on the same
 // points (tests/ttf_test.cpp proves it exhaustively); the pool is the
@@ -31,13 +49,49 @@
 
 namespace pconn {
 
+/// Per-network memory/speed knob for the evaluation index (ROADMAP "TTF
+/// index memory knob"). The index costs ~1 uint32 per point at the default
+/// density; dense bus networks with huge functions may prefer a lower
+/// density, memory-tight deployments can drop the index for small
+/// functions outright (a <5-point function spans at most one cache line —
+/// the linear scan is as fast as the bucket entry it replaces).
+struct TtfIndexOptions {
+  /// Buckets per point before rounding to a power of two (densities < 1
+  /// trade expected scan length for index memory).
+  double buckets_per_point = 1.0;
+  /// Functions with fewer points keep a single bucket — no index, linear
+  /// lower_bound scan from the first point. 5 is free (see above).
+  std::uint32_t min_indexed_points = 5;
+
+  /// Defaults overridable via PCONN_TTF_BUCKET_DENSITY and
+  /// PCONN_TTF_MIN_INDEXED (per-network tuning without a rebuild).
+  static TtfIndexOptions from_env();
+};
+
 class TtfPool {
  public:
-  explicit TtfPool(Time period = kDayseconds) { reset(period); }
+  /// Entries of arrival_n with this bit set are inline constant travel
+  /// times, not pool indices (mirrored by TdGraph's packed edge word).
+  static constexpr std::uint32_t kConstFlag = 1u << 31;
+
+  explicit TtfPool(Time period = kDayseconds,
+                   TtfIndexOptions idx = TtfIndexOptions::from_env()) {
+    idx_ = idx;
+    reset(period);
+  }
+
+  /// reset() with a new per-network index configuration.
+  void reset(Time period, TtfIndexOptions idx) {
+    idx_ = idx;
+    reset(period);
+  }
 
   /// Drops all functions and re-anchors the bucket mapping on `period`.
   void reset(Time period) {
     assert(period > 0);
+    // The AVX2 kernels compare times in signed 32-bit lanes; every real
+    // timetable period (a day, a week) is far below this.
+    assert(period < (Time{1} << 30));
     period_ = period;
     inv_period_ = (std::uint64_t{1} << 32) / period;
     points_.clear();
@@ -51,6 +105,7 @@ class TtfPool {
   std::size_t size() const { return meta_.size(); }
   std::size_t num_points() const { return points_.size(); }
   Time period() const { return period_; }
+  const TtfIndexOptions& index_options() const { return idx_; }
 
   bool empty_at(std::uint32_t f) const { return meta_[f].count == 0; }
   std::span<const TtfPoint> points(std::uint32_t f) const {
@@ -75,6 +130,13 @@ class TtfPool {
     return w == kInfTime ? kInfTime : t + w;
   }
 
+  /// Absolute arrival via one arrival_n entry: a pool index, or an inline
+  /// constant travel time when the kConstFlag bit is set.
+  Time arrival_entry(std::uint32_t word, Time t) const {
+    if (word & kConstFlag) return t + (word & ~kConstFlag);
+    return arrival(word, t);
+  }
+
   /// The connection point eval() uses, as an index into points(f).
   /// Identical to Ttf::point_used (journey unpacking relies on this).
   std::size_t point_used(std::uint32_t f, Time t) const {
@@ -83,14 +145,66 @@ class TtfPool {
     return scan_from_bucket(m, t % period_) - m.first;
   }
 
-  /// Batch evaluation: absolute arrivals via functions fs[0..n) for one
-  /// entry time, with the next function's points prefetched one iteration
-  /// ahead (the relax-loop access pattern, benchable in isolation).
-  void arrival_n(const std::uint32_t* fs, std::size_t n, Time t,
-                 Time* out) const {
+  /// Batch evaluation, many functions at one entry time: absolute arrivals
+  /// via entries[0..n) for entry time t. Entries are pool indices or
+  /// kConstFlag-tagged inline constants (see arrival_entry). AVX2 gather
+  /// kernel under runtime dispatch, scalar prefetching loop otherwise;
+  /// bit-identical either way.
+  void arrival_n(const std::uint32_t* entries, std::size_t n, Time t,
+                 Time* out) const;
+
+  /// Batch evaluation, one function at many entry times:
+  /// out[i] = arrival(f, ts[i]). Same dispatch as arrival_n.
+  void arrival_tn(std::uint32_t f, const Time* ts, std::size_t n,
+                  Time* out) const;
+
+  /// Sorted-batch evaluation, one function at ASCENDING entry times — the
+  /// LC link shape (a reduced profile's arrivals are strictly increasing).
+  /// A two-pointer merge over the function's sorted points replaces the
+  /// per-entry division and bucket lookup: the reduced time advances
+  /// incrementally and the candidate point only ever moves forward,
+  /// re-entering through the bucket index on a period wrap. Bit-identical
+  /// to arrival(f, ts[i]); asserts the precondition in debug builds.
+  void arrival_tn_sorted(std::uint32_t f, const Time* ts, std::size_t n,
+                         Time* out) const;
+
+  /// Fused form of arrival_tn_sorted for strided/projected inputs: calls
+  /// emit(i, arrival) for i in [0, n) with entry times get(i), which must
+  /// ascend. Lets the LC link read profile points and build the candidate
+  /// profile in one pass, no staging copies.
+  template <typename GetTime, typename Emit>
+  void arrival_tn_sorted_fused(std::uint32_t f, std::size_t n, GetTime get,
+                               Emit emit) const {
+    const TtfMeta& m = meta_[f];
+    if (n == 0) return;
+    if (m.count == 0) {
+      for (std::size_t i = 0; i < n; ++i) emit(i, kInfTime);
+      return;
+    }
+    const std::uint32_t end = m.first + m.count;
+    Time prev_t = get(0);
+    Time tau = prev_t % period_;  // the only unconditional division
+    std::uint32_t j = lower_bound_abs(m, tau);
     for (std::size_t i = 0; i < n; ++i) {
-      if (i + 1 < n) prefetch_points(fs[i + 1]);
-      out[i] = arrival(fs[i], t);
+      const Time t = get(i);
+      assert(t >= prev_t && "sorted link requires ascending entry times");
+      const Time delta = t - prev_t;
+      if (delta >= period_) {  // skipped whole periods: re-anchor (rare)
+        tau = t % period_;
+        j = lower_bound_abs(m, tau);
+      } else if (delta > 0) {
+        tau += delta;
+        if (tau >= period_) {  // wrapped once: re-enter through the index
+          tau -= period_;
+          j = lower_bound_abs(m, tau);
+        } else {
+          while (j < end && points_[j].dep < tau) ++j;
+        }
+      }
+      prev_t = t;
+      const TtfPoint& p = points_[j < end ? j : m.first];
+      const Time wait = p.dep >= tau ? p.dep - tau : period_ + p.dep - tau;
+      emit(i, t + wait + p.dur);
     }
   }
 
@@ -127,18 +241,38 @@ class TtfPool {
         ((static_cast<std::uint64_t>(tau) << log2b) * inv_period_) >> 32);
   }
 
-  /// First point with dep >= tau (wrapping to the function's first point),
-  /// as an absolute index into points_. Exactly lower_bound, entered via
-  /// the bucket table.
-  std::uint32_t scan_from_bucket(const TtfMeta& m, Time tau) const {
+  /// First point with dep >= tau as an absolute index into points_ — may
+  /// be one past the function's last point when every point departs
+  /// earlier. Exactly lower_bound, entered via the bucket table.
+  std::uint32_t lower_bound_abs(const TtfMeta& m, Time tau) const {
     std::uint32_t i = bucket_idx_[m.bucket0 + bucket_of(tau, m.log2b)];
     const std::uint32_t end = m.first + m.count;
     while (i < end && points_[i].dep < tau) ++i;
-    return i < end ? i : m.first;
+    return i;
   }
+
+  /// lower_bound_abs wrapping to the function's first point (the cyclic
+  /// "next departure" selection eval uses).
+  std::uint32_t scan_from_bucket(const TtfMeta& m, Time tau) const {
+    const std::uint32_t i = lower_bound_abs(m, tau);
+    return i < m.first + m.count ? i : m.first;
+  }
+
+  void arrival_n_scalar(const std::uint32_t* entries, std::size_t n, Time t,
+                        Time* out) const;
+  void arrival_tn_scalar(std::uint32_t f, const Time* ts, std::size_t n,
+                         Time* out) const;
+#if (defined(__x86_64__) || defined(_M_X64)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  void arrival_n_avx2(const std::uint32_t* entries, std::size_t n, Time t,
+                      Time* out) const;
+  void arrival_tn_avx2(std::uint32_t f, const Time* ts, std::size_t n,
+                       Time* out) const;
+#endif
 
   Time period_ = kDayseconds;
   std::uint64_t inv_period_ = 0;          // floor(2^32 / period_)
+  TtfIndexOptions idx_;
   std::vector<TtfPoint> points_;          // all functions, back to back
   std::vector<TtfMeta> meta_;             // one per function
   std::vector<std::uint32_t> bucket_idx_; // per-function bucket tables

@@ -43,7 +43,8 @@ DistanceTable DistanceTable::build(const Timetable& tt, const TdGraph& g,
       NoHook hook;
       SpcsOptions o{.self_pruning = opt.self_pruning,
                     .stopping_criterion = false,
-                    .prune_on_relax = opt.prune_on_relax};
+                    .prune_on_relax = opt.prune_on_relax,
+                    .relax = opt.relax};
       spcs.thread_state(t).run(g, tt, tt.outgoing(src), lo, hi,
                                kInvalidStation, o, hook);
     });

@@ -23,6 +23,7 @@ struct S2sOptions {
   bool table_pruning = true;    // Theorem 3 (needs a distance table)
   bool target_pruning = true;   // Theorem 4 (needs target in S_trans)
   bool prune_on_relax = false;  // see SpcsOptions::prune_on_relax
+  RelaxMode relax = default_relax_mode();  // see SpcsOptions::relax
 };
 
 /// Template over the SPCS queue policy (queue_policy.hpp); definitions in

@@ -25,21 +25,43 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <cstdlib>
 #include <memory>
 #include <new>
 #include <vector>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
 
 namespace pconn {
 
 class Arena {
  public:
   static constexpr std::size_t kDefaultBlockBytes = std::size_t{1} << 16;
+  /// Blocks at least this large get the transparent-hugepage treatment
+  /// when the hint is enabled: 2 MiB-aligned storage plus
+  /// madvise(MADV_HUGEPAGE). 2 MiB is the x86-64 huge page size.
+  static constexpr std::size_t kHugeBlockBytes = std::size_t{2} << 20;
 
   explicit Arena(std::size_t first_block_bytes = kDefaultBlockBytes)
-      : next_block_bytes_(first_block_bytes) {}
+      : next_block_bytes_(first_block_bytes),
+        hugepages_(default_hugepages()) {}
 
   Arena(const Arena&) = delete;
   Arena& operator=(const Arena&) = delete;
+
+  /// Opt into (or out of) the hugepage hint for blocks allocated from now
+  /// on; existing blocks are left as they are. The process-wide default is
+  /// off unless PCONN_HUGEPAGES is set (first step of the NUMA/THP roadmap
+  /// item). On non-Linux builds the hint is accepted and ignored.
+  void set_hugepage_hint(bool on) { hugepages_ = on; }
+  bool hugepage_hint() const { return hugepages_; }
+
+  static bool default_hugepages() {
+    static const bool on = std::getenv("PCONN_HUGEPAGES") != nullptr;
+    return on;
+  }
 
   /// Bump-allocates `bytes` aligned to `align` (a power of two).
   void* allocate(std::size_t bytes, std::size_t align) {
@@ -90,8 +112,22 @@ class Arena {
   std::size_t allocation_count() const { return allocation_count_; }
 
  private:
+  /// Frees block storage with the alignment it was allocated with (huge
+  /// blocks use over-aligned operator new, which must be paired with the
+  /// matching aligned delete).
+  struct BlockDeleter {
+    std::size_t align = 0;  // 0: plain new[]
+    void operator()(std::byte* p) const {
+      if (align == 0) {
+        ::operator delete[](p);
+      } else {
+        ::operator delete[](p, std::align_val_t{align});
+      }
+    }
+  };
+
   struct Block {
-    std::unique_ptr<std::byte[]> data;
+    std::unique_ptr<std::byte[], BlockDeleter> data;
     std::size_t size = 0;
     std::size_t used = 0;
   };
@@ -103,10 +139,28 @@ class Arena {
   void add_block(std::size_t min_bytes) {
     // Geometric growth keeps the block count logarithmic in the high-water
     // footprint; a single oversized request gets its own exact block.
-    const std::size_t size = std::max(min_bytes, next_block_bytes_);
+    std::size_t size = std::max(min_bytes, next_block_bytes_);
     next_block_bytes_ = std::max(next_block_bytes_ * 2, size);
-    blocks_.push_back(
-        Block{std::make_unique_for_overwrite<std::byte[]>(size), size, 0});
+    if (hugepages_ && size >= kHugeBlockBytes) {
+      // 2 MiB-aligned storage rounded to whole huge pages, then hint the
+      // kernel. The hint is best-effort: madvise failure (THP disabled,
+      // old kernel) leaves a perfectly valid ordinary mapping.
+      size = aligned(size, kHugeBlockBytes);
+      auto* p = static_cast<std::byte*>(::operator new[](
+          size, std::align_val_t{kHugeBlockBytes}));
+#if defined(__linux__)
+      madvise(p, size, MADV_HUGEPAGE);
+#endif
+      blocks_.push_back(Block{
+          std::unique_ptr<std::byte[], BlockDeleter>(
+              p, BlockDeleter{kHugeBlockBytes}),
+          size, 0});
+    } else {
+      blocks_.push_back(Block{
+          std::unique_ptr<std::byte[], BlockDeleter>(
+              static_cast<std::byte*>(::operator new[](size)), BlockDeleter{}),
+          size, 0});
+    }
     bytes_reserved_ += size;
   }
 
@@ -116,6 +170,7 @@ class Arena {
   std::size_t bytes_used_ = 0;
   std::size_t bytes_reserved_ = 0;
   std::size_t allocation_count_ = 0;
+  bool hugepages_ = false;
 };
 
 /// std-compatible allocator over an Arena. Unbound (nullptr arena — the

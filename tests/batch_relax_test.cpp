@@ -1,0 +1,333 @@
+// Differential tests for the batched gather -> eval -> commit relaxation
+// (algo/relax_batch.hpp): for EVERY engine and EVERY applicable queue
+// policy, the batch modes must produce byte-identical results AND
+// byte-identical work accounting (settled, pushed, decreased, stale pops,
+// relaxed, pruning counters) to the interleaved seed loop.
+//
+// Both batch flavours are exercised: kBatch (the shipped adaptive mode,
+// phased only where the TTF fan-out clears kBatchRelaxMinEdges) and
+// kBatchAlways (the phased body on every settle — in the Pyrga graph model
+// route nodes carry a single travel function, so without forcing, the
+// SPCS/time/mc batch bodies would go untested).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "algo/lc_profile.hpp"
+#include "algo/mc_query.hpp"
+#include "algo/parallel_spcs.hpp"
+#include "algo/session.hpp"
+#include "algo/te_query.hpp"
+#include "algo/time_query.hpp"
+#include "graph/te_graph.hpp"
+#include "s2s/distance_table.hpp"
+#include "s2s/s2s_query.hpp"
+#include "s2s/transfer_selection.hpp"
+#include "test_util.hpp"
+#include "util/rng.hpp"
+
+namespace pconn {
+namespace {
+
+constexpr RelaxMode kBatchModes[] = {RelaxMode::kBatch,
+                                     RelaxMode::kBatchAlways};
+
+/// Same policy on both sides, so EVERY counter must agree — including the
+/// queue-shape ones the cross-policy tests exempt.
+void expect_stats_eq(const QueryStats& a, const QueryStats& b,
+                     const std::string& what) {
+  EXPECT_EQ(a.settled, b.settled) << what;
+  EXPECT_EQ(a.pushed, b.pushed) << what;
+  EXPECT_EQ(a.decreased, b.decreased) << what;
+  EXPECT_EQ(a.stale_popped, b.stale_popped) << what;
+  EXPECT_EQ(a.relaxed, b.relaxed) << what;
+  EXPECT_EQ(a.self_pruned, b.self_pruned) << what;
+  EXPECT_EQ(a.relax_pruned, b.relax_pruned) << what;
+  EXPECT_EQ(a.stop_pruned, b.stop_pruned) << what;
+  EXPECT_EQ(a.table_pruned, b.table_pruned) << what;
+  EXPECT_EQ(a.label_points, b.label_points) << what;
+}
+
+std::string mode_tag(QueueKind q, RelaxMode m) {
+  return std::string(queue_kind_name(q)) + "/" + relax_mode_name(m);
+}
+
+// ------------------------------------------------------------- session ---
+
+// QuerySessionOptions::relax must reach every engine the session builds —
+// results are mode-identical by design, so this checks the plumbing
+// directly instead of the output.
+TEST(BatchRelax, SessionAppliesRelaxOptionToEveryEngine) {
+  Timetable tt = test::tiny_line();
+  TdGraph g = TdGraph::build(tt);
+  TeGraph te = TeGraph::build(tt);
+  QuerySessionOptions opt;
+  opt.relax = RelaxMode::kInterleaved;
+  QuerySession session(tt, g, opt);
+  EXPECT_EQ(session.time_engine().relax_mode(), RelaxMode::kInterleaved);
+  EXPECT_EQ(session.lc_engine().relax_mode(), RelaxMode::kInterleaved);
+  EXPECT_EQ(session.mc_engine().relax_mode(), RelaxMode::kInterleaved);
+  EXPECT_EQ(session.te_engine(te).relax_mode(), RelaxMode::kInterleaved);
+  EXPECT_EQ(session.profile_engine().options().relax, RelaxMode::kInterleaved);
+}
+
+// --------------------------------------------------------------- SPCS ---
+
+TEST(BatchRelax, SpcsOneToAllEveryPolicy) {
+  Rng rng(61);
+  for (int net = 0; net < 3; ++net) {
+    Timetable tt = net == 0 ? test::small_city(31)
+                            : test::random_timetable(rng, 14, 8, 6);
+    TdGraph g = TdGraph::build(tt);
+    for (QueueKind qk : kAllQueueKinds) {
+      with_spcs_queue(qk, [&](auto tag) {
+        using Queue = typename decltype(tag)::type;
+        for (RelaxMode m : kBatchModes) {
+          ParallelSpcsOptions oi, ob;
+          oi.relax = RelaxMode::kInterleaved;
+          ob.relax = m;
+          // prune_on_relax in one of the configurations: its pre-test runs
+          // in the gather phase.
+          oi.prune_on_relax = ob.prune_on_relax = (net == 1);
+          ParallelSpcsT<Queue> inter(tt, g, oi), batch(tt, g, ob);
+          for (StationId s = 0; s < tt.num_stations(); s += 3) {
+            OneToAllResult ri = inter.one_to_all(s);
+            OneToAllResult rb = batch.one_to_all(s);
+            const std::string what =
+                "spcs " + mode_tag(qk, m) + " src " + std::to_string(s);
+            expect_stats_eq(ri.stats, rb.stats, what);
+            ASSERT_EQ(ri.profiles.size(), rb.profiles.size());
+            for (StationId v = 0; v < ri.profiles.size(); ++v) {
+              EXPECT_EQ(ri.profiles[v], rb.profiles[v]) << what << " @" << v;
+            }
+          }
+        }
+      });
+    }
+  }
+}
+
+TEST(BatchRelax, SpcsStationToStationStoppingCriterion) {
+  Timetable tt = test::small_city(32);
+  TdGraph g = TdGraph::build(tt);
+  Rng rng(77);
+  for (QueueKind qk : kAllQueueKinds) {
+    with_spcs_queue(qk, [&](auto tag) {
+      using Queue = typename decltype(tag)::type;
+      for (RelaxMode m : kBatchModes) {
+        ParallelSpcsOptions oi, ob;
+        oi.relax = RelaxMode::kInterleaved;
+        ob.relax = m;
+        oi.threads = ob.threads = 2;
+        ParallelSpcsT<Queue> inter(tt, g, oi), batch(tt, g, ob);
+        for (int i = 0; i < 6; ++i) {
+          StationId s =
+              static_cast<StationId>(rng.next_below(tt.num_stations()));
+          StationId t =
+              static_cast<StationId>(rng.next_below(tt.num_stations()));
+          StationQueryResult ri = inter.station_to_station(s, t);
+          StationQueryResult rb = batch.station_to_station(s, t);
+          const std::string what = "s2s-stop " + mode_tag(qk, m);
+          expect_stats_eq(ri.stats, rb.stats, what);
+          EXPECT_EQ(ri.profile, rb.profile) << what;
+        }
+      }
+    });
+  }
+}
+
+// s2s with distance-table + target pruning: the ancestor/gamma accounting
+// runs inside the commit phase, so it must transition identically.
+TEST(BatchRelax, S2sTablePruningEveryPolicy) {
+  Timetable tt = test::small_railway(33);
+  TdGraph g = TdGraph::build(tt);
+  StationGraph sg = StationGraph::build(tt);
+  auto transfer = select_transfer_fraction(sg, tt, 0.25);
+  ParallelSpcsOptions po;
+  DistanceTable dt = DistanceTable::build(tt, g, transfer, po);
+  Rng rng(88);
+  std::vector<std::pair<StationId, StationId>> queries;
+  for (int i = 0; i < 8; ++i) {
+    queries.push_back(
+        {static_cast<StationId>(rng.next_below(tt.num_stations())),
+         static_cast<StationId>(rng.next_below(tt.num_stations()))});
+  }
+  for (QueueKind qk : kAllQueueKinds) {
+    with_spcs_queue(qk, [&](auto tag) {
+      using Queue = typename decltype(tag)::type;
+      for (RelaxMode m : kBatchModes) {
+        S2sOptions oi, ob;
+        oi.relax = RelaxMode::kInterleaved;
+        ob.relax = m;
+        S2sQueryEngineT<Queue> inter(tt, g, sg, &dt, oi);
+        S2sQueryEngineT<Queue> batch(tt, g, sg, &dt, ob);
+        for (auto [s, t] : queries) {
+          StationQueryResult ri = inter.query(s, t);
+          StationQueryResult rb = batch.query(s, t);
+          const std::string what = "s2s-table " + mode_tag(qk, m) + " " +
+                                   std::to_string(s) + "->" +
+                                   std::to_string(t);
+          expect_stats_eq(ri.stats, rb.stats, what);
+          EXPECT_EQ(ri.profile, rb.profile) << what;
+        }
+      }
+    });
+  }
+}
+
+// --------------------------------------------------------- time query ---
+
+TEST(BatchRelax, TimeQueryEveryPolicy) {
+  Rng rng(62);
+  Timetable tt = test::small_city(34);
+  TdGraph g = TdGraph::build(tt);
+  for (QueueKind qk : kAllQueueKinds) {
+    with_spcs_queue(qk, [&](auto tag) {
+      // Map the SPCS policy selection onto the scalar-time policies.
+      using SpcsQ = typename decltype(tag)::type;
+      using Queue = std::conditional_t<
+          std::is_same_v<SpcsQ, SpcsBucketQueue>, TimeBucketQueue,
+          std::conditional_t<std::is_same_v<SpcsQ, SpcsLazyQueue>,
+                             TimeLazyQueue,
+                             std::conditional_t<
+                                 std::is_same_v<SpcsQ, SpcsQuaternaryQueue>,
+                                 TimeQuaternaryQueue, TimeBinaryQueue>>>;
+      TimeQueryT<Queue> inter(tt, g), batch(tt, g);
+      inter.set_relax_mode(RelaxMode::kInterleaved);
+      for (RelaxMode m : kBatchModes) {
+        batch.set_relax_mode(m);
+        for (int i = 0; i < 10; ++i) {
+          StationId s =
+              static_cast<StationId>(rng.next_below(tt.num_stations()));
+          Time dep = static_cast<Time>(rng.next_below(kDayseconds));
+          // Mix one-to-all and targeted (early-stop) runs.
+          StationId t = i % 2 == 0 ? kInvalidStation
+                                   : static_cast<StationId>(
+                                         rng.next_below(tt.num_stations()));
+          inter.run(s, dep, t);
+          batch.run(s, dep, t);
+          const std::string what = "time " + mode_tag(qk, m);
+          expect_stats_eq(inter.stats(), batch.stats(), what);
+          for (NodeId v = 0; v < g.num_nodes(); ++v) {
+            ASSERT_EQ(inter.arrival_at_node(v), batch.arrival_at_node(v))
+                << what << " node " << v;
+            ASSERT_EQ(inter.parent(v), batch.parent(v)) << what << " node "
+                                                        << v;
+          }
+        }
+      }
+    });
+  }
+}
+
+// ----------------------------------------------------------- te query ---
+
+TEST(BatchRelax, TeQueryEveryPolicy) {
+  Rng rng(63);
+  Timetable tt = test::small_city(35);
+  TeGraph te = TeGraph::build(tt);
+  for (QueueKind qk : kAllQueueKinds) {
+    with_spcs_queue(qk, [&](auto tag) {
+      using SpcsQ = typename decltype(tag)::type;
+      using Queue = std::conditional_t<
+          std::is_same_v<SpcsQ, SpcsBucketQueue>, TimeBucketQueue,
+          std::conditional_t<std::is_same_v<SpcsQ, SpcsLazyQueue>,
+                             TimeLazyQueue,
+                             std::conditional_t<
+                                 std::is_same_v<SpcsQ, SpcsQuaternaryQueue>,
+                                 TimeQuaternaryQueue, TimeBinaryQueue>>>;
+      TeTimeQueryT<Queue> inter(te), batch(te);
+      inter.set_relax_mode(RelaxMode::kInterleaved);
+      for (RelaxMode m : kBatchModes) {
+        batch.set_relax_mode(m);
+        for (int i = 0; i < 8; ++i) {
+          StationId s =
+              static_cast<StationId>(rng.next_below(tt.num_stations()));
+          Time dep = static_cast<Time>(rng.next_below(kDayseconds));
+          inter.run(s, dep);
+          batch.run(s, dep);
+          const std::string what = "te " + mode_tag(qk, m);
+          expect_stats_eq(inter.stats(), batch.stats(), what);
+          for (StationId v = 0; v < tt.num_stations(); ++v) {
+            ASSERT_EQ(inter.arrival_at(v), batch.arrival_at(v))
+                << what << " station " << v;
+          }
+        }
+      }
+    });
+  }
+}
+
+// ------------------------------------------------------ multi-criteria ---
+
+TEST(BatchRelax, McQueryEveryPolicy) {
+  Rng rng(64);
+  Timetable tt = test::small_city(36);
+  TdGraph g = TdGraph::build(tt);
+  for (QueueKind qk : kAllQueueKinds) {
+    with_mc_queue(qk, [&](auto tag) {
+      using Queue = typename decltype(tag)::type;
+      McTimeQueryT<Queue> inter(tt, g), batch(tt, g);
+      inter.set_relax_mode(RelaxMode::kInterleaved);
+      for (RelaxMode m : kBatchModes) {
+        batch.set_relax_mode(m);
+        for (int i = 0; i < 6; ++i) {
+          StationId s =
+              static_cast<StationId>(rng.next_below(tt.num_stations()));
+          Time dep = static_cast<Time>(rng.next_below(kDayseconds));
+          inter.run(s, dep);
+          batch.run(s, dep);
+          const std::string what = "mc " + mode_tag(qk, m);
+          expect_stats_eq(inter.stats(), batch.stats(), what);
+          for (StationId v = 0; v < tt.num_stations(); ++v) {
+            auto fi = inter.pareto(v);
+            auto fb = batch.pareto(v);
+            ASSERT_EQ(fi.size(), fb.size()) << what << " station " << v;
+            for (std::size_t l = 0; l < fi.size(); ++l) {
+              EXPECT_EQ(fi[l], fb[l]) << what << " station " << v;
+            }
+          }
+        }
+      }
+    });
+  }
+}
+
+// ----------------------------------------------------------------- LC ---
+
+TEST(BatchRelax, LcEveryHeapPolicy) {
+  Rng rng(65);
+  for (int net = 0; net < 2; ++net) {
+    Timetable tt =
+        net == 0 ? test::small_city(37) : test::small_railway(38);
+    TdGraph g = TdGraph::build(tt);
+    auto run_policy = [&](auto tag) {
+      using Queue = typename decltype(tag)::type;
+      LcProfileQueryT<Queue> inter(tt, g), batch(tt, g);
+      inter.set_relax_mode(RelaxMode::kInterleaved);
+      for (RelaxMode m : kBatchModes) {
+        batch.set_relax_mode(m);
+        for (StationId s = 0; s < tt.num_stations(); s += 4) {
+          inter.run(s);
+          batch.run(s);
+          const std::string what =
+              std::string("lc/") + relax_mode_name(m) + " src " +
+              std::to_string(s);
+          expect_stats_eq(inter.stats(), batch.stats(), what);
+          for (StationId v = 0; v < tt.num_stations(); ++v) {
+            EXPECT_EQ(inter.profile(v), batch.profile(v))
+                << what << " @" << v;
+          }
+        }
+      }
+    };
+    run_policy(std::type_identity<TimeBinaryQueue>{});
+    run_policy(std::type_identity<TimeQuaternaryQueue>{});
+    run_policy(std::type_identity<TimeLazyQueue>{});
+  }
+}
+
+}  // namespace
+}  // namespace pconn

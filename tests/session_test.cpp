@@ -111,6 +111,37 @@ TEST(Arena, UnboundAllocatorFallsBackToHeap) {
   EXPECT_EQ(v[99], 7);
 }
 
+// The THP hint (first step of the NUMA/hugepage roadmap item): large
+// blocks come back 2 MiB-aligned and fully usable, small blocks are
+// untouched, and the bytes_used accounting a session's capacity planning
+// reads is identical with and without the hint.
+TEST(Arena, HugepageHintAlignsLargeBlocksAndKeepsAccounting) {
+  Arena plain(1024), huge(1024);
+  huge.set_hugepage_hint(true);
+  EXPECT_TRUE(huge.hugepage_hint());
+  for (Arena* a : {&plain, &huge}) {
+    void* small = a->allocate(512, 8);
+    EXPECT_NE(small, nullptr);
+    auto* big = static_cast<std::byte*>(
+        a->allocate(3 * (std::size_t{1} << 20), 64));
+    ASSERT_NE(big, nullptr);
+    big[0] = std::byte{1};  // the mapping is real memory
+    big[3 * (std::size_t{1} << 20) - 1] = std::byte{2};
+  }
+  EXPECT_EQ(plain.bytes_used(), huge.bytes_used());
+  // The hinted block is huge-page aligned (madvise needs page alignment;
+  // 2 MiB alignment lets THP back the whole block).
+  Arena aligned(Arena::kHugeBlockBytes);
+  aligned.set_hugepage_hint(true);
+  auto addr = reinterpret_cast<std::uintptr_t>(
+      aligned.allocate(Arena::kHugeBlockBytes, 8));
+  EXPECT_EQ(addr % Arena::kHugeBlockBytes, 0u);
+  // Hint off (the default without PCONN_HUGEPAGES): no alignment promise,
+  // reserve/use accounting unchanged — scratch_bytes_reserved() reporting
+  // does not depend on the hint.
+  EXPECT_GE(aligned.bytes_reserved(), Arena::kHugeBlockBytes);
+}
+
 // --------------------------------------------------------- differential ---
 
 // Warm session vs fresh engines: byte-identical results on query N.

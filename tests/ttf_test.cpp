@@ -184,6 +184,126 @@ TEST_P(TtfPoolRandomTest, IndexedEvalEqualsSearchAndBruteForce) {
 INSTANTIATE_TEST_SUITE_P(Seeds, TtfPoolRandomTest,
                          ::testing::Range<std::uint64_t>(1, 13));
 
+// The vectorized batch kernels (AVX2 gather under runtime dispatch — this
+// sweep IS the AVX2-vs-scalar differential on hardware that has it, and a
+// scalar-vs-scalar identity check otherwise) must agree with the per-entry
+// scalar evaluation at every second of the period, on mixed batches that
+// include inline constant words and empty functions.
+TEST(TtfPool, VectorArrivalNMatchesScalarPerSecond) {
+  Rng rng(321);
+  const Time period = 2000 + static_cast<Time>(rng.next_below(9000));
+  TtfPool pool(period);
+  std::vector<std::uint32_t> entries;
+  for (int f = 0; f < 24; ++f) {
+    std::vector<TtfPoint> pts;
+    const std::size_t n = rng.next_below(12);  // 0 = empty function
+    for (std::size_t i = 0; i < n; ++i) {
+      pts.push_back({static_cast<Time>(rng.next_below(period)),
+                     static_cast<Time>(1 + rng.next_below(3 * period))});
+    }
+    entries.push_back(pool.add(Ttf::build(std::move(pts), period)));
+    // Interleave inline constant words (the TdGraph packed encoding).
+    entries.push_back(TtfPool::kConstFlag |
+                      static_cast<std::uint32_t>(rng.next_below(7200)));
+  }
+  std::vector<Time> batch(entries.size());
+  for (Time t = 0; t < 2 * period; ++t) {
+    pool.arrival_n(entries.data(), entries.size(), t, batch.data());
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      ASSERT_EQ(batch[i], pool.arrival_entry(entries[i], t))
+          << "entry " << i << " t=" << t;
+    }
+  }
+}
+
+TEST(TtfPool, VectorArrivalTnMatchesScalarPerSecond) {
+  Rng rng(654);
+  const Time period = 2000 + static_cast<Time>(rng.next_below(9000));
+  TtfPool pool(period);
+  std::vector<std::uint32_t> fs;
+  for (std::size_t n : {1u, 3u, 9u, 40u}) {
+    std::vector<TtfPoint> pts;
+    for (std::size_t i = 0; i < n; ++i) {
+      pts.push_back({static_cast<Time>(rng.next_below(period)),
+                     static_cast<Time>(1 + rng.next_below(period))});
+    }
+    fs.push_back(pool.add(Ttf::build(std::move(pts), period)));
+  }
+  // Every second of two periods in one call per function: the batch spans
+  // the wrap, exercising both the reciprocal modulo of the gather kernel
+  // and the re-anchor path of the sorted merge.
+  std::vector<Time> ts;
+  for (Time t = 0; t < 2 * period; ++t) ts.push_back(t);
+  std::vector<Time> out(ts.size()), sorted_out(ts.size());
+  for (std::uint32_t f : fs) {
+    pool.arrival_tn(f, ts.data(), ts.size(), out.data());
+    pool.arrival_tn_sorted(f, ts.data(), ts.size(), sorted_out.data());
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      ASSERT_EQ(out[i], pool.arrival(f, ts[i])) << "f=" << f << " t=" << ts[i];
+      ASSERT_EQ(sorted_out[i], out[i]) << "f=" << f << " t=" << ts[i];
+    }
+  }
+  // Unsorted batches through the gather kernel only.
+  std::vector<Time> shuffled = ts;
+  rng.shuffle(shuffled);
+  for (std::uint32_t f : fs) {
+    pool.arrival_tn(f, shuffled.data(), shuffled.size(), out.data());
+    for (std::size_t i = 0; i < shuffled.size(); ++i) {
+      ASSERT_EQ(out[i], pool.arrival(f, shuffled[i]));
+    }
+  }
+  // Sorted batches with multi-period gaps (the re-anchor division path).
+  std::vector<Time> sparse;
+  for (Time t = 17; t < 9 * period; t += 1237) sparse.push_back(t);
+  out.resize(sparse.size());
+  for (std::uint32_t f : fs) {
+    pool.arrival_tn_sorted(f, sparse.data(), sparse.size(), out.data());
+    for (std::size_t i = 0; i < sparse.size(); ++i) {
+      ASSERT_EQ(out[i], pool.arrival(f, sparse[i]));
+    }
+  }
+}
+
+// The per-network index knob: any density / min-indexed configuration must
+// evaluate bit-identically — only memory changes (and monotonically).
+TEST(TtfPool, IndexOptionsPreserveEvalAndShrinkMemory) {
+  Rng rng(987);
+  const Time period = kP;
+  std::vector<Ttf> ttfs;
+  for (std::size_t n : {1u, 2u, 4u, 5u, 16u, 33u}) {
+    std::vector<TtfPoint> pts;
+    for (std::size_t i = 0; i < n; ++i) {
+      pts.push_back({static_cast<Time>(rng.next_below(period)),
+                     static_cast<Time>(1 + rng.next_below(7200))});
+    }
+    ttfs.push_back(Ttf::build(std::move(pts), period));
+  }
+  const TtfIndexOptions configs[] = {
+      {.buckets_per_point = 1.0, .min_indexed_points = 0},   // seed behaviour
+      {.buckets_per_point = 1.0, .min_indexed_points = 5},   // default
+      {.buckets_per_point = 0.25, .min_indexed_points = 5},  // low density
+      {.buckets_per_point = 1.0, .min_indexed_points = 1000},  // index-free
+  };
+  TtfPool reference(period, configs[0]);
+  for (const Ttf& f : ttfs) reference.add(f);
+  std::size_t prev_bytes = reference.memory_bytes();
+  for (std::size_t c = 1; c < std::size(configs); ++c) {
+    TtfPool pool(period, configs[c]);
+    for (const Ttf& f : ttfs) pool.add(f);
+    EXPECT_LE(pool.index_bytes(), reference.index_bytes()) << "config " << c;
+    EXPECT_LE(pool.memory_bytes(), prev_bytes) << "config " << c;
+    prev_bytes = pool.memory_bytes();
+    for (std::uint32_t f = 0; f < ttfs.size(); ++f) {
+      for (Time t = 0; t < period; t += 97) {
+        ASSERT_EQ(pool.eval(f, t), reference.eval(f, t))
+            << "config " << c << " f=" << f << " t=" << t;
+        ASSERT_EQ(pool.point_used(f, t), reference.point_used(f, t))
+            << "config " << c << " f=" << f << " t=" << t;
+      }
+    }
+  }
+}
+
 TEST(TtfPool, BatchArrivalMatchesScalar) {
   Rng rng(123);
   const Time period = kP;
