@@ -1,0 +1,547 @@
+#include "algo/contraction.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "algo/workspace.hpp"
+#include "util/epoch_array.hpp"
+#include "util/lazy_heap.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace pconn {
+
+// --- TTF composition primitives ------------------------------------------
+
+Ttf link_edge_ttfs(const TtfPool& pool, std::uint32_t a, std::uint32_t b) {
+  const Time period = pool.period();
+  const bool ca = TdGraph::word_is_const(a);
+  const bool cb = TdGraph::word_is_const(b);
+  assert(!(ca && cb) && "const-const paths never need a linked TTF");
+  std::vector<TtfPoint> pts;
+  if (ca) {
+    // Shift form: a connection departing the second leg at D becomes
+    // (D - c, dur + c) — show up c early at the tail, pay c on top.
+    const Time c = TdGraph::word_weight(a);
+    assert(c < period);
+    const auto src = pool.points(TdGraph::word_ttf(b));
+    pts.reserve(src.size());
+    for (const TtfPoint& p : src) {
+      pts.push_back({p.dep >= c ? p.dep - c : p.dep + period - c, p.dur + c});
+    }
+  } else if (cb) {
+    const Time c = TdGraph::word_weight(b);
+    const auto src = pool.points(TdGraph::word_ttf(a));
+    pts.reserve(src.size());
+    for (const TtfPoint& p : src) pts.push_back({p.dep, p.dur + c});
+  } else {
+    const std::uint32_t fa = TdGraph::word_ttf(a);
+    const std::uint32_t fb = TdGraph::word_ttf(b);
+    const auto src = pool.points(fa);
+    if (src.empty() || pool.empty_at(fb)) return Ttf{};
+    // A pruned function's arrivals (dep + dur) ascend strictly in point
+    // order, so the second leg evaluates through the pool's sorted-merge
+    // kernel: one division for the whole composition instead of one per
+    // point (the arrival_tn_sorted shape the batch restructure built).
+    pts.resize(src.size());
+    pool.arrival_tn_sorted_fused(
+        fb, src.size(),
+        [&](std::size_t k) { return src[k].dep + src[k].dur; },
+        [&](std::size_t k, Time arr) {
+          pts[k] = {src[k].dep, arr - src[k].dep};
+        });
+  }
+  return Ttf::build(std::move(pts), period);
+}
+
+Ttf merge_edge_ttfs(const TtfPool& pool, std::uint32_t a, std::uint32_t b) {
+  assert(!TdGraph::word_is_const(a) && !TdGraph::word_is_const(b));
+  const auto pa = pool.points(TdGraph::word_ttf(a));
+  const auto pb = pool.points(TdGraph::word_ttf(b));
+  std::vector<TtfPoint> pts;
+  pts.reserve(pa.size() + pb.size());
+  pts.insert(pts.end(), pa.begin(), pa.end());
+  pts.insert(pts.end(), pb.begin(), pb.end());
+  // Each input is "min over its points"; the union with dominated points
+  // pruned is exactly the pointwise minimum of the two.
+  return Ttf::build(std::move(pts), pool.period());
+}
+
+std::pair<Time, Time> word_cost_bounds(const TtfPool& pool, std::uint32_t w,
+                                       Time period) {
+  if (TdGraph::word_is_const(w)) {
+    const Time c = TdGraph::word_weight(w);
+    return {c, c};
+  }
+  const auto pts = pool.points(TdGraph::word_ttf(w));
+  if (pts.empty()) return {kInfTime, kInfTime};
+  Time mn = kInfTime, mx = 0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    mn = std::min(mn, pts[i].dur);
+    // The supremum of wait + dur on (dep_i, dep_next] is attained one
+    // second after dep_i: almost the whole gap, then the next ride.
+    const TtfPoint& nxt = pts[(i + 1) % pts.size()];
+    const Time gap =
+        pts.size() == 1 ? period : delta(pts[i].dep, nxt.dep, period);
+    mx = std::max(mx, gap - 1 + nxt.dur);
+  }
+  return {mn, mx};
+}
+
+// --- the contraction driver ----------------------------------------------
+
+namespace {
+
+constexpr std::uint64_t kInfCost = std::numeric_limits<std::uint64_t>::max();
+constexpr std::uint64_t kPriorityBias = std::uint64_t{1} << 32;
+
+enum NodeState : std::uint8_t { kLive = 0, kContracted = 1, kFrozen = 2 };
+
+/// One edge of the dynamic working graph (mirrored in out_ and in_).
+struct WorkEdge {
+  NodeId node;           // the other endpoint
+  std::uint32_t word;    // packed const-or-ttf word (overlay pool)
+  std::uint32_t origin;  // flat edge id or kShortcutBit | record id
+  std::uint32_t hops;    // flat edges this edge spans
+  Time min_cost;         // min over t of the edge's travel time
+  Time max_cost;         // max over t (kInfTime: empty function)
+};
+
+/// A surviving shortcut of one simulated contraction.
+struct Candidate {
+  NodeId tail, head;
+  std::uint32_t origin_a, origin_b;
+  std::uint32_t hops;
+  Ttf ttf;
+};
+
+/// Per-thread scratch of the simulation phase: the witness Dijkstra state
+/// lives in an arena-backed workspace pinned to the worker's NUMA node.
+struct Worker {
+  QueryWorkspace ws;
+  EpochArray<std::uint64_t> dist;
+  LazyDAryHeap<std::uint64_t, 4> heap;
+  std::uint64_t witness_searches = 0;
+  std::uint64_t witness_dropped = 0;
+
+  Worker() : dist(ws.alloc()), heap(ws.alloc()) {}
+};
+
+}  // namespace
+
+class ContractionBuilder {
+ public:
+  ContractionBuilder(const Timetable& tt, const TdGraph& g,
+                     const OverlayContractionOptions& opt)
+      : tt_(tt),
+        g_(g),
+        opt_(opt),
+        pool_(std::max(1u, opt.threads)),
+        ttfs_(tt.period(), g.ttfs().index_options()) {}
+
+  OverlayGraph build() {
+    Timer timer;
+    const NodeId n = g_.num_nodes();
+    workers_.reserve(pool_.num_threads());
+    for (std::size_t t = 0; t < pool_.num_threads(); ++t) {
+      workers_.push_back(std::make_unique<Worker>());
+    }
+    // NUMA half of the ROADMAP NUMA/THP item: each worker pins its arena
+    // to the node it runs on before any scratch grows into it.
+    pool_.run([&](std::size_t t) {
+      workers_[t]->ws.arena().set_numa_node(Arena::current_numa_node());
+    });
+
+    // The overlay pool starts as a verbatim copy of the base pool, so flat
+    // edge words keep their numeric value and shortcut TTFs append behind.
+    for (std::uint32_t f = 0; f < g_.ttfs().size(); ++f) {
+      ttfs_.add_raw(g_.ttfs().points(f));
+    }
+
+    init_working_graph();
+
+    order_.reset_capacity(n);
+    for (NodeId v = static_cast<NodeId>(tt_.num_stations()); v < n; ++v) {
+      order_.push(v, priority(v));
+    }
+
+    batch_.reserve(opt_.batch_size);
+    cand_lists_.resize(opt_.batch_size);
+    capped_.assign(opt_.batch_size, 0);
+    while (!order_.empty()) {
+      select_batch();
+      if (batch_.empty()) break;
+      simulate_batch();
+      commit_batch();
+      ++stats_.rounds;
+    }
+
+    for (const auto& wk : workers_) {
+      stats_.witness_searches += wk->witness_searches;
+      stats_.witness_dropped += wk->witness_dropped;
+    }
+    OverlayGraph ov = assemble();
+    ov.build_stats_.time_ms = timer.elapsed_ms();
+    return ov;
+  }
+
+ private:
+  // --- ordering ---------------------------------------------------------
+
+  /// The lazy-update contraction key: edge difference (shortcuts inserted
+  /// minus edges removed, estimated as in*out - in - out) weighted with the
+  /// node's shortcut depth (level). Recomputed at pop; see select_batch.
+  std::uint64_t priority(NodeId v) const {
+    const auto in = static_cast<std::int64_t>(in_[v].size());
+    const auto out = static_cast<std::int64_t>(out_[v].size());
+    const std::int64_t key = (in * out - in - out) * 8 +
+                             static_cast<std::int64_t>(level_[v]) * 2;
+    return static_cast<std::uint64_t>(key + kPriorityBias);
+  }
+
+  void select_batch() {
+    ++round_;
+    batch_.clear();
+    deferred_.clear();
+    while (!order_.empty() && batch_.size() < opt_.batch_size) {
+      const auto [v, key] = order_.pop();
+      if (state_[v] != kLive) continue;        // contracted/frozen: stale
+      if (picked_round_[v] == round_) continue;  // duplicate of a selection
+      const std::uint64_t fresh = priority(v);
+      if (!order_.empty() && fresh > order_.top_key()) {
+        order_.push(v, fresh);  // lazy update: no longer the minimum
+        continue;
+      }
+      if (blocked_round_[v] == round_) {
+        // Adjacent to a node already selected this round: contracting both
+        // at once would race on shared edges. Back into the queue after
+        // selection ends.
+        deferred_.push_back({v, fresh});
+        continue;
+      }
+      picked_round_[v] = round_;
+      batch_.push_back(v);
+      for (const WorkEdge& e : out_[v]) blocked_round_[e.node] = round_;
+      for (const WorkEdge& e : in_[v]) blocked_round_[e.node] = round_;
+    }
+    for (const auto& [v, key] : deferred_) order_.push(v, key);
+  }
+
+  // --- simulation (parallel, read-only on the working graph) ------------
+
+  void simulate_batch() {
+    pool_.run([&](std::size_t t) {
+      Worker& wk = *workers_[t];
+      for (std::size_t i = t; i < batch_.size(); i += pool_.num_threads()) {
+        capped_[i] = simulate_node(batch_[i], wk, cand_lists_[i]) ? 0 : 1;
+      }
+    });
+  }
+
+  /// Upper-bound Dijkstra from u avoiding v: settle-capped, pruned at
+  /// `bound` (beyond it no candidate of this tail can be witnessed).
+  void witness_search(Worker& wk, NodeId u, NodeId v, std::uint64_t bound) {
+    ++wk.witness_searches;
+    wk.dist.ensure_and_clear(g_.num_nodes(), kInfCost);
+    wk.heap.reset_capacity(g_.num_nodes());
+    wk.dist.set(u, 0);
+    wk.heap.push(u, 0);
+    std::uint32_t settles = 0;
+    while (!wk.heap.empty() && settles < opt_.witness_settles) {
+      const auto [x, key] = wk.heap.pop();
+      if (key > wk.dist.get(x)) continue;  // stale lazy entry
+      if (key > bound) break;
+      ++settles;
+      for (const WorkEdge& e : out_[x]) {
+        if (e.node == v || e.max_cost == kInfTime) continue;
+        const std::uint64_t nd = key + e.max_cost;
+        if (nd < wk.dist.get(e.node)) {
+          wk.dist.set(e.node, nd);
+          wk.heap.push(e.node, nd);
+        }
+      }
+    }
+  }
+
+  /// Builds v's surviving shortcuts into `cands`. Returns false when a cap
+  /// fires — the node then freezes into the core instead of contracting.
+  bool simulate_node(NodeId v, Worker& wk, std::vector<Candidate>& cands) {
+    cands.clear();
+    // Best conceivable shortcut lower bound of any pair through v — the
+    // witness searches' pruning horizon.
+    Time max_out_min = 0;
+    for (const WorkEdge& b : out_[v]) {
+      if (b.min_cost != kInfTime) max_out_min = std::max(max_out_min, b.min_cost);
+    }
+    // One search per run of same-tail in-edges: parallel edges (a flat
+    // edge plus a merged shortcut on the same pair) share the settle-
+    // capped Dijkstra — the dominant preprocessing cost. The worker's
+    // dist array holds ONE tail's distances at a time (every search
+    // clears it), so reuse is keyed on the tail it currently holds; a
+    // tail recurring after a different one simply searches again. The
+    // pruning horizon covers the tail's loosest in-edge, so the shared
+    // dist is valid for every parallel edge's (larger or equal) test.
+    NodeId dist_tail = kInvalidNode;  // whose distances wk.dist holds
+    for (std::size_t ai = 0; ai < in_[v].size(); ++ai) {
+      const WorkEdge& a = in_[v][ai];
+      if (a.min_cost == kInfTime) continue;
+      const NodeId u = a.node;
+      const bool witnessed = opt_.witness_settles > 0;
+      if (witnessed && dist_tail != u) {
+        Time tail_min_max = a.min_cost;
+        for (const WorkEdge& a2 : in_[v]) {
+          if (a2.node == u && a2.min_cost != kInfTime) {
+            tail_min_max = std::max(tail_min_max, a2.min_cost);
+          }
+        }
+        witness_search(
+            wk, u, v, static_cast<std::uint64_t>(tail_min_max) + max_out_min);
+        dist_tail = u;
+      }
+      for (const WorkEdge& b : out_[v]) {
+        const NodeId w = b.node;
+        if (w == u || b.min_cost == kInfTime) continue;
+        const Time lb = a.min_cost + b.min_cost;
+        if (witnessed && wk.dist.get(w) <= lb) {
+          // A time-independent path at most this long exists without v:
+          // the shortcut can never win at any departure time.
+          ++wk.witness_dropped;
+          continue;
+        }
+        const std::uint32_t hops = a.hops + b.hops;
+        if (hops > opt_.max_hops) return false;
+        if (cands.size() >= opt_.max_new_edges) return false;
+        Ttf f = link_edge_ttfs(ttfs_, a.word, b.word);
+        if (f.empty()) continue;
+        cands.push_back({u, w, a.origin, b.origin, hops, std::move(f)});
+      }
+    }
+    // Edge-difference freeze: contracting must not grow the core graph
+    // beyond the dial — a node whose witnessed shortcut set still exceeds
+    // the edges it removes by more than max_edge_diff stays in the core.
+    const std::int64_t removed =
+        static_cast<std::int64_t>(in_[v].size() + out_[v].size());
+    if (static_cast<std::int64_t>(cands.size()) - removed >
+        static_cast<std::int64_t>(opt_.max_edge_diff)) {
+      return false;
+    }
+    return true;
+  }
+
+  // --- commit (serial) --------------------------------------------------
+
+  void commit_batch() {
+    for (std::size_t i = 0; i < batch_.size(); ++i) {
+      const NodeId v = batch_[i];
+      if (capped_[i]) {
+        state_[v] = kFrozen;
+        ++stats_.frozen;
+        continue;
+      }
+      contract_node(v, cand_lists_[i]);
+    }
+  }
+
+  void contract_node(NodeId v, std::vector<Candidate>& cands) {
+    // Adjacency snapshots at contraction time: out-edges become the node's
+    // upward CSR block, in-edges feed the downward sweep.
+    up_snap_[v] = std::move(out_[v]);
+    down_snap_[v] = std::move(in_[v]);
+    out_[v].clear();
+    in_[v].clear();
+    for (const WorkEdge& a : down_snap_[v]) {
+      std::erase_if(out_[a.node],
+                    [&](const WorkEdge& e) { return e.node == v; });
+    }
+    for (const WorkEdge& b : up_snap_[v]) {
+      std::erase_if(in_[b.node],
+                    [&](const WorkEdge& e) { return e.node == v; });
+    }
+
+    for (Candidate& c : cands) {
+      const std::uint32_t word_link = ttfs_.add_raw(c.ttf.points());
+      shortcuts_.push_back({word_link, v, c.origin_a, c.origin_b});
+      const std::uint32_t origin_link =
+          OverlayGraph::kShortcutBit |
+          static_cast<std::uint32_t>(shortcuts_.size() - 1);
+      const auto [mn, mx] = word_cost_bounds(ttfs_, word_link, tt_.period());
+
+      WorkEdge* existing = nullptr;
+      for (WorkEdge& e : out_[c.tail]) {
+        if (e.node == c.head && OverlayGraph::origin_is_shortcut(e.origin)) {
+          existing = &e;
+          break;
+        }
+      }
+      if (existing != nullptr) {
+        // Parallel shortcut on the same pair: fold into one edge whose TTF
+        // is the pointwise minimum. The merge record keeps both branches so
+        // journey replay can still tell which one is ridden at a given time.
+        const std::uint32_t old_origin = existing->origin;
+        const Ttf merged = merge_edge_ttfs(ttfs_, existing->word, word_link);
+        const std::uint32_t word_merged = ttfs_.add_raw(merged.points());
+        shortcuts_.push_back(
+            {word_merged, kInvalidNode, old_origin, origin_link});
+        const std::uint32_t origin_merged =
+            OverlayGraph::kShortcutBit |
+            static_cast<std::uint32_t>(shortcuts_.size() - 1);
+        const auto [mmn, mmx] =
+            word_cost_bounds(ttfs_, word_merged, tt_.period());
+        existing->word = word_merged;
+        existing->origin = origin_merged;
+        existing->hops = std::max(existing->hops, c.hops);
+        existing->min_cost = mmn;
+        existing->max_cost = mmx;
+        for (WorkEdge& e : in_[c.head]) {
+          if (e.node == c.tail && e.origin == old_origin) {
+            e = *existing;
+            e.node = c.tail;
+            break;
+          }
+        }
+        ++stats_.merges;
+      } else {
+        out_[c.tail].push_back({c.head, word_link, origin_link, c.hops, mn, mx});
+        in_[c.head].push_back({c.tail, word_link, origin_link, c.hops, mn, mx});
+      }
+    }
+
+    state_[v] = kContracted;
+    rank_[v] = static_cast<std::uint32_t>(contracted_order_.size());
+    contracted_order_.push_back(v);
+    ++stats_.contracted;
+
+    // Neighbors got new edges and a deeper level: requeue with fresh keys
+    // (duplicates are fine — the lazy queue drops stale entries at pop).
+    ++round_;  // reuse the round stamps to dedup the neighbor set
+    auto requeue = [&](NodeId nb) {
+      if (picked_round_[nb] == round_) return;
+      picked_round_[nb] = round_;
+      level_[nb] = std::max(level_[nb], level_[v] + 1);
+      if (state_[nb] == kLive && !g_.is_station_node(nb)) {
+        order_.push(nb, priority(nb));
+      }
+    };
+    for (const WorkEdge& e : up_snap_[v]) requeue(e.node);
+    for (const WorkEdge& e : down_snap_[v]) requeue(e.node);
+  }
+
+  // --- setup / teardown -------------------------------------------------
+
+  void init_working_graph() {
+    const NodeId n = g_.num_nodes();
+    out_.resize(n);
+    in_.resize(n);
+    up_snap_.resize(n);
+    down_snap_.resize(n);
+    level_.assign(n, 0);
+    state_.assign(n, kLive);
+    rank_.assign(n, kCoreRank);
+    picked_round_.assign(n, 0);
+    blocked_round_.assign(n, 0);
+    for (NodeId v = 0; v < n; ++v) {
+      for (TdGraph::EdgeId e = g_.edge_begin(v); e < g_.edge_end(v); ++e) {
+        const std::uint32_t w = g_.edge_word(e);
+        const auto [mn, mx] = word_cost_bounds(ttfs_, w, tt_.period());
+        const NodeId head = g_.edge_head(e);
+        out_[v].push_back({head, w, e, 1, mn, mx});
+        in_[head].push_back({v, w, e, 1, mn, mx});
+      }
+    }
+  }
+
+  OverlayGraph assemble() {
+    const NodeId n = g_.num_nodes();
+    OverlayGraph ov;
+    ov.num_stations_ = tt_.num_stations();
+    ov.period_ = tt_.period();
+    ov.num_core_ = n - contracted_order_.size();
+    ov.num_base_ttfs_ = static_cast<std::uint32_t>(g_.ttfs().size());
+    ov.num_base_edges_ = static_cast<std::uint32_t>(g_.num_edges());
+    ov.rank_ = std::move(rank_);
+    ov.board_shift_.resize(tt_.num_stations());
+    for (StationId s = 0; s < tt_.num_stations(); ++s) {
+      ov.board_shift_[s] = tt_.transfer_time(s);
+    }
+
+    ov.edge_begin_.assign(n + 1, 0);
+    for (NodeId v = 0; v < n; ++v) {
+      const auto& edges = state_[v] == kContracted ? up_snap_[v] : out_[v];
+      ov.edge_begin_[v + 1] = static_cast<std::uint32_t>(edges.size());
+    }
+    for (NodeId v = 0; v < n; ++v) ov.edge_begin_[v + 1] += ov.edge_begin_[v];
+    ov.heads_.reserve(ov.edge_begin_[n]);
+    ov.words_.reserve(ov.edge_begin_[n]);
+    ov.origins_.reserve(ov.edge_begin_[n]);
+    ov.ttf_out_degree_.reserve(n);
+    for (NodeId v = 0; v < n; ++v) {
+      const auto& edges = state_[v] == kContracted ? up_snap_[v] : out_[v];
+      std::size_t ttf_edges = 0;
+      for (const WorkEdge& e : edges) {
+        ov.heads_.push_back(e.node);
+        ov.words_.push_back(e.word);
+        ov.origins_.push_back(e.origin);
+        if (!TdGraph::word_is_const(e.word)) ++ttf_edges;
+        if (OverlayGraph::origin_is_shortcut(e.origin)) ++stats_.shortcuts;
+      }
+      ov.ttf_out_degree_.push_back(
+          static_cast<std::uint8_t>(std::min<std::size_t>(ttf_edges, 255)));
+      ov.max_out_degree_ = std::max(
+          ov.max_out_degree_, static_cast<std::uint32_t>(edges.size()));
+    }
+
+    // Downward sweep order: descending contraction rank, so every in-edge
+    // tail is finalized before its head.
+    ov.down_begin_.push_back(0);
+    for (std::size_t i = contracted_order_.size(); i-- > 0;) {
+      const NodeId v = contracted_order_[i];
+      ov.down_node_.push_back(v);
+      for (const WorkEdge& e : down_snap_[v]) {
+        ov.down_tails_.push_back(e.node);
+        ov.down_words_.push_back(e.word);
+      }
+      ov.down_begin_.push_back(
+          static_cast<std::uint32_t>(ov.down_tails_.size()));
+    }
+
+    ov.shortcuts_ = std::move(shortcuts_);
+    ov.ttfs_ = std::move(ttfs_);
+    ov.build_stats_ = stats_;
+    return ov;
+  }
+
+  const Timetable& tt_;
+  const TdGraph& g_;
+  OverlayContractionOptions opt_;
+  ThreadPool pool_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  TtfPool ttfs_;  // the overlay pool under construction
+  std::vector<OverlayGraph::ShortcutRec> shortcuts_;
+  std::vector<std::vector<WorkEdge>> out_, in_;          // working graph
+  std::vector<std::vector<WorkEdge>> up_snap_, down_snap_;
+  std::vector<std::uint32_t> level_;
+  std::vector<std::uint8_t> state_;
+  std::vector<std::uint32_t> rank_;
+  std::vector<NodeId> contracted_order_;
+
+  LazyDAryHeap<std::uint64_t, 4> order_;  // the lazy-update ordering queue
+  std::uint32_t round_ = 0;
+  std::vector<std::uint32_t> picked_round_, blocked_round_;
+  std::vector<NodeId> batch_;
+  std::vector<std::pair<NodeId, std::uint64_t>> deferred_;
+  std::vector<std::vector<Candidate>> cand_lists_;
+  std::vector<std::uint8_t> capped_;
+
+  ContractionStats stats_;
+};
+
+OverlayGraph contract_graph(const Timetable& tt, const TdGraph& g,
+                            const OverlayContractionOptions& opt) {
+  return ContractionBuilder(tt, g, opt).build();
+}
+
+}  // namespace pconn

@@ -1,0 +1,88 @@
+// Time-dependent core contraction (in the spirit of time-dependent
+// contraction hierarchies, adapted to the periodic public-transit model).
+//
+// contract_graph() removes route nodes from the time-dependent graph in
+// cost order and emits the OverlayGraph (graph/overlay_graph.hpp) the
+// core-routed query engines run on. The machinery, in brief:
+//
+//   * node ordering — a lazy-update priority queue (the existing
+//     LazyDAryHeap policy) keyed by edge difference and shortcut depth:
+//     key = 8 * (in*out - in - out) + 2 * level, recomputed at pop and
+//     reinserted when stale (the classic lazy CH rule). Stations are never
+//     candidates;
+//   * parallel rounds — an independent batch (no two selected nodes
+//     adjacent) is drawn from the queue and simulated concurrently on the
+//     ThreadPool, one arena-backed scratch workspace per worker (pinned to
+//     the worker's NUMA node); commits stay serial, so the result is
+//     byte-identical for every thread count;
+//   * witness-bounded shortcuts — each neighbor pair (u, v, w) first runs
+//     a settle-capped upper-bound Dijkstra (per-edge maximum travel times)
+//     from u avoiding v: when that bound is <= the pair's minimum linked
+//     travel time the shortcut can never win at any departure time and is
+//     dropped. Surviving pairs link their TTFs (link_edge_ttfs below, an
+//     arrival_tn_sorted-style composition) and shortcuts landing on an
+//     existing shortcut of the same pair are merged (pointwise min =
+//     point-set union + cyclic domination pruning);
+//   * core freeze — a node whose contraction would exceed the shortcut or
+//     hop caps simply stays in the core. Exactness never depends on the
+//     caps; they only trade preprocessing/graph size against query speed.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/overlay_graph.hpp"
+#include "graph/td_graph.hpp"
+#include "graph/ttf.hpp"
+#include "graph/ttf_pool.hpp"
+#include "timetable/timetable.hpp"
+
+namespace pconn {
+
+struct OverlayContractionOptions {
+  /// Worker threads for the simulation phase (commits are serial; the
+  /// overlay is identical for every value).
+  unsigned threads = 1;
+  /// Independent nodes ordered per parallel round. Fixed (not scaled by
+  /// `threads`) so the contraction order — and thus the overlay — does not
+  /// depend on the thread count.
+  std::uint32_t batch_size = 32;
+  /// Freeze a node if contracting it would insert more shortcut edges.
+  std::uint32_t max_new_edges = 64;
+  /// Freeze a node whose surviving shortcuts exceed the edges it removes
+  /// by more than this — the core-size/query-speed dial: sparse railway
+  /// hubs freeze early (their fan-outs would outgrow the settled-node
+  /// savings), dense bus chains contract away entirely.
+  std::int32_t max_edge_diff = 0;
+  /// Freeze a node if a required shortcut would span more flat edges.
+  std::uint32_t max_hops = 24;
+  /// Settle cap of each witness search (0 disables witnessing — every
+  /// candidate shortcut is kept; still exact, just bigger).
+  std::uint32_t witness_settles = 48;
+};
+
+/// Runs the contraction and returns the overlay. Deterministic in
+/// (tt, g, opt ignoring threads).
+OverlayGraph contract_graph(const Timetable& tt, const TdGraph& g,
+                            const OverlayContractionOptions& opt = {});
+
+// --- TTF composition primitives (exposed for the property tests) ---------
+
+/// Link: the exact travel-time function of traversing word `a` and then
+/// word `b` (packed TdGraph words against `pool`), as experienced at a's
+/// tail. Constant words compose by shifting departures/durations; a
+/// leading TTF evaluates the second leg at its (ascending) arrival times
+/// via the pool's sorted-merge kernel. The result is pruned (FIFO).
+/// At least one word must be non-constant.
+Ttf link_edge_ttfs(const TtfPool& pool, std::uint32_t a, std::uint32_t b);
+
+/// Merge: the pointwise minimum of two non-constant words — the union of
+/// their connection points with dominated points pruned.
+Ttf merge_edge_ttfs(const TtfPool& pool, std::uint32_t a, std::uint32_t b);
+
+/// [min over t, max over t] of a word's travel time (constant words:
+/// weight twice; empty functions: {kInfTime, kInfTime}). The witness
+/// search's edge bounds.
+std::pair<Time, Time> word_cost_bounds(const TtfPool& pool, std::uint32_t w,
+                                       Time period);
+
+}  // namespace pconn

@@ -7,12 +7,13 @@
 
 namespace pconn {
 
-namespace {
+namespace detail {
 
 /// The trip of route r actually boarded at position k when the rider is
 /// ready at absolute time t: the trip with the next departure at stop k
 /// (cyclically), ties broken by earliest arrival at k+1.
-TrainId trip_used(const Timetable& tt, RouteId r, std::uint32_t k, Time t) {
+TrainId journey_trip_used(const Timetable& tt, RouteId r, std::uint32_t k,
+                          Time t) {
   const Route& route = tt.route(r);
   Time best_wait = kInfTime;
   Time best_arr = kInfTime;
@@ -30,7 +31,23 @@ TrainId trip_used(const Timetable& tt, RouteId r, std::uint32_t k, Time t) {
   return best;
 }
 
-}  // namespace
+RouteId route_of_node(const Timetable& tt, const TdGraph& g, NodeId v) {
+  // v is route_node(r, k): route nodes are numbered contiguously per route
+  // after the station nodes, so binary-search the route whose first node is
+  // the largest one <= v.
+  std::uint32_t lo = 0, hi = static_cast<std::uint32_t>(tt.num_routes());
+  while (lo + 1 < hi) {
+    std::uint32_t mid = (lo + hi) / 2;
+    if (g.route_node(mid, 0) <= v) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace detail
 
 template <typename Queue>
 bool extract_journey_into(const Timetable& tt, const TdGraph& g,
@@ -56,49 +73,9 @@ bool extract_journey_into(const Timetable& tt, const TdGraph& g,
 
   // Walk the path; every travel edge (route node -> route node) contributes
   // to a leg. Identify the trip from the tail's arrival time.
-  for (std::size_t idx = 0; idx + 1 < path.size(); ++idx) {
-    NodeId v = path[idx], w = path[idx + 1];
-    if (g.is_station_node(v) || g.is_station_node(w)) continue;  // board/alight
-    // v is route_node(r, k): route nodes are numbered contiguously per
-    // route after the station nodes, so binary-search the route whose first
-    // node is the largest one <= v, then k is the offset within it.
-    RouteId r = 0;
-    {
-      std::uint32_t lo = 0, hi = static_cast<std::uint32_t>(tt.num_routes());
-      while (lo + 1 < hi) {
-        std::uint32_t mid = (lo + hi) / 2;
-        if (g.route_node(mid, 0) <= v) {
-          lo = mid;
-        } else {
-          hi = mid;
-        }
-      }
-      r = lo;
-    }
-    std::uint32_t k = v - g.route_node(r, 0);
-    Time ready = q.arrival_at_node(v);
-    TrainId used = trip_used(tt, r, k, ready);
-    const Trip& tr = tt.trip(used);
-    Time wait = delta(ready, tr.departures[k], tt.period());
-    Time dep_abs = ready + wait;
-    Time arr_abs = dep_abs + (tr.arrivals[k + 1] - tr.departures[k]);
-
-    const Route& route = tt.route(r);
-    if (!j.legs.empty() && j.legs.back().train == used &&
-        j.legs.back().to == route.stops[k]) {
-      j.legs.back().to = route.stops[k + 1];
-      j.legs.back().arr = arr_abs;
-    } else {
-      JourneyLeg leg;
-      leg.train = used;
-      leg.route = r;
-      leg.from = route.stops[k];
-      leg.to = route.stops[k + 1];
-      leg.dep = dep_abs;
-      leg.arr = arr_abs;
-      j.legs.push_back(leg);
-    }
-  }
+  journey_legs_from_path(
+      tt, g, std::span<const NodeId>(path),
+      [&](std::size_t idx) { return q.arrival_at_node(path[idx]); }, j);
   return true;
 }
 

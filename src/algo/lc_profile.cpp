@@ -4,16 +4,6 @@
 
 namespace pconn {
 
-namespace {
-
-/// Merge order shared by the public merge_profiles and the engine's pooled
-/// scratch merge: lexicographic (departure, arrival).
-bool profile_point_less(const ProfilePoint& x, const ProfilePoint& y) {
-  return x.dep != y.dep ? x.dep < y.dep : x.arr < y.arr;
-}
-
-}  // namespace
-
 Profile merge_profiles(const Profile& a, const Profile& b, Time period) {
   Profile u;
   u.reserve(a.size() + b.size());

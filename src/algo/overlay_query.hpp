@@ -1,0 +1,173 @@
+// Core-routed query engines over the contraction overlay
+// (graph/overlay_graph.hpp): ports of TimeQueryT and LcProfileQueryT whose
+// settle loops run on the overlay's station-centric core. Same queue
+// policies, same RelaxMode phasing (algo/relax_batch.hpp), same arena-
+// backed workspace discipline — but since a core station's out-block is a
+// fan of shortcut TTFs (not the flat model's 1-TTF route nodes), the
+// adaptive batch mode engages on nearly every settle and the gather ->
+// eval -> commit phases finally run the AVX2 arrival_n kernel at width.
+//
+// Exactness: stations are never contracted, so core distances equal flat
+// distances at every departure time. OverlayTimeQueryT reports arrivals at
+// all stations; settle_contracted() extends them to every flat node with
+// one queue-less rank-descending sweep over the downward CSR (used by the
+// differential tests, which compare ALL nodes byte-for-byte against the
+// flat engine). OverlayLcProfileQueryT's station profiles are canonical
+// reduced profiles of the exact travel-time functions, hence byte-
+// identical to the flat LC baseline.
+//
+// Source convention: the model's first boarding is free. Flat engines
+// rewrite the source's constant board words to zero; shortcut TTFs out of
+// a station have T(S) folded in ("shifted" form), so the overlay engines
+// evaluate them at t - T(S) — same function, board discounted. Both source
+// treatments live in a dedicated source loop shared by every RelaxMode, so
+// results and accounting stay bit-identical across modes.
+#pragma once
+
+#include <vector>
+
+#include "algo/counters.hpp"
+#include "algo/journey.hpp"
+#include "algo/queue_policy.hpp"
+#include "algo/relax_batch.hpp"
+#include "algo/workspace.hpp"
+#include "graph/overlay_graph.hpp"
+#include "graph/profile.hpp"
+#include "graph/td_graph.hpp"
+#include "timetable/timetable.hpp"
+#include "util/epoch_array.hpp"
+
+namespace pconn {
+
+/// Template over the scalar-time queue policy; definitions in
+/// overlay_query.cpp instantiate the four shipped policies.
+template <typename Queue = TimeBinaryQueue>
+class OverlayTimeQueryT {
+ public:
+  /// Needs the flat graph alongside the overlay for journey replay (flat
+  /// edge words, route-node decoding). `ws` (optional) places all scratch
+  /// in the workspace's arena; the engine must not outlive it.
+  OverlayTimeQueryT(const Timetable& tt, const TdGraph& g,
+                    const OverlayGraph& ov, QueryWorkspace* ws = nullptr);
+
+  /// One-to-all over the overlay core. Results stay valid until the next
+  /// run. If `target` is given, stops once the target station is settled.
+  void run(StationId source, Time departure,
+           StationId target = kInvalidStation);
+
+  /// Extends the last full run (no target stop) to every contracted node:
+  /// one rank-descending pass over the downward CSR, no queue. After it,
+  /// arrival_at_node matches the flat TimeQueryT at ALL nodes.
+  void settle_contracted();
+
+  Time arrival_at(StationId s) const { return dist_.get(ov_.station_node(s)); }
+  Time arrival_at_node(NodeId v) const { return dist_.get(v); }
+
+  /// Journey extraction: expands the shortcut edges on the parent path
+  /// back to the exact flat node sequence (link records recurse, merge
+  /// records pick the branch whose evaluation wins at the replay time) and
+  /// derives legs through the same code path as the flat extractor.
+  /// Returns false when the target is unreachable.
+  bool extract_journey_into(StationId source, Time departure, StationId target,
+                            Journey& out);
+
+  const QueryStats& stats() const { return stats_; }
+  /// Gather-size accounting of the batch mode (bench_overlay's engagement
+  /// report); zeroed per run, empty under RelaxMode::kInterleaved.
+  const BatchStats& batch_stats() const { return batch_stats_; }
+
+  void set_relax_mode(RelaxMode m) { relax_mode_ = m; }
+  RelaxMode relax_mode() const { return relax_mode_; }
+
+ private:
+  /// Arrival via an overlay word entered at `t`, undoing the folded board
+  /// cost when the tail is the query source (see header note).
+  Time source_arrival(std::uint32_t w, Time t) const;
+  /// Arrival via an origin (flat edge or shortcut record) — merge-branch
+  /// evaluation during journey replay.
+  Time origin_arrival(std::uint32_t origin, Time t, bool at_source) const;
+  /// Replays an origin from `tail` at time `t`, appending the flat nodes
+  /// and ready times beyond the tail; returns the arrival at the head.
+  Time replay_origin(std::uint32_t origin, NodeId tail, Time t, bool at_source);
+
+  const Timetable& tt_;
+  const TdGraph& g_;
+  const OverlayGraph& ov_;
+  Queue heap_;
+  // Same invariant as the flat TimeQueryT: pop keys are monotone and no
+  // edge goes back in time, so `dist <= key` subsumes a settled array.
+  EpochArray<Time> dist_;
+  EpochArray<NodeId> parent_;
+  EpochArray<std::uint32_t> parent_edge_;  // overlay EdgeId of the relax
+  RelaxBatch batch_;
+  RelaxMode relax_mode_ = default_relax_mode();
+  StationId source_ = kInvalidStation;
+  Time departure_ = 0;
+  bool full_run_ = false;  // last run had no target stop
+  QueryStats stats_;
+  BatchStats batch_stats_;
+  // Journey replay scratch (arena-backed; grows to a high-water mark).
+  std::vector<NodeId, ArenaAllocator<NodeId>> path_;
+  std::vector<Time, ArenaAllocator<Time>> ready_;
+  std::vector<std::uint32_t, ArenaAllocator<std::uint32_t>> edge_path_;
+};
+
+using OverlayTimeQuery = OverlayTimeQueryT<>;
+
+/// The label-correcting profile baseline ported onto the overlay core.
+/// Station profiles are byte-identical to the flat LcProfileQueryT (both
+/// converge to the canonical reduced representation of the exact function).
+/// Heap policies only, like the flat engine.
+///
+/// Deliberately a sibling implementation of LcProfileQueryT, not a shared
+/// template over the graph type: the overlay loop carries the source
+/// board-shift through the link kernel and its own engagement accounting,
+/// and templating the flat engine's hot loop for that would perturb
+/// measured code the benches gate. The two settle loops must stay in
+/// lockstep (same enqueue protocol, same merge order — profile_point_less
+/// is shared via graph/profile.hpp); tests/contraction_test.cpp enforces
+/// the byte-identity that any divergence would break.
+template <typename Queue = TimeBinaryQueue>
+class OverlayLcProfileQueryT {
+  static_assert(!Queue::kMonotone,
+                "label-correcting search pushes keys below the last pop; "
+                "monotone queue policies (bucket) cannot run it");
+
+ public:
+  OverlayLcProfileQueryT(const Timetable& tt, const OverlayGraph& ov,
+                         QueryWorkspace* ws = nullptr);
+
+  /// One-to-all profile search from s over the core.
+  void run(StationId s);
+
+  /// Reduced profile dist(S, t, ·) of the last run.
+  const Profile& profile(StationId t) const {
+    return labels_[ov_.station_node(t)];
+  }
+
+  const QueryStats& stats() const { return stats_; }
+  const BatchStats& batch_stats() const { return batch_stats_; }
+
+  void set_relax_mode(RelaxMode m) { relax_mode_ = m; }
+  RelaxMode relax_mode() const { return relax_mode_; }
+
+ private:
+  using ScratchProfile =
+      std::vector<ProfilePoint, ArenaAllocator<ProfilePoint>>;
+
+  const Timetable& tt_;
+  const OverlayGraph& ov_;
+  Queue heap_;
+  EpochArray<Time> qkey_;  // non-addressable only (see LcProfileQueryT)
+  std::vector<Profile> labels_;  // per node; written via assign() only
+  std::vector<NodeId, ArenaAllocator<NodeId>> touched_;
+  std::vector<std::uint8_t, ArenaAllocator<std::uint8_t>> dirty_;
+  ScratchProfile init_, cand_, union_, merged_;
+  RelaxMode relax_mode_ = default_relax_mode();
+  QueryStats stats_;
+  BatchStats batch_stats_;
+};
+
+using OverlayLcProfileQuery = OverlayLcProfileQueryT<>;
+
+}  // namespace pconn

@@ -28,6 +28,8 @@
 // the allocator (the zero-allocation session guard covers batch mode).
 #pragma once
 
+#include <array>
+#include <bit>
 #include <cstdint>
 #include <cstdlib>
 #include <vector>
@@ -75,6 +77,32 @@ inline const char* relax_mode_name(RelaxMode m) {
   }
   return "?";
 }
+
+/// Batch-engagement accounting of the overlay engines (kept apart from
+/// QueryStats so the cross-mode accounting-identity tests stay meaningful:
+/// the interleaved mode gathers nothing by definition). `record(n)` is one
+/// increment pair plus a bit_width per executed batch; the histogram is
+/// log2-bucketed (bucket b holds gathers of size [2^(b-1), 2^b)).
+struct BatchStats {
+  std::uint64_t gathers = 0;
+  std::uint64_t gathered_edges = 0;
+  std::array<std::uint64_t, 16> fanout_hist{};
+
+  void record(std::size_t n) {
+    ++gathers;
+    gathered_edges += n;
+    const unsigned b = static_cast<unsigned>(std::bit_width(n));
+    ++fanout_hist[b < fanout_hist.size() ? b : fanout_hist.size() - 1];
+  }
+  /// Mean gather size over executed batches — the "does the AVX2 kernel
+  /// actually see wide batches" number bench_overlay reports and CI gates.
+  double mean_gather() const {
+    return gathers == 0 ? 0.0
+                        : static_cast<double>(gathered_edges) /
+                              static_cast<double>(gathers);
+  }
+  void reset() { *this = BatchStats{}; }
+};
 
 /// The gather/eval scratch of one engine: parallel arrays of packed
 /// ttf-or-weight words, per-edge auxiliary ids (head node, label slot, or

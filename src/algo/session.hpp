@@ -30,6 +30,7 @@
 #include "algo/journey.hpp"
 #include "algo/lc_profile.hpp"
 #include "algo/mc_query.hpp"
+#include "algo/overlay_query.hpp"
 #include "algo/parallel_spcs.hpp"
 #include "algo/te_query.hpp"
 #include "algo/time_query.hpp"
@@ -135,6 +136,29 @@ class QuerySessionT {
     return *te_;
   }
 
+  /// The core-routed engines need a contraction overlay
+  /// (contract_graph()); like te_engine they bind to the overlay passed
+  /// first and recreate on a different one (startup-time configuration,
+  /// not per-request switching).
+  OverlayTimeQueryT<TimeQueue>& overlay_time_engine(const OverlayGraph& ov) {
+    if (!ov_time_ || ov_time_graph_ != &ov) {
+      ov_time_ =
+          std::make_unique<OverlayTimeQueryT<TimeQueue>>(tt_, g_, ov, &ws_);
+      ov_time_->set_relax_mode(opt_.relax);
+      ov_time_graph_ = &ov;
+    }
+    return *ov_time_;
+  }
+
+  OverlayLcProfileQueryT<LcQueue>& overlay_lc_engine(const OverlayGraph& ov) {
+    if (!ov_lc_ || ov_lc_graph_ != &ov) {
+      ov_lc_ = std::make_unique<OverlayLcProfileQueryT<LcQueue>>(tt_, ov, &ws_);
+      ov_lc_->set_relax_mode(opt_.relax);
+      ov_lc_graph_ = &ov;
+    }
+    return *ov_lc_;
+  }
+
   /// The accelerated s2s engine needs the station graph and (optionally) a
   /// distance table; binds to the pair passed first (a different pair
   /// recreates it). `dt` may be nullptr.
@@ -208,6 +232,30 @@ class QuerySessionT {
     return &journey_buf_;
   }
 
+  /// Earliest arrival through the contraction overlay; byte-identical to
+  /// earliest_arrival() but settles the core only. Requires a prior
+  /// overlay_time_engine(ov) call to bind the overlay.
+  Time overlay_earliest_arrival(StationId source, Time departure,
+                                StationId target = kInvalidStation) {
+    assert(ov_time_ && "bind the overlay with overlay_time_engine(ov) first");
+    ov_time_->run(source, departure, target);
+    return target == kInvalidStation ? departure
+                                     : ov_time_->arrival_at(target);
+  }
+
+  /// Journey extraction through the overlay (shortcuts expanded back to
+  /// the exact flat legs); nullptr when unreachable.
+  const Journey* overlay_journey(StationId source, Time departure,
+                                 StationId target) {
+    assert(ov_time_ && "bind the overlay with overlay_time_engine(ov) first");
+    ov_time_->run(source, departure, target);
+    if (!ov_time_->extract_journey_into(source, departure, target,
+                                        journey_buf_)) {
+      return nullptr;
+    }
+    return &journey_buf_;
+  }
+
   /// Pareto front over (arrival, boardings) at `target`.
   std::span<const McLabel> pareto(StationId source, Time departure,
                                   StationId target,
@@ -244,6 +292,10 @@ class QuerySessionT {
   std::unique_ptr<McTimeQueryT<McQueue>> mc_;
   std::unique_ptr<TeTimeQueryT<TimeQueue>> te_;
   const TeGraph* te_graph_ = nullptr;
+  std::unique_ptr<OverlayTimeQueryT<TimeQueue>> ov_time_;
+  const OverlayGraph* ov_time_graph_ = nullptr;
+  std::unique_ptr<OverlayLcProfileQueryT<LcQueue>> ov_lc_;
+  const OverlayGraph* ov_lc_graph_ = nullptr;
   std::unique_ptr<S2sQueryEngineT<SpcsQueue>> s2s_;
   const StationGraph* s2s_sg_ = nullptr;
   const DistanceTable* s2s_dt_ = nullptr;

@@ -1,0 +1,32 @@
+#include "graph/overlay_graph.hpp"
+
+namespace pconn {
+
+std::size_t OverlayGraph::memory_bytes() const {
+  std::size_t bytes = 0;
+  bytes += rank_.size() * sizeof(std::uint32_t);
+  bytes += board_shift_.size() * sizeof(Time);
+  bytes += edge_begin_.size() * sizeof(std::uint32_t);
+  bytes += heads_.size() * sizeof(NodeId);
+  bytes += words_.size() * sizeof(std::uint32_t);
+  bytes += origins_.size() * sizeof(std::uint32_t);
+  bytes += ttf_out_degree_.size() * sizeof(std::uint8_t);
+  bytes += shortcuts_.size() * sizeof(ShortcutRec);
+  bytes += down_node_.size() * sizeof(NodeId);
+  bytes += down_begin_.size() * sizeof(std::uint32_t);
+  bytes += down_tails_.size() * sizeof(NodeId);
+  bytes += down_words_.size() * sizeof(std::uint32_t);
+  bytes += ttfs_.memory_bytes();
+  return bytes;
+}
+
+std::size_t OverlayGraph::shortcut_points() const {
+  std::size_t pts = 0;
+  for (std::uint32_t f = num_base_ttfs_;
+       f < static_cast<std::uint32_t>(ttfs_.size()); ++f) {
+    pts += ttfs_.points(f).size();
+  }
+  return pts;
+}
+
+}  // namespace pconn

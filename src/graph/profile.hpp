@@ -23,6 +23,14 @@ struct ProfilePoint {
 
 using Profile = std::vector<ProfilePoint>;
 
+/// Merge order of the label-correcting engines (flat and overlay): the
+/// lexicographic (departure, arrival) order their std::merge unions use.
+/// One definition so the two engines can never silently diverge — their
+/// byte-identity relies on sharing it.
+inline bool profile_point_less(const ProfilePoint& x, const ProfilePoint& y) {
+  return x.dep != y.dep ? x.dep < y.dep : x.arr < y.arr;
+}
+
 /// The paper's connection reduction (Section 3.1): scan backward keeping
 /// the minimum arrival; drop every point whose arrival is not strictly
 /// earlier than the best later-departing alternative. Points with

@@ -21,16 +21,26 @@ TtfIndexOptions TtfIndexOptions::from_env() {
 
 std::uint32_t TtfPool::add(const Ttf& f) {
   assert(f.period() == period_ || f.empty());
+  return add_raw(f.points());
+}
+
+std::uint32_t TtfPool::add_raw(std::span<const TtfPoint> pts) {
+#ifndef NDEBUG
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    assert(pts[i].dep < period_);
+    assert(i == 0 || pts[i - 1].dep < pts[i].dep);
+  }
+#endif
   // The AVX2 kernels gather metadata and points through signed 32-bit
   // lanes; both stay far below 2^29 entries on any real network.
   assert(meta_.size() < (std::size_t{1} << 29));
-  assert(points_.size() + f.size() < (std::size_t{1} << 29));
+  assert(points_.size() + pts.size() < (std::size_t{1} << 29));
   const std::uint32_t idx = static_cast<std::uint32_t>(meta_.size());
   TtfMeta m;
   m.first = static_cast<std::uint32_t>(points_.size());
-  m.count = static_cast<std::uint32_t>(f.size());
+  m.count = static_cast<std::uint32_t>(pts.size());
   m.bucket0 = static_cast<std::uint32_t>(bucket_idx_.size());
-  points_.insert(points_.end(), f.points().begin(), f.points().end());
+  points_.insert(points_.end(), pts.begin(), pts.end());
 
   // Default density: one bucket per point (rounded to a power of two,
   // capped at 2^16) — the expected scan past the bucket entry is then <= 1
@@ -39,9 +49,9 @@ std::uint32_t TtfPool::add(const Ttf& f) {
   // pointing at their first point, so eval's index lookup stays branchless
   // and the scan is the plain linear lower_bound.
   std::uint32_t buckets = 1;
-  if (f.size() >= idx_.min_indexed_points) {
-    const double want =
-        std::max(1.0, static_cast<double>(f.size()) * idx_.buckets_per_point);
+  if (pts.size() >= idx_.min_indexed_points) {
+    const double want = std::max(
+        1.0, static_cast<double>(pts.size()) * idx_.buckets_per_point);
     buckets = static_cast<std::uint32_t>(std::min<std::size_t>(
         std::bit_ceil(static_cast<std::size_t>(want)), std::size_t{1} << 16));
   }
@@ -52,7 +62,7 @@ std::uint32_t TtfPool::add(const Ttf& f) {
   // point maps earlier — the scan then wraps to the function's start).
   std::uint32_t i = 0;
   for (std::uint32_t b = 0; b < buckets; ++b) {
-    while (i < m.count && bucket_of(f.points()[i].dep, m.log2b) < b) ++i;
+    while (i < m.count && bucket_of(pts[i].dep, m.log2b) < b) ++i;
     bucket_idx_.push_back(m.first + i);
   }
   meta_.push_back(m);

@@ -102,6 +102,13 @@ class TtfPool {
   /// Appends a built (sorted, pruned) function; returns its pool index.
   std::uint32_t add(const Ttf& f);
 
+  /// Appends already-built points verbatim (sorted by departure, unique
+  /// departures, dominance-pruned — exactly what Ttf::build and points()
+  /// produce). No re-validation beyond debug asserts: this is the path the
+  /// contraction overlay and the serializer use to move functions between
+  /// pools without paying the pruning pass again.
+  std::uint32_t add_raw(std::span<const TtfPoint> pts);
+
   std::size_t size() const { return meta_.size(); }
   std::size_t num_points() const { return points_.size(); }
   Time period() const { return period_; }

@@ -1,5 +1,6 @@
 #include "timetable/serialize.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 
@@ -64,6 +65,233 @@ void save_timetable(const Timetable& tt, std::ostream& out) {
     }
   }
   if (!out) throw std::runtime_error("timetable: write failure");
+}
+
+namespace {
+
+constexpr char kOverlayMagic[4] = {'P', 'C', 'O', 'V'};
+constexpr std::uint32_t kOverlayVersion = 1;
+
+template <typename T>
+void write_u32_vector(std::ostream& out, const std::vector<T>& v) {
+  static_assert(sizeof(T) == 4);
+  write_u32(out, static_cast<std::uint32_t>(v.size()));
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * 4));
+}
+
+template <typename T>
+void read_u32_vector(std::istream& in, std::vector<T>& v) {
+  static_assert(sizeof(T) == 4);
+  const std::uint32_t n = read_u32(in);
+  if (n > (1u << 28)) throw std::runtime_error("overlay: absurd array size");
+  v.resize(n);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(std::size_t{n} * 4));
+  if (!in) throw std::runtime_error("overlay: truncated stream");
+}
+
+}  // namespace
+
+void save_overlay(const OverlayGraph& ov, std::ostream& out) {
+  out.write(kOverlayMagic, 4);
+  write_u32(out, kOverlayVersion);
+  write_u32(out, static_cast<std::uint32_t>(ov.num_stations_));
+  write_u32(out, static_cast<std::uint32_t>(ov.num_core_));
+  write_u32(out, ov.period_);
+  write_u32(out, ov.max_out_degree_);
+  write_u32(out, ov.num_base_ttfs_);
+  write_u32(out, ov.num_base_edges_);
+
+  write_u32_vector(out, ov.rank_);
+  write_u32_vector(out, ov.board_shift_);
+  write_u32_vector(out, ov.edge_begin_);
+  write_u32_vector(out, ov.heads_);
+  write_u32_vector(out, ov.words_);
+  write_u32_vector(out, ov.origins_);
+  write_u32(out, static_cast<std::uint32_t>(ov.ttf_out_degree_.size()));
+  out.write(reinterpret_cast<const char*>(ov.ttf_out_degree_.data()),
+            static_cast<std::streamsize>(ov.ttf_out_degree_.size()));
+
+  write_u32(out, static_cast<std::uint32_t>(ov.shortcuts_.size()));
+  for (const OverlayGraph::ShortcutRec& r : ov.shortcuts_) {
+    write_u32(out, r.word);
+    write_u32(out, r.mid);
+    write_u32(out, r.a);
+    write_u32(out, r.b);
+  }
+
+  write_u32_vector(out, ov.down_node_);
+  write_u32_vector(out, ov.down_begin_);
+  write_u32_vector(out, ov.down_tails_);
+  write_u32_vector(out, ov.down_words_);
+
+  // Pooled TTFs as raw pruned point spans. The points are the dominant
+  // payload (hundreds of thousands of shortcut points on the bench
+  // networks), so each function's contiguous span is written in one shot.
+  static_assert(sizeof(TtfPoint) == 8);
+  write_u32(out, static_cast<std::uint32_t>(ov.ttfs_.size()));
+  for (std::uint32_t f = 0; f < static_cast<std::uint32_t>(ov.ttfs_.size());
+       ++f) {
+    const auto pts = ov.ttfs_.points(f);
+    write_u32(out, static_cast<std::uint32_t>(pts.size()));
+    out.write(reinterpret_cast<const char*>(pts.data()),
+              static_cast<std::streamsize>(pts.size() * sizeof(TtfPoint)));
+  }
+  if (!out) throw std::runtime_error("overlay: write failure");
+}
+
+OverlayGraph load_overlay(std::istream& in) {
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kOverlayMagic, 4) != 0) {
+    throw std::runtime_error("overlay: bad magic");
+  }
+  const std::uint32_t version = read_u32(in);
+  if (version != kOverlayVersion) {
+    throw std::runtime_error("overlay: unsupported version " +
+                             std::to_string(version));
+  }
+  OverlayGraph ov;
+  ov.num_stations_ = read_u32(in);
+  ov.num_core_ = read_u32(in);
+  ov.period_ = read_u32(in);
+  ov.max_out_degree_ = read_u32(in);
+  ov.num_base_ttfs_ = read_u32(in);
+  ov.num_base_edges_ = read_u32(in);
+  // The pool divides by the period (reciprocal precompute) and the AVX2
+  // kernels compare times in signed 32-bit lanes; reject garbage before
+  // either sees it.
+  if (ov.period_ == 0 || ov.period_ >= (Time{1} << 30)) {
+    throw std::runtime_error("overlay: invalid period");
+  }
+
+  read_u32_vector(in, ov.rank_);
+  read_u32_vector(in, ov.board_shift_);
+  read_u32_vector(in, ov.edge_begin_);
+  read_u32_vector(in, ov.heads_);
+  read_u32_vector(in, ov.words_);
+  read_u32_vector(in, ov.origins_);
+  {
+    const std::uint32_t n = read_u32(in);
+    if (n > (1u << 28)) throw std::runtime_error("overlay: absurd array size");
+    ov.ttf_out_degree_.resize(n);
+    in.read(reinterpret_cast<char*>(ov.ttf_out_degree_.data()), n);
+    if (!in) throw std::runtime_error("overlay: truncated stream");
+  }
+
+  {
+    const std::uint32_t n = read_u32(in);
+    if (n > (1u << 28)) throw std::runtime_error("overlay: absurd table size");
+    ov.shortcuts_.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      OverlayGraph::ShortcutRec r;
+      r.word = read_u32(in);
+      r.mid = read_u32(in);
+      r.a = read_u32(in);
+      r.b = read_u32(in);
+      ov.shortcuts_.push_back(r);
+    }
+  }
+
+  read_u32_vector(in, ov.down_node_);
+  read_u32_vector(in, ov.down_begin_);
+  read_u32_vector(in, ov.down_tails_);
+  read_u32_vector(in, ov.down_words_);
+
+  ov.ttfs_.reset(ov.period_);
+  const std::uint32_t funcs = read_u32(in);
+  if (funcs > (1u << 28)) throw std::runtime_error("overlay: absurd pool");
+  std::vector<TtfPoint> pts;
+  for (std::uint32_t f = 0; f < funcs; ++f) {
+    const std::uint32_t n = read_u32(in);
+    if (n > (1u << 28)) throw std::runtime_error("overlay: absurd function");
+    pts.resize(n);
+    in.read(reinterpret_cast<char*>(pts.data()),
+            static_cast<std::streamsize>(std::size_t{n} * sizeof(TtfPoint)));
+    if (!in) throw std::runtime_error("overlay: truncated stream");
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      if (pts[i].dep >= ov.period_ || (i > 0 && pts[i - 1].dep >= pts[i].dep)) {
+        throw std::runtime_error("overlay: malformed function points");
+      }
+    }
+    ov.ttfs_.add_raw(pts);
+  }
+
+  // Cross-array structural validation: a bit-flipped or hand-edited cache
+  // file must fail here with a diagnostic, not at query time with an
+  // out-of-bounds relax (load_timetable gets this for free by replaying
+  // through TimetableBuilder; the overlay arrays are loaded verbatim).
+  const auto structural = [](bool ok) {
+    if (!ok) throw std::runtime_error("overlay: inconsistent structure");
+  };
+  const std::size_t n = ov.rank_.size();
+  structural(ov.num_stations_ <= n);
+  structural(ov.num_core_ <= n);
+  structural(ov.board_shift_.size() == ov.num_stations_);
+  structural(ov.edge_begin_.size() == n + 1);
+  structural(ov.ttf_out_degree_.size() == n);
+  structural(ov.edge_begin_.front() == 0);
+  std::uint32_t widest = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    structural(ov.edge_begin_[v] <= ov.edge_begin_[v + 1]);
+    widest = std::max(widest, ov.edge_begin_[v + 1] - ov.edge_begin_[v]);
+  }
+  // The engines reserve batch buffers to this; a corrupted value would
+  // turn into a surprise multi-GB allocation at bind time.
+  structural(ov.max_out_degree_ == widest);
+  for (const Time shift : ov.board_shift_) structural(shift < ov.period_);
+  const std::size_t edges = ov.edge_begin_.back();
+  structural(ov.heads_.size() == edges && ov.words_.size() == edges &&
+             ov.origins_.size() == edges);
+  const auto word_ok = [&](std::uint32_t w) {
+    return TdGraph::word_is_const(w) || w < ov.ttfs_.size();
+  };
+  const auto origin_ok = [&](std::uint32_t o) {
+    // Shortcut origins index the record table; flat edge ids index the
+    // base graph whose edge count the header records (the engine ctors
+    // additionally assert that count against the graph they are given).
+    return OverlayGraph::origin_is_shortcut(o)
+               ? (o & ~OverlayGraph::kShortcutBit) < ov.shortcuts_.size()
+               : o < ov.num_base_edges_;
+  };
+  for (std::size_t e = 0; e < edges; ++e) {
+    structural(ov.heads_[e] < n && word_ok(ov.words_[e]) &&
+               origin_ok(ov.origins_[e]));
+  }
+  for (std::size_t i = 0; i < ov.shortcuts_.size(); ++i) {
+    const OverlayGraph::ShortcutRec& r = ov.shortcuts_[i];
+    structural(word_ok(r.word));
+    structural(r.mid == kInvalidNode || r.mid < n);
+    structural(origin_ok(r.a) && origin_ok(r.b));
+    // Records only ever reference earlier records (construction appends a
+    // merge right after the link it folds in), which is what keeps the
+    // journey replay's recursion finite — reject cycles here, not by
+    // stack overflow.
+    const auto acyclic = [&](std::uint32_t o) {
+      return !OverlayGraph::origin_is_shortcut(o) ||
+             (o & ~OverlayGraph::kShortcutBit) < i;
+    };
+    structural(acyclic(r.a) && acyclic(r.b));
+  }
+  structural(ov.down_begin_.size() == ov.down_node_.size() + 1);
+  structural(!ov.down_begin_.empty() && ov.down_begin_.front() == 0);
+  structural(ov.down_tails_.size() == ov.down_begin_.back() &&
+             ov.down_words_.size() == ov.down_tails_.size());
+  for (std::size_t i = 0; i < ov.down_node_.size(); ++i) {
+    structural(ov.down_node_[i] < n);
+    structural(ov.down_begin_[i] <= ov.down_begin_[i + 1]);
+    // Strictly descending contraction rank — the order that makes the
+    // queue-less downward sweep exact; a permuted list would pass every
+    // range check and silently corrupt settle_contracted results.
+    structural(ov.rank_[ov.down_node_[i]] != kCoreRank);
+    structural(i == 0 ||
+               ov.rank_[ov.down_node_[i - 1]] > ov.rank_[ov.down_node_[i]]);
+  }
+  for (std::size_t e = 0; e < ov.down_tails_.size(); ++e) {
+    structural(ov.down_tails_[e] < n && word_ok(ov.down_words_[e]));
+  }
+  return ov;
 }
 
 Timetable load_timetable(std::istream& in) {

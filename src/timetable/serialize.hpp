@@ -1,15 +1,32 @@
-// Binary (de)serialization of timetables: lets applications cache parsed
-// GTFS feeds or generated networks instead of rebuilding them per run.
+// Binary (de)serialization of timetables and contraction overlays: lets
+// applications cache parsed GTFS feeds or generated networks — and the
+// once-per-dataset contraction preprocessing — instead of rebuilding them
+// per run.
 //
-// Format: little-endian, magic "PCTT" + version, stations (names +
-// transfer times) followed by trips (stop sequences + raw times). Loading
-// replays the trips through TimetableBuilder, so route partitioning and
-// validation are identical to a fresh build.
+// Timetable format: little-endian, magic "PCTT" + version, stations
+// (names + transfer times) followed by trips (stop sequences + raw times).
+// Loading replays the trips through TimetableBuilder, so route
+// partitioning and validation are identical to a fresh build.
+//
+// Overlay format: magic "PCOV" + version, the overlay's scalar header,
+// every CSR/provenance array verbatim, and the pooled TTFs as raw
+// (already-pruned) point spans re-added through TtfPool::add_raw — the
+// loaded overlay is structurally identical to the saved one and answers
+// queries byte-for-byte the same (the eval bucket index is rebuilt from
+// the process's TtfIndexOptions, which never changes results). Loading
+// cross-validates the arrays (CSR monotonicity and lengths, head/word/
+// origin/record ranges, point ordering), so a corrupted cache file fails
+// with std::runtime_error instead of an out-of-bounds relax. An overlay
+// only makes sense against the timetable/graph it was contracted from;
+// the overlay engines' constructors validate the node/station/edge/TTF
+// counts against the dataset they are given and throw std::runtime_error
+// on a mismatch — a stale cache fails loud in Release builds too.
 #pragma once
 
 #include <istream>
 #include <ostream>
 
+#include "graph/overlay_graph.hpp"
 #include "timetable/timetable.hpp"
 
 namespace pconn {
@@ -20,5 +37,13 @@ void save_timetable(const Timetable& tt, std::ostream& out);
 /// Reads a timetable written by save_timetable. Throws std::runtime_error
 /// on bad magic, unsupported version, truncation, or stream failure.
 Timetable load_timetable(std::istream& in);
+
+/// Writes a contraction overlay. Throws std::runtime_error on stream
+/// failure.
+void save_overlay(const OverlayGraph& ov, std::ostream& out);
+
+/// Reads an overlay written by save_overlay. Throws std::runtime_error on
+/// bad magic, unsupported version, truncation, or stream failure.
+OverlayGraph load_overlay(std::istream& in);
 
 }  // namespace pconn

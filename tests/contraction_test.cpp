@@ -1,0 +1,427 @@
+// Contraction overlay correctness:
+//  * TTF link / merge property sweeps (per-second eval identity against
+//    direct composition, FIFO preservation, period wrap handling) and the
+//    witness cost bounds;
+//  * differential overlay-vs-flat results — byte-identical arrival times
+//    at EVERY node (after the downward sweep) and byte-identical reduced
+//    profiles at every station — across engine x queue policy x RelaxMode
+//    on the deterministic fixtures and random-network sweeps;
+//  * cross-mode accounting identity of the overlay engines (batch vs
+//    interleaved settle loops), determinism across contraction thread
+//    counts, and cap/freeze behaviour (exactness never depends on caps);
+//  * journey extraction through shortcut expansion.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "algo/contraction.hpp"
+#include "algo/journey.hpp"
+#include "algo/lc_profile.hpp"
+#include "algo/overlay_query.hpp"
+#include "algo/time_query.hpp"
+#include "test_util.hpp"
+#include "timetable/serialize.hpp"
+
+namespace pconn {
+namespace {
+
+// ------------------------------------------------------------ primitives ---
+
+Ttf random_ttf(Rng& rng, Time period, std::size_t max_points) {
+  std::vector<TtfPoint> pts;
+  const std::size_t n = 1 + rng.next_below(max_points);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({static_cast<Time>(rng.next_below(period)),
+                   static_cast<Time>(30 + rng.next_below(period))});
+  }
+  return Ttf::build(std::move(pts), period);
+}
+
+TEST(ContractionTtf, LinkMatchesDirectCompositionPerSecond) {
+  const Time period = 600;  // small enough for exhaustive sweeps
+  Rng rng(42);
+  for (int iter = 0; iter < 20; ++iter) {
+    TtfPool pool(period);
+    const Ttf a = random_ttf(rng, period, 6);
+    const Ttf b = random_ttf(rng, period, 6);
+    const std::uint32_t fa = pool.add(a);
+    const std::uint32_t fb = pool.add(b);
+    const Time c = static_cast<Time>(rng.next_below(period));
+    const std::uint32_t cw = TdGraph::kConstFlag | c;
+
+    // ttf o ttf, const o ttf, ttf o const.
+    const Ttf tt_link = link_edge_ttfs(pool, fa, fb);
+    const Ttf ct_link = link_edge_ttfs(pool, cw, fb);
+    const Ttf tc_link = link_edge_ttfs(pool, fa, cw);
+    EXPECT_TRUE(tt_link.is_fifo());
+    EXPECT_TRUE(ct_link.is_fifo());
+    EXPECT_TRUE(tc_link.is_fifo());
+    for (Time t = 0; t < period; ++t) {
+      // Direct composition: traverse the first leg, then the second.
+      const Time m = a.arrival(t);
+      EXPECT_EQ(tt_link.arrival(t), b.arrival(m)) << "t=" << t;
+      EXPECT_EQ(ct_link.arrival(t), b.arrival(t + c)) << "t=" << t;
+      EXPECT_EQ(tc_link.arrival(t), m + c) << "t=" << t;
+      // Period handling: one full period later, one period later out.
+      EXPECT_EQ(tt_link.arrival(t + period), tt_link.arrival(t) + period);
+    }
+  }
+}
+
+TEST(ContractionTtf, MergeIsPointwiseMin) {
+  const Time period = 500;
+  Rng rng(7);
+  for (int iter = 0; iter < 20; ++iter) {
+    TtfPool pool(period);
+    const Ttf a = random_ttf(rng, period, 5);
+    const Ttf b = random_ttf(rng, period, 5);
+    const std::uint32_t fa = pool.add(a);
+    const std::uint32_t fb = pool.add(b);
+    const Ttf m = merge_edge_ttfs(pool, fa, fb);
+    EXPECT_TRUE(m.is_fifo());
+    for (Time t = 0; t < period; ++t) {
+      EXPECT_EQ(m.eval(t), std::min(a.eval(t), b.eval(t))) << "t=" << t;
+    }
+  }
+}
+
+TEST(ContractionTtf, WordCostBoundsAreTight) {
+  const Time period = 400;
+  Rng rng(99);
+  for (int iter = 0; iter < 20; ++iter) {
+    TtfPool pool(period);
+    const Ttf f = random_ttf(rng, period, 5);
+    const std::uint32_t fw = pool.add(f);
+    const auto [mn, mx] = word_cost_bounds(pool, fw, period);
+    Time seen_min = kInfTime, seen_max = 0;
+    for (Time t = 0; t < period; ++t) {
+      seen_min = std::min(seen_min, f.eval(t));
+      seen_max = std::max(seen_max, f.eval(t));
+    }
+    EXPECT_EQ(mn, seen_min);
+    EXPECT_EQ(mx, seen_max);
+    const auto [cmn, cmx] =
+        word_cost_bounds(pool, TdGraph::kConstFlag | 123u, period);
+    EXPECT_EQ(cmn, 123u);
+    EXPECT_EQ(cmx, 123u);
+  }
+}
+
+// ----------------------------------------------------------- differential ---
+
+/// Full-node differential: one-to-all time queries on the overlay (core
+/// Dijkstra + downward sweep) must equal the flat engine at EVERY node.
+template <typename Queue>
+void expect_time_identity(const Timetable& tt, const TdGraph& g,
+                          const OverlayGraph& ov, RelaxMode mode,
+                          std::uint64_t seed, int queries) {
+  TimeQueryT<Queue> flat(tt, g);
+  OverlayTimeQueryT<Queue> over(tt, g, ov);
+  flat.set_relax_mode(mode);
+  over.set_relax_mode(mode);
+  Rng rng(seed);
+  for (int i = 0; i < queries; ++i) {
+    const StationId s =
+        static_cast<StationId>(rng.next_below(tt.num_stations()));
+    const Time dep = static_cast<Time>(rng.next_below(tt.period()));
+    flat.run(s, dep);
+    over.run(s, dep);
+    over.settle_contracted();
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      ASSERT_EQ(over.arrival_at_node(v), flat.arrival_at_node(v))
+          << "node " << v << " source " << s << " dep " << dep << " mode "
+          << relax_mode_name(mode);
+    }
+  }
+}
+
+template <typename Queue>
+void expect_lc_identity(const Timetable& tt, const TdGraph& g,
+                        const OverlayGraph& ov, RelaxMode mode,
+                        std::uint64_t seed, int queries) {
+  LcProfileQueryT<Queue> flat(tt, g);
+  OverlayLcProfileQueryT<Queue> over(tt, ov);
+  flat.set_relax_mode(mode);
+  over.set_relax_mode(mode);
+  Rng rng(seed);
+  for (int i = 0; i < queries; ++i) {
+    const StationId s =
+        static_cast<StationId>(rng.next_below(tt.num_stations()));
+    flat.run(s);
+    over.run(s);
+    for (StationId v = 0; v < tt.num_stations(); ++v) {
+      ASSERT_EQ(over.profile(v), flat.profile(v))
+          << "station " << v << " source " << s << " mode "
+          << relax_mode_name(mode);
+    }
+  }
+}
+
+void expect_overlay_identity(const Timetable& tt, const OverlayContractionOptions& opt,
+                             std::uint64_t seed) {
+  const TdGraph g = TdGraph::build(tt);
+  const OverlayGraph ov = contract_graph(tt, g, opt);
+  EXPECT_EQ(ov.num_nodes(), g.num_nodes());
+  EXPECT_EQ(ov.num_core_nodes() + ov.num_contracted(), g.num_nodes());
+  // Every station stays core; every core edge stays inside the core.
+  for (StationId s = 0; s < tt.num_stations(); ++s) {
+    EXPECT_TRUE(ov.is_core(ov.station_node(s)));
+  }
+  for (NodeId v = 0; v < ov.num_nodes(); ++v) {
+    if (!ov.is_core(v)) continue;
+    for (std::uint32_t e = ov.edge_begin(v); e < ov.edge_end(v); ++e) {
+      EXPECT_TRUE(ov.is_core(ov.edge_head(e))) << "core edge leaves the core";
+    }
+  }
+
+  for (const RelaxMode mode :
+       {RelaxMode::kInterleaved, RelaxMode::kBatch, RelaxMode::kBatchAlways}) {
+    expect_time_identity<TimeBinaryQueue>(tt, g, ov, mode, seed, 3);
+    expect_lc_identity<TimeBinaryQueue>(tt, g, ov, mode, seed + 1, 2);
+  }
+  // Remaining queue policies on the default mode.
+  expect_time_identity<TimeQuaternaryQueue>(tt, g, ov, RelaxMode::kBatch,
+                                            seed + 2, 2);
+  expect_time_identity<TimeLazyQueue>(tt, g, ov, RelaxMode::kBatch, seed + 3,
+                                      2);
+  expect_time_identity<TimeBucketQueue>(tt, g, ov, RelaxMode::kBatch, seed + 4,
+                                        2);
+  expect_lc_identity<TimeQuaternaryQueue>(tt, g, ov, RelaxMode::kBatch,
+                                          seed + 5, 2);
+  expect_lc_identity<TimeLazyQueue>(tt, g, ov, RelaxMode::kBatch, seed + 6, 2);
+}
+
+TEST(ContractionOverlay, TinyLineIdentity) {
+  expect_overlay_identity(test::tiny_line(), {}, 1001);
+}
+
+TEST(ContractionOverlay, SmallCityIdentity) {
+  expect_overlay_identity(test::small_city(31), {}, 2002);
+}
+
+TEST(ContractionOverlay, SmallRailwayIdentity) {
+  OverlayContractionOptions opt;
+  opt.threads = 2;
+  expect_overlay_identity(test::small_railway(32), opt, 3003);
+}
+
+TEST(ContractionOverlay, RandomNetworksIdentity) {
+  Rng rng(555);
+  for (int iter = 0; iter < 4; ++iter) {
+    const Timetable tt = test::random_timetable(rng, 12, 8, 4);
+    expect_overlay_identity(tt, {}, 4000 + iter);
+  }
+}
+
+TEST(ContractionOverlay, TightCapsStillExact) {
+  // Aggressive caps freeze most route nodes into the core; results must
+  // not change (exactness is independent of the caps).
+  OverlayContractionOptions opt;
+  opt.max_new_edges = 3;
+  opt.max_hops = 3;
+  opt.witness_settles = 4;
+  expect_overlay_identity(test::small_city(33), opt, 5005);
+
+  // And witnessing fully off: every candidate kept, still exact.
+  OverlayContractionOptions no_witness;
+  no_witness.witness_settles = 0;
+  expect_overlay_identity(test::tiny_line(), no_witness, 6006);
+}
+
+TEST(ContractionOverlay, DeterministicAcrossThreadCounts) {
+  const Timetable tt = test::small_city(34);
+  const TdGraph g = TdGraph::build(tt);
+  OverlayContractionOptions one, four;
+  one.threads = 1;
+  four.threads = 4;
+  const OverlayGraph a = contract_graph(tt, g, one);
+  const OverlayGraph b = contract_graph(tt, g, four);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  ASSERT_EQ(a.num_shortcuts(), b.num_shortcuts());
+  ASSERT_EQ(a.ttfs().size(), b.ttfs().size());
+  ASSERT_EQ(a.ttfs().num_points(), b.ttfs().num_points());
+  for (NodeId v = 0; v < a.num_nodes(); ++v) {
+    ASSERT_EQ(a.rank(v), b.rank(v)) << "rank diverges at " << v;
+    ASSERT_EQ(a.edge_begin(v), b.edge_begin(v));
+  }
+  for (std::uint32_t e = 0; e < a.num_edges(); ++e) {
+    ASSERT_EQ(a.edge_head(e), b.edge_head(e));
+    ASSERT_EQ(a.edge_word(e), b.edge_word(e));
+    ASSERT_EQ(a.edge_origin(e), b.edge_origin(e));
+  }
+}
+
+// --------------------------------------------------- accounting / batching ---
+
+TEST(ContractionOverlay, BatchModeAccountingMatchesInterleaved) {
+  const Timetable tt = test::small_city(35);
+  const TdGraph g = TdGraph::build(tt);
+  const OverlayGraph ov = contract_graph(tt, g);
+  OverlayTimeQuery inter(tt, g, ov), batch(tt, g, ov), always(tt, g, ov);
+  inter.set_relax_mode(RelaxMode::kInterleaved);
+  batch.set_relax_mode(RelaxMode::kBatch);
+  always.set_relax_mode(RelaxMode::kBatchAlways);
+  Rng rng(88);
+  for (int i = 0; i < 6; ++i) {
+    const StationId s =
+        static_cast<StationId>(rng.next_below(tt.num_stations()));
+    const Time dep = static_cast<Time>(rng.next_below(tt.period()));
+    inter.run(s, dep);
+    batch.run(s, dep);
+    always.run(s, dep);
+    for (const OverlayTimeQuery* q : {&batch, &always}) {
+      EXPECT_EQ(q->stats().settled, inter.stats().settled);
+      EXPECT_EQ(q->stats().pushed, inter.stats().pushed);
+      EXPECT_EQ(q->stats().decreased, inter.stats().decreased);
+      EXPECT_EQ(q->stats().relaxed, inter.stats().relaxed);
+      for (StationId v = 0; v < tt.num_stations(); ++v) {
+        EXPECT_EQ(q->arrival_at(v), inter.arrival_at(v));
+      }
+    }
+    // Engagement accounting: the batched run gathered real fan-out, the
+    // interleaved run none, and the histogram covers every gather.
+    EXPECT_EQ(inter.batch_stats().gathers, 0u);
+    EXPECT_GT(always.batch_stats().gathers, 0u);
+    std::uint64_t hist_sum = 0;
+    for (std::uint64_t h : always.batch_stats().fanout_hist) hist_sum += h;
+    EXPECT_EQ(hist_sum, always.batch_stats().gathers);
+  }
+}
+
+// ------------------------------------------------------------- journeys ---
+
+TEST(ContractionOverlay, JourneyExpansionMatchesFlat) {
+  const Timetable tt = test::small_city(36);
+  const TdGraph g = TdGraph::build(tt);
+  const OverlayGraph ov = contract_graph(tt, g);
+  TimeQuery flat(tt, g);
+  OverlayTimeQuery over(tt, g, ov);
+  Journey oj;
+  Rng rng(77);
+  int reachable = 0;
+  for (int i = 0; i < 24; ++i) {
+    const StationId s =
+        static_cast<StationId>(rng.next_below(tt.num_stations()));
+    const StationId t =
+        static_cast<StationId>(rng.next_below(tt.num_stations()));
+    const Time dep = static_cast<Time>(rng.next_below(tt.period()));
+    flat.run(s, dep, t);
+    const auto fj = extract_journey(tt, g, flat, s, dep, t);
+    over.run(s, dep, t);
+    const bool ok = over.extract_journey_into(s, dep, t, oj);
+    ASSERT_EQ(ok, fj.has_value()) << s << "->" << t << " at " << dep;
+    if (!ok) continue;
+    ++reachable;
+    // Arrivals are byte-identical; the legs must form a consistent journey
+    // achieving exactly that arrival (tie-breaking between equal-arrival
+    // paths may differ between the flat parent tree and the expansion).
+    EXPECT_EQ(oj.arrival, fj->arrival);
+    ASSERT_FALSE(oj.legs.empty() && s != t);
+    if (!oj.legs.empty()) {
+      EXPECT_EQ(oj.legs.back().arr, oj.arrival);
+      EXPECT_EQ(oj.legs.back().to, t);
+      EXPECT_EQ(oj.legs.front().from, s);
+      EXPECT_GE(oj.legs.front().dep, dep);
+      for (std::size_t l = 0; l + 1 < oj.legs.size(); ++l) {
+        EXPECT_EQ(oj.legs[l].to, oj.legs[l + 1].from);
+        EXPECT_LE(oj.legs[l].arr, oj.legs[l + 1].dep);
+      }
+    }
+  }
+  EXPECT_GT(reachable, 0);
+}
+
+TEST(ContractionOverlay, GraphMismatchIsRejectedLoudly) {
+  // A cached overlay bound to a different dataset must throw — in Release
+  // builds too (a stale cache is a data error, not a programming error).
+  const Timetable tiny = test::tiny_line();
+  const TdGraph g_tiny = TdGraph::build(tiny);
+  const OverlayGraph ov_tiny = contract_graph(tiny, g_tiny);
+  const Timetable city = test::small_city(38);
+  const TdGraph g_city = TdGraph::build(city);
+  EXPECT_THROW((OverlayTimeQuery{city, g_city, ov_tiny}), std::runtime_error);
+  EXPECT_THROW((OverlayLcProfileQuery{city, ov_tiny}), std::runtime_error);
+}
+
+// -------------------------------------------------------- serialization ---
+
+TEST(ContractionOverlay, SerializationRoundTripIsIdentical) {
+  const Timetable tt = test::small_railway(37);
+  const TdGraph g = TdGraph::build(tt);
+  const OverlayGraph ov = contract_graph(tt, g);
+
+  std::stringstream buf;
+  save_overlay(ov, buf);
+  const OverlayGraph back = load_overlay(buf);
+
+  ASSERT_EQ(back.num_nodes(), ov.num_nodes());
+  ASSERT_EQ(back.num_stations(), ov.num_stations());
+  ASSERT_EQ(back.num_core_nodes(), ov.num_core_nodes());
+  ASSERT_EQ(back.num_edges(), ov.num_edges());
+  ASSERT_EQ(back.num_shortcuts(), ov.num_shortcuts());
+  ASSERT_EQ(back.max_out_degree(), ov.max_out_degree());
+  ASSERT_EQ(back.num_base_ttfs(), ov.num_base_ttfs());
+  ASSERT_EQ(back.num_base_edges(), ov.num_base_edges());
+  ASSERT_EQ(back.period(), ov.period());
+  for (NodeId v = 0; v < ov.num_nodes(); ++v) {
+    ASSERT_EQ(back.rank(v), ov.rank(v));
+    ASSERT_EQ(back.edge_begin(v), ov.edge_begin(v));
+    ASSERT_EQ(back.ttf_out_degree(v), ov.ttf_out_degree(v));
+  }
+  for (std::uint32_t e = 0; e < ov.num_edges(); ++e) {
+    ASSERT_EQ(back.edge_head(e), ov.edge_head(e));
+    ASSERT_EQ(back.edge_word(e), ov.edge_word(e));
+    ASSERT_EQ(back.edge_origin(e), ov.edge_origin(e));
+  }
+  ASSERT_EQ(back.ttfs().size(), ov.ttfs().size());
+  ASSERT_EQ(back.ttfs().num_points(), ov.ttfs().num_points());
+  for (std::uint32_t f = 0; f < static_cast<std::uint32_t>(ov.ttfs().size());
+       ++f) {
+    const auto a = ov.ttfs().points(f);
+    const auto b = back.ttfs().points(f);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]);
+  }
+  ASSERT_EQ(back.num_contracted(), ov.num_contracted());
+  for (std::size_t i = 0; i < ov.num_contracted(); ++i) {
+    ASSERT_EQ(back.down_node(i), ov.down_node(i));
+    ASSERT_EQ(back.down_begin(i), ov.down_begin(i));
+    ASSERT_EQ(back.down_end(i), ov.down_end(i));
+  }
+
+  // A corrupted cache must be rejected at load time (structural
+  // cross-validation), never surface as an out-of-bounds relax. Flip one
+  // byte in the CSR region and expect the loader to throw.
+  {
+    std::string bytes = buf.str();
+    // Low byte of edge_begin_[2]: 32-byte header (magic + version + six
+    // scalars), then the rank and board_shift arrays (u32 count + payload
+    // each), the edge_begin count, two entries. A +-128 nudge breaks the
+    // CSR's monotonicity.
+    const std::size_t victim = 32 + (4 + 4 * ov.num_nodes()) +
+                               (4 + 4 * ov.num_stations()) + 4 + 2 * 4;
+    ASSERT_LT(victim, bytes.size());
+    bytes[victim] = static_cast<char>(bytes[victim] ^ 0x80);
+    std::stringstream corrupt(bytes);
+    EXPECT_THROW((void)load_overlay(corrupt), std::runtime_error);
+  }
+
+  // The loaded overlay answers queries byte-identically.
+  OverlayTimeQuery qa(tt, g, ov), qb(tt, g, back);
+  Rng rng(11);
+  for (int i = 0; i < 4; ++i) {
+    const StationId s =
+        static_cast<StationId>(rng.next_below(tt.num_stations()));
+    const Time dep = static_cast<Time>(rng.next_below(tt.period()));
+    qa.run(s, dep);
+    qb.run(s, dep);
+    qa.settle_contracted();
+    qb.settle_contracted();
+    for (NodeId v = 0; v < ov.num_nodes(); ++v) {
+      ASSERT_EQ(qa.arrival_at_node(v), qb.arrival_at_node(v));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pconn

@@ -10,6 +10,7 @@
 #include <cstdlib>
 #include <new>
 
+#include "algo/contraction.hpp"
 #include "algo/session.hpp"
 #include "graph/station_graph.hpp"
 #include "graph/te_graph.hpp"
@@ -142,6 +143,38 @@ TEST(Arena, HugepageHintAlignsLargeBlocksAndKeepsAccounting) {
   EXPECT_GE(aligned.bytes_reserved(), Arena::kHugeBlockBytes);
 }
 
+// The NUMA half of the NUMA/THP roadmap item: pinning an arena to a node
+// must leave every byte usable and all accounting identical — mbind and
+// the first-touch pass are placement hints, never semantics. (On this CI
+// container node 0 is the only node; the pinned path still executes.)
+TEST(Arena, NumaPinningKeepsAccountingAndMemoryUsable) {
+  Arena plain(1024), pinned(1024);
+  const int node = Arena::current_numa_node();
+  pinned.set_numa_node(node >= 0 ? node : 0);
+  if (Arena::numa_env_enabled()) {
+    EXPECT_EQ(pinned.numa_node(), node >= 0 ? node : 0);
+  }
+  for (Arena* a : {&plain, &pinned}) {
+    // One small (below the pinning threshold) and one large block.
+    auto* small = static_cast<std::byte*>(a->allocate(512, 8));
+    small[0] = std::byte{1};
+    const std::size_t big_bytes = 3 * Arena::kDefaultBlockBytes;
+    auto* big = static_cast<std::byte*>(a->allocate(big_bytes, 64));
+    ASSERT_NE(big, nullptr);
+    big[0] = std::byte{1};
+    big[big_bytes - 1] = std::byte{2};
+    EXPECT_EQ(big[big_bytes - 1], std::byte{2});
+  }
+  EXPECT_EQ(plain.bytes_used(), pinned.bytes_used());
+  EXPECT_EQ(plain.block_count(), pinned.block_count());
+  // Pinning off (-1): explicitly a no-op.
+  Arena off(1024);
+  off.set_numa_node(-1);
+  EXPECT_EQ(off.numa_node(), -1);
+  void* p = off.allocate(Arena::kDefaultBlockBytes, 8);
+  EXPECT_NE(p, nullptr);
+}
+
 // --------------------------------------------------------- differential ---
 
 // Warm session vs fresh engines: byte-identical results on query N.
@@ -259,6 +292,29 @@ TEST(QuerySession, FastConfigurationMatchesPaperConfiguration) {
   }
 }
 
+// Warm overlay engines match fresh ones and the flat engines (the deep
+// overlay-vs-flat differentials live in tests/contraction_test.cpp; this
+// ties them into the session layer).
+TEST(QuerySession, WarmOverlayEqualsFreshAndFlat) {
+  Timetable tt = test::small_city(28);
+  TdGraph g = TdGraph::build(tt);
+  OverlayGraph ov = contract_graph(tt, g);
+  QuerySession session(tt, g);
+  session.overlay_time_engine(ov);
+
+  Rng rng(42);
+  for (int i = 0; i < 8; ++i) {
+    StationId s = static_cast<StationId>(rng.next_below(tt.num_stations()));
+    StationId t = static_cast<StationId>(rng.next_below(tt.num_stations()));
+    Time dep = static_cast<Time>(rng.next_below(kDayseconds));
+    const Time warm = session.overlay_earliest_arrival(s, dep, t);
+    OverlayTimeQuery fresh(tt, g, ov);
+    fresh.run(s, dep, t);
+    EXPECT_EQ(warm, fresh.arrival_at(t)) << s << "->" << t << " at " << dep;
+    EXPECT_EQ(warm, session.earliest_arrival(s, dep, t)) << "overlay vs flat";
+  }
+}
+
 // ----------------------------------------------------- allocation guard ---
 
 // After a warm-up pass over a fixed query set, re-running the same set on
@@ -268,10 +324,13 @@ TEST(QuerySession, WarmQueriesDoNotAllocate) {
   Timetable tt = test::small_city(25);
   TdGraph g = TdGraph::build(tt);
   TeGraph te = TeGraph::build(tt);
+  OverlayGraph ov = contract_graph(tt, g);
   QuerySessionOptions opt;
   opt.threads = 2;
   FastQuerySession session(tt, g, opt);
   session.te_engine(te);
+  session.overlay_time_engine(ov);
+  session.overlay_lc_engine(ov);
 
   std::vector<StationId> sources;
   Rng rng(77);
@@ -301,6 +360,21 @@ TEST(QuerySession, WarmQueriesDoNotAllocate) {
       // arena-pooled and labels are written via capacity-reusing assign().
       session.lc_engine().run(s);
       checksum += session.lc_engine().profile(target).size();
+      // Overlay engines (PR 5): core-routed time query incl. the downward
+      // sweep and journey expansion, and the core LC baseline. Their
+      // RelaxBatch is reserved to the overlay's max out-degree at
+      // construction, so warm overlay queries stay allocation-free.
+      checksum += static_cast<std::uint64_t>(
+          session.overlay_earliest_arrival(s, dep, target));
+      session.overlay_time_engine(ov).run(s, dep);
+      session.overlay_time_engine(ov).settle_contracted();
+      checksum += static_cast<std::uint64_t>(
+          session.overlay_time_engine(ov).arrival_at(target));
+      if (const Journey* j = session.overlay_journey(s, dep, target)) {
+        checksum += j->legs.size();
+      }
+      session.overlay_lc_engine(ov).run(s);
+      checksum += session.overlay_lc_engine(ov).profile(target).size();
     }
   };
 
