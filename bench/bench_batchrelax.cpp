@@ -257,12 +257,13 @@ std::vector<MicroRow> run_micro() {
 
   std::vector<MicroRow> rows;
   const int sweeps = options().smoke ? 400 : 2000;
-  for (std::size_t batch : {8u, 32u, 128u}) {
+  for (std::size_t batch : {8u, 32u, 64u, 128u}) {
     // Random function subsets per sweep; both sides share them.
     std::vector<std::uint32_t> idx(batch);
     std::vector<Time> out(batch);
     MicroRow arr_row{"arrival_n", batch, 1e100, 1e100};
     MicroRow tn_row{"arrival_tn", batch, 1e100, 1e100};
+    MicroRow ptn_row{"arrival_ptn", batch, 1e100, 1e100};
     std::vector<Time> ts(batch);
     for (int b = 0; b < kBlocks; ++b) {
       Rng mix(7 + b);
@@ -321,9 +322,35 @@ std::vector<MicroRow> run_micro() {
         std::cerr << "FATAL: arrival_tn micro checksum diverges\n";
         std::exit(1);
       }
+      sink_s = sink_b = 0;
+      // The cross-query frontier shape: per-lane function AND entry time.
+      {
+        Timer t;
+        for (int s = 0; s < sweeps; ++s) {
+          for (std::size_t i = 0; i < batch; ++i) {
+            sink_s += pool.arrival_entry(idx[i], ts[i]);
+          }
+        }
+        ptn_row.scalar_ns = std::min(
+            ptn_row.scalar_ns, t.elapsed_ms() * 1e6 / (sweeps * batch));
+      }
+      {
+        Timer t;
+        for (int s = 0; s < sweeps; ++s) {
+          pool.arrival_ptn(idx.data(), ts.data(), batch, out.data());
+          for (std::size_t i = 0; i < batch; ++i) sink_b += out[i];
+        }
+        ptn_row.batch_ns = std::min(
+            ptn_row.batch_ns, t.elapsed_ms() * 1e6 / (sweeps * batch));
+      }
+      if (sink_s != sink_b) {
+        std::cerr << "FATAL: arrival_ptn micro checksum diverges\n";
+        std::exit(1);
+      }
     }
     rows.push_back(arr_row);
     rows.push_back(tn_row);
+    rows.push_back(ptn_row);
   }
 
   TablePrinter table({"kernel", "batch", "scalar [ns]", "batch [ns]", "spd-up"});
@@ -378,6 +405,20 @@ std::string to_json(const std::vector<BatchRow>& rows,
   w.field("batch_speedup", geomean(lc), 3);
   w.field("spcs_speedup_geomean", geomean(spcs), 3);
   w.field("time_speedup_geomean", geomean(time), 3);
+  // Scalar/vector crossover: the smallest swept lane count at which the
+  // batched kernel stops losing to the per-edge scalar loop (0 = never
+  // within the sweep). This is the number the throughput engine's lane
+  // targets are sized against (docs/architecture.md).
+  for (const char* kind : {"arrival_n", "arrival_tn", "arrival_ptn"}) {
+    std::size_t crossover = 0;
+    for (const MicroRow& r : micro) {
+      if (r.kind == kind && r.speedup() >= 1.0 &&
+          (crossover == 0 || r.batch < crossover)) {
+        crossover = r.batch;
+      }
+    }
+    w.field((std::string(kind) + "_crossover_lanes").c_str(), crossover);
+  }
   w.end_object();
   return w.str();
 }

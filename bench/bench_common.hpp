@@ -244,11 +244,12 @@ struct Network {
   TdGraph graph;
 };
 
-inline Network load_network(gen::Preset p) {
-  Timetable tt = gen::make_preset(p, scale(), 1);
+inline Network load_network(gen::Preset p, double s) {
+  Timetable tt = gen::make_preset(p, s, 1);
   TdGraph g = TdGraph::build(tt);
   return Network{p, std::move(tt), std::move(g)};
 }
+inline Network load_network(gen::Preset p) { return load_network(p, scale()); }
 
 inline void print_network_header(const Network& n) {
   std::cout << "\n== " << gen::preset_name(n.preset) << ": "

@@ -69,8 +69,10 @@ class McTimeQueryT {
 
   /// Relax-loop phasing (algo/relax_batch.hpp); bit-identical results and
   /// accounting in both modes.
-  void set_relax_mode(RelaxMode m) { relax_mode_ = m; }
-  RelaxMode relax_mode() const { return relax_mode_; }
+  void set_relax_mode(RelaxMode m) { relax_.mode = m; }
+  RelaxMode relax_mode() const { return relax_.mode; }
+  void set_relax_options(RelaxOptions r) { relax_ = r; }
+  const RelaxOptions& relax_options() const { return relax_; }
 
  private:
   using Front = std::vector<McLabel, ArenaAllocator<McLabel>>;
@@ -83,7 +85,7 @@ class McTimeQueryT {
   std::vector<Front, ArenaAllocator<Front>> fronts_;
   EpochArray<std::uint32_t> min_boards_;
   RelaxBatch batch_;  // gather/eval scratch of the batch relax mode
-  RelaxMode relax_mode_ = default_relax_mode();
+  RelaxOptions relax_;
   QueryStats stats_;
   std::vector<NodeId, ArenaAllocator<NodeId>> touched_;
 };

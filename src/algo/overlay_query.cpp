@@ -143,9 +143,9 @@ void OverlayTimeQueryT<Queue>::run(StationId source, Time departure,
     // whole block with one arrival_n call, commit in edge order with the
     // dist bound re-tested. On the overlay core the TTF fan-out is the
     // node's shortcut fan — this is where the batch kernels saturate.
-    if (relax_mode_ != RelaxMode::kInterleaved &&
-        (relax_mode_ == RelaxMode::kBatchAlways ||
-         ov_.ttf_out_degree(v) >= kBatchRelaxMinEdges)) {
+    if (relax_.mode != RelaxMode::kInterleaved &&
+        (relax_.mode == RelaxMode::kBatchAlways ||
+         ov_.ttf_out_degree(v) >= relax_.batch_min_edges)) {
       batch_.clear();
       for (std::uint32_t ei = eb; ei < ee; ++ei) {
         if (ei + 1 < ee) dist_.prefetch(heads[ei + 1]);
@@ -311,6 +311,7 @@ OverlayLcProfileQueryT<Queue>::OverlayLcProfileQueryT(const Timetable& tt,
       ov_(ov),
       heap_(scratch_alloc(ws)),
       qkey_(scratch_alloc(ws)),
+      fresh_(ArenaAllocator<std::uint8_t>(scratch_alloc(ws))),
       touched_(ArenaAllocator<NodeId>(scratch_alloc(ws))),
       dirty_(ArenaAllocator<std::uint8_t>(scratch_alloc(ws))),
       init_(ArenaAllocator<ProfilePoint>(scratch_alloc(ws))),
@@ -335,6 +336,8 @@ OverlayLcProfileQueryT<Queue>::OverlayLcProfileQueryT(const Timetable& tt,
   }
   heap_.reset_capacity(ov.num_nodes());
   labels_.resize(ov.num_nodes());
+  pending_.resize(ov.num_nodes());
+  fresh_.assign(ov.num_nodes(), 0);
   dirty_.assign(ov.num_nodes(), 0);
 }
 
@@ -348,6 +351,8 @@ void OverlayLcProfileQueryT<Queue>::run(StationId s) {
   }
   for (NodeId v : touched_) {
     labels_[v].clear();
+    pending_[v].clear();
+    fresh_[v] = 0;
     dirty_[v] = 0;
   }
   touched_.clear();
@@ -380,14 +385,6 @@ void OverlayLcProfileQueryT<Queue>::run(StationId s) {
     }
   };
 
-  auto merge_into_scratch = [&](const Profile& label) {
-    union_.clear();
-    union_.reserve(label.size() + cand_.size());
-    std::merge(label.begin(), label.end(), cand_.begin(), cand_.end(),
-               std::back_inserter(union_), profile_point_less);
-    reduce_profile_into(union_, tt_.period(), merged_);
-  };
-
   const NodeId src = ov_.station_node(s);
   const Time period = ov_.period();
   const Time shift = ov_.board_shift(s);
@@ -402,6 +399,7 @@ void OverlayLcProfileQueryT<Queue>::run(StationId s) {
     reduce_profile_into(init_, tt_.period(), merged_);
     labels_[src].assign(merged_.begin(), merged_.end());
     touch(src);
+    fresh_[src] = 1;
     enqueue(src, labels_[src].front().arr);
   }
 
@@ -415,6 +413,35 @@ void OverlayLcProfileQueryT<Queue>::run(StationId s) {
       qkey_.set(v, kInfTime);
     }
     stats_.settled++;
+
+    // Deferred absorption (see the class comment): fold everything queued
+    // at v since its last settle into the label with ONE k-way merge —
+    // sort the concatenated candidate runs, one std::merge against the
+    // label, one reduction — instead of a pairwise reduce per edge.
+    Profile& pend = pending_[v];
+    if (!pend.empty()) {
+      std::sort(pend.begin(), pend.end(), profile_point_less);
+      Profile& lab = labels_[v];
+      if (lab.empty()) {
+        reduce_profile_into(pend, tt_.period(), merged_);
+      } else {
+        union_.clear();
+        union_.reserve(lab.size() + pend.size());
+        std::merge(lab.begin(), lab.end(), pend.begin(), pend.end(),
+                   std::back_inserter(union_), profile_point_less);
+        reduce_profile_into(union_, tt_.period(), merged_);
+      }
+      pend.clear();
+      if (merged_.size() != lab.size() ||
+          !std::equal(merged_.begin(), merged_.end(), lab.begin())) {
+        lab.assign(merged_.begin(), merged_.end());
+        fresh_[v] = 1;
+      }
+    }
+    // Label unchanged since its last relax: every candidate this settle
+    // could emit was already emitted (and is dominated at its head).
+    if (!fresh_[v]) continue;
+    fresh_[v] = 0;
     stats_.label_points += labels_[v].size();
 
     const std::uint32_t eb = ov_.edge_begin(v);
@@ -484,19 +511,61 @@ void OverlayLcProfileQueryT<Queue>::run(StationId s) {
       if (cand_.empty()) continue;
       stats_.relaxed++;
 
+      Profile& head_pend = pending_[head];
       Profile& label = labels_[head];
-      if (label.empty()) {
-        reduce_profile_into(cand_, tt_.period(), merged_);
-      } else {
-        merge_into_scratch(label);
-      }
-      if (merged_.size() == label.size() &&
-          std::equal(merged_.begin(), merged_.end(), label.begin())) {
+      if (!fresh_[head]) {
+        // First improving run since the head's last relax: merge eagerly,
+        // exactly the pairwise path — it keeps the label fresh, so the
+        // dominance tests below stay sharp.
+        if (label.empty()) {
+          reduce_profile_into(cand_, tt_.period(), merged_);
+        } else {
+          union_.clear();
+          union_.reserve(label.size() + cand_.size());
+          std::merge(label.begin(), label.end(), cand_.begin(), cand_.end(),
+                     std::back_inserter(union_), profile_point_less);
+          reduce_profile_into(union_, tt_.period(), merged_);
+        }
+        if (merged_.size() == label.size() &&
+            std::equal(merged_.begin(), merged_.end(), label.begin())) {
+          continue;
+        }
+        label.assign(merged_.begin(), merged_.end());
+        fresh_[head] = 1;
+        touch(head);
+        enqueue(head, cand_min);
         continue;
       }
-      label.assign(merged_.begin(), merged_.end());
+
+      // Burst case (a second run before the head settles — shortcut fans
+      // converging on a hub): defer into the head's pending pile, which
+      // its next settle folds in with one k-way merge. Dominance filter
+      // first: a reduced label's arrivals ascend with departures, so the
+      // arrival of the first label point departing at-or-after c.dep is
+      // the suffix minimum c must beat (plus the cyclic wrap bound) to
+      // survive the union reduce. Dominated points can never un-dominate
+      // — labels only improve — and never change which label points
+      // survive, so dropping them here is exact; a fully dominated run
+      // leaves the label unchanged and needs no queue round at all.
+      Time enq_min = kInfTime;
+      if (label.empty()) {
+        head_pend.insert(head_pend.end(), cand_.begin(), cand_.end());
+        enq_min = cand_min;
+      } else {
+        const Time wrap_min = label.front().arr + period;
+        std::size_t li = 0;
+        for (const ProfilePoint& c : cand_) {
+          while (li < label.size() && label[li].dep < c.dep) ++li;
+          Time bound = li < label.size() ? label[li].arr : kInfTime;
+          bound = std::min(bound, wrap_min);
+          if (c.arr >= bound) continue;
+          head_pend.push_back(c);
+          enq_min = std::min(enq_min, c.arr);
+        }
+      }
+      if (enq_min == kInfTime) continue;  // fully dominated
       touch(head);
-      enqueue(head, cand_min);
+      enqueue(head, enq_min);
     }
   }
 }

@@ -105,7 +105,8 @@ void ParallelSpcsT<Queue>::one_to_all_into(StationId s, OneToAllResult& out) {
     SpcsOptions o{.self_pruning = opt_.self_pruning,
                   .stopping_criterion = false,
                   .prune_on_relax = opt_.prune_on_relax,
-                  .relax = opt_.relax};
+                  .relax = opt_.relax,
+                  .batch_min_edges = opt_.batch_min_edges};
     states_[t].run(g_, tt_, tt_.outgoing(s), lo, hi, kInvalidStation, o, hook);
     thread_ms_[t] = timer.elapsed_ms();
   });
@@ -145,7 +146,8 @@ void ParallelSpcsT<Queue>::station_to_station_into(StationId s, StationId t,
     SpcsOptions o{.self_pruning = opt_.self_pruning,
                   .stopping_criterion = opt_.stopping_criterion,
                   .prune_on_relax = opt_.prune_on_relax,
-                  .relax = opt_.relax};
+                  .relax = opt_.relax,
+                  .batch_min_edges = opt_.batch_min_edges};
     states_[th].run(g_, tt_, tt_.outgoing(s), lo, hi, t, o, hook);
   });
 

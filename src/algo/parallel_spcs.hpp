@@ -30,6 +30,7 @@ struct ParallelSpcsOptions {
   bool stopping_criterion = true;  // station-to-station queries only
   bool prune_on_relax = false;     // see SpcsOptions::prune_on_relax
   RelaxMode relax = default_relax_mode();  // see SpcsOptions::relax
+  std::uint32_t batch_min_edges = default_batch_min_edges();
 };
 
 struct OneToAllResult {

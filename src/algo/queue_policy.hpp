@@ -98,6 +98,23 @@ decltype(auto) with_spcs_queue(QueueKind k, Fn&& fn) {
   }
 }
 
+/// Scalar-time variant of with_spcs_queue (time/overlay/multi-query
+/// engines).
+template <typename Fn>
+decltype(auto) with_time_queue(QueueKind k, Fn&& fn) {
+  switch (k) {
+    case QueueKind::kQuaternary:
+      return fn(std::type_identity<TimeQuaternaryQueue>{});
+    case QueueKind::kLazy:
+      return fn(std::type_identity<TimeLazyQueue>{});
+    case QueueKind::kBucket:
+      return fn(std::type_identity<TimeBucketQueue>{});
+    case QueueKind::kBinary:
+    default:
+      return fn(std::type_identity<TimeBinaryQueue>{});
+  }
+}
+
 /// Multi-criteria variant of with_spcs_queue: the addressable kinds map to
 /// their lazy multi-label counterparts of the same arity (see above).
 template <typename Fn>

@@ -1,0 +1,106 @@
+#include "algo/relax_batch.hpp"
+
+#include <algorithm>
+
+#include "graph/ttf_pool.hpp"
+
+namespace pconn {
+
+void SharedFrontier::eval(const TtfPool& pool, BatchStats& stats) {
+  const std::size_t n = words_.size();
+  out_.resize(n);
+
+  // Per-function group tables, epoch-stamped: a stamp != round_ means the
+  // function has not appeared this round. Growing them to the pool size is
+  // a one-time cost per session; the wrap re-clear fires once per 2^32
+  // rounds.
+  if (seen_stamp_.size() < pool.size()) {
+    seen_stamp_.resize(pool.size(), 0);
+    word_group_.resize(pool.size(), 0);
+  }
+  if (++round_ == 0) {
+    std::fill(seen_stamp_.begin(), seen_stamp_.end(), 0);
+    round_ = 1;
+  }
+
+  // Pass 1: constants resolve inline; TTF slots count into per-function
+  // groups ordered by first appearance.
+  group_word_.clear();
+  group_cursor_.clear();  // doubles as the per-group count in this pass
+  ttf_slots_.clear();
+  for (std::size_t slot = 0; slot < n; ++slot) {
+    const std::uint32_t w = words_[slot];
+    if (w & TtfPool::kConstFlag) {
+      out_[slot] = times_[slot] + (w & ~TtfPool::kConstFlag);
+      continue;
+    }
+    if (seen_stamp_[w] != round_) {
+      seen_stamp_[w] = round_;
+      word_group_[w] = static_cast<std::uint32_t>(group_word_.size());
+      group_word_.push_back(w);
+      group_cursor_.push_back(0);
+    }
+    ++group_cursor_[word_group_[w]];
+    ttf_slots_.push_back(static_cast<std::uint32_t>(slot));
+  }
+  const std::size_t groups = group_word_.size();
+  if (groups == 0) return;
+
+  // Pass 2: prefix sums, then a stable scatter — slots stay ascending
+  // within their group, so every call shape is deterministic.
+  group_offset_.resize(groups + 1);
+  std::uint32_t acc = 0;
+  for (std::size_t g = 0; g < groups; ++g) {
+    group_offset_[g] = acc;
+    acc += group_cursor_[g];
+    group_cursor_[g] = group_offset_[g];
+  }
+  group_offset_[groups] = acc;
+  order_.resize(ttf_slots_.size());
+  for (const std::uint32_t slot : ttf_slots_) {
+    order_[group_cursor_[word_group_[words_[slot]]]++] = slot;
+  }
+
+  // Pass 3: big groups (queries converging on the same edge or shortcut)
+  // get one arrival_tn call each — one metadata load, the entry times as
+  // the vector dimension; the mixed-function residue folds into one wide
+  // arrival_ptn call (per-lane word AND per-lane time gathers).
+  grp_words_.clear();
+  grp_slots_.clear();
+  grp_ts_.clear();
+  for (std::size_t g = 0; g < groups; ++g) {
+    const std::uint32_t f = group_word_[g];
+    const std::uint32_t begin = group_offset_[g];
+    const std::size_t len = group_offset_[g + 1] - begin;
+    if (len >= kSharedRunMinLanes) {
+      run_ts_.resize(len);
+      for (std::size_t k = 0; k < len; ++k) {
+        run_ts_[k] = times_[order_[begin + k]];
+      }
+      run_out_.resize(len);
+      pool.arrival_tn(f, run_ts_.data(), len, run_out_.data());
+      stats.record(len);
+      for (std::size_t k = 0; k < len; ++k) {
+        out_[order_[begin + k]] = run_out_[k];
+      }
+    } else {
+      for (std::size_t k = 0; k < len; ++k) {
+        const std::uint32_t slot = order_[begin + k];
+        grp_words_.push_back(f);
+        grp_ts_.push_back(times_[slot]);
+        grp_slots_.push_back(slot);
+      }
+    }
+  }
+  if (!grp_words_.empty()) {
+    grp_out_.resize(grp_words_.size());
+    pool.arrival_ptn(grp_words_.data(), grp_ts_.data(), grp_words_.size(),
+                     grp_out_.data());
+    stats.record(grp_words_.size());
+    for (std::size_t k = 0; k < grp_slots_.size(); ++k) {
+      out_[grp_slots_[k]] = grp_out_[k];
+    }
+  }
+}
+
+}  // namespace pconn

@@ -22,6 +22,7 @@
 // query of that kind — copy results out before re-querying the same kind.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <memory>
 #include <span>
@@ -30,6 +31,7 @@
 #include "algo/journey.hpp"
 #include "algo/lc_profile.hpp"
 #include "algo/mc_query.hpp"
+#include "algo/multi_query.hpp"
 #include "algo/overlay_query.hpp"
 #include "algo/parallel_spcs.hpp"
 #include "algo/te_query.hpp"
@@ -48,14 +50,21 @@ struct QuerySessionOptions {
   bool table_pruning = true;   // s2s engine only
   bool target_pruning = true;  // s2s engine only
   RelaxMode relax = default_relax_mode();  // see SpcsOptions::relax
+  // Adaptive-batch engagement threshold (see RelaxOptions::batch_min_edges;
+  // seeded from PCONN_BATCH_MIN_EDGES).
+  std::uint32_t batch_min_edges = default_batch_min_edges();
 
+  RelaxOptions relax_options() const {
+    return {.mode = relax, .batch_min_edges = batch_min_edges};
+  }
   ParallelSpcsOptions spcs() const {
     return {.threads = threads,
             .partition = partition,
             .self_pruning = self_pruning,
             .stopping_criterion = stopping_criterion,
             .prune_on_relax = prune_on_relax,
-            .relax = relax};
+            .relax = relax,
+            .batch_min_edges = batch_min_edges};
   }
   S2sOptions s2s() const {
     return {.threads = threads,
@@ -65,7 +74,8 @@ struct QuerySessionOptions {
             .table_pruning = table_pruning,
             .target_pruning = target_pruning,
             .prune_on_relax = prune_on_relax,
-            .relax = relax};
+            .relax = relax,
+            .batch_min_edges = batch_min_edges};
   }
 };
 
@@ -101,7 +111,7 @@ class QuerySessionT {
   TimeQueryT<TimeQueue>& time_engine() {
     if (!time_) {
       time_ = std::make_unique<TimeQueryT<TimeQueue>>(tt_, g_, &ws_);
-      time_->set_relax_mode(opt_.relax);
+      time_->set_relax_options(opt_.relax_options());
     }
     return *time_;
   }
@@ -117,7 +127,7 @@ class QuerySessionT {
   McTimeQueryT<McQueue>& mc_engine() {
     if (!mc_) {
       mc_ = std::make_unique<McTimeQueryT<McQueue>>(tt_, g_, &ws_);
-      mc_->set_relax_mode(opt_.relax);
+      mc_->set_relax_options(opt_.relax_options());
     }
     return *mc_;
   }
@@ -130,7 +140,7 @@ class QuerySessionT {
   TeTimeQueryT<TimeQueue>& te_engine(const TeGraph& te) {
     if (!te_ || te_graph_ != &te) {
       te_ = std::make_unique<TeTimeQueryT<TimeQueue>>(te, &ws_);
-      te_->set_relax_mode(opt_.relax);
+      te_->set_relax_options(opt_.relax_options());
       te_graph_ = &te;
     }
     return *te_;
@@ -144,7 +154,7 @@ class QuerySessionT {
     if (!ov_time_ || ov_time_graph_ != &ov) {
       ov_time_ =
           std::make_unique<OverlayTimeQueryT<TimeQueue>>(tt_, g_, ov, &ws_);
-      ov_time_->set_relax_mode(opt_.relax);
+      ov_time_->set_relax_options(opt_.relax_options());
       ov_time_graph_ = &ov;
     }
     return *ov_time_;
@@ -181,6 +191,32 @@ class QuerySessionT {
           std::make_unique<AllToOneProfilesT<SpcsQueue>>(tt_, opt_.spcs());
     }
     return *all_to_one_;
+  }
+
+  /// Throughput-mode engines (docs/architecture.md "Throughput execution"):
+  /// K concurrent time queries relaxed through one shared function-grouped
+  /// frontier. Per-lane results and accounting stay byte-identical to the
+  /// per-query engines above.
+  MultiQueryTimeEngineT<TimeQueue>& multi_engine() {
+    if (!multi_) {
+      multi_ =
+          std::make_unique<MultiQueryTimeEngineT<TimeQueue>>(tt_, g_, &ws_);
+      multi_->set_relax_options(opt_.relax_options());
+    }
+    return *multi_;
+  }
+
+  /// Overlay-routed throughput engine; binds to the overlay passed first
+  /// like overlay_time_engine().
+  MultiQueryOverlayTimeEngineT<TimeQueue>& multi_overlay_engine(
+      const OverlayGraph& ov) {
+    if (!multi_ov_ || multi_ov_graph_ != &ov) {
+      multi_ov_ = std::make_unique<MultiQueryOverlayTimeEngineT<TimeQueue>>(
+          tt_, g_, ov, &ws_);
+      multi_ov_->set_relax_options(opt_.relax_options());
+      multi_ov_graph_ = &ov;
+    }
+    return *multi_ov_;
   }
 
   // --- unified query API (allocation-free once warm; every kind has its
@@ -264,6 +300,51 @@ class QuerySessionT {
     return mc_engine().pareto(target);
   }
 
+  /// Runs all `queries` concurrently through the shared frontier; read
+  /// results off the returned engine (arrival_at(q, s), stats(q), ...) —
+  /// they hold until the next batch. Allocation-free once warm at a given
+  /// batch shape.
+  MultiQueryTimeEngineT<TimeQueue>& run_batch(
+      std::span<const BatchQuery> queries) {
+    multi_engine().run(queries);
+    return *multi_;
+  }
+
+  /// Overlay-routed run_batch; requires a prior multi_overlay_engine(ov)
+  /// call to bind the overlay.
+  MultiQueryOverlayTimeEngineT<TimeQueue>& overlay_run_batch(
+      std::span<const BatchQuery> queries) {
+    assert(multi_ov_ &&
+           "bind the overlay with multi_overlay_engine(ov) first");
+    multi_ov_->run(queries);
+    return *multi_ov_;
+  }
+
+  /// Matrix workload: earliest arrival for every (source, target) pair at
+  /// one departure, returned row-major (|sources| x |targets|, buffer
+  /// overwritten by the next call). Sources advance in waves of `lanes`
+  /// concurrent one-to-all searches so the shared eval stage stays wide.
+  std::span<const Time> distance_table_batch(
+      std::span<const StationId> sources, std::span<const StationId> targets,
+      Time departure, std::size_t lanes = 64) {
+    multi_engine();
+    table_buf_.resize(sources.size() * targets.size());
+    run_table_waves(*multi_, sources, targets, departure, lanes);
+    return table_buf_;
+  }
+
+  /// Overlay-routed matrix workload (station arrivals are exact after the
+  /// core run — no down-sweep needed); requires a bound overlay.
+  std::span<const Time> overlay_distance_table_batch(
+      std::span<const StationId> sources, std::span<const StationId> targets,
+      Time departure, std::size_t lanes = 64) {
+    assert(multi_ov_ &&
+           "bind the overlay with multi_overlay_engine(ov) first");
+    table_buf_.resize(sources.size() * targets.size());
+    run_table_waves(*multi_ov_, sources, targets, departure, lanes);
+    return table_buf_;
+  }
+
   // --- memory accounting ---
 
   /// Arena bytes pinned by this session: its own workspace plus the
@@ -278,6 +359,30 @@ class QuerySessionT {
   }
 
  private:
+  /// Shared body of the two matrix workloads: waves of `lanes` one-to-all
+  /// batch queries, arrivals scattered into table_buf_ row-major.
+  template <typename Engine>
+  void run_table_waves(Engine& eng, std::span<const StationId> sources,
+                       std::span<const StationId> targets, Time departure,
+                       std::size_t lanes) {
+    if (lanes == 0) lanes = 1;
+    for (std::size_t w0 = 0; w0 < sources.size(); w0 += lanes) {
+      const std::size_t k = std::min(lanes, sources.size() - w0);
+      batch_queries_buf_.resize(k);
+      for (std::size_t q = 0; q < k; ++q) {
+        batch_queries_buf_[q] = {.source = sources[w0 + q],
+                                 .departure = departure};
+      }
+      eng.run(batch_queries_buf_);
+      for (std::size_t q = 0; q < k; ++q) {
+        Time* const row = table_buf_.data() + (w0 + q) * targets.size();
+        for (std::size_t j = 0; j < targets.size(); ++j) {
+          row[j] = eng.arrival_at(q, targets[j]);
+        }
+      }
+    }
+  }
+
   const Timetable& tt_;
   const TdGraph& g_;
   QuerySessionOptions opt_;
@@ -300,6 +405,9 @@ class QuerySessionT {
   const StationGraph* s2s_sg_ = nullptr;
   const DistanceTable* s2s_dt_ = nullptr;
   std::unique_ptr<AllToOneProfilesT<SpcsQueue>> all_to_one_;
+  std::unique_ptr<MultiQueryTimeEngineT<TimeQueue>> multi_;
+  std::unique_ptr<MultiQueryOverlayTimeEngineT<TimeQueue>> multi_ov_;
+  const OverlayGraph* multi_ov_graph_ = nullptr;
 
   // Reusable result buffers for the query API above, one per query kind.
   OneToAllResult one_to_all_buf_;
@@ -308,6 +416,8 @@ class QuerySessionT {
   StationQueryResult s2s_buf_;
   Journey journey_buf_;
   std::vector<NodeId> path_scratch_;
+  std::vector<BatchQuery> batch_queries_buf_;
+  std::vector<Time> table_buf_;
 };
 
 /// The paper's configuration: binary heaps everywhere.

@@ -57,6 +57,8 @@ struct SpcsOptions {
   /// arrival_n call; interleaved is the per-edge seed behaviour. Results
   /// and accounting are bit-identical either way.
   RelaxMode relax = default_relax_mode();
+  /// Batch profitability threshold (RelaxOptions::batch_min_edges).
+  std::uint32_t batch_min_edges = default_batch_min_edges();
 };
 
 /// Verdict of a SettleHook for a popped-and-settled queue item.
@@ -311,7 +313,7 @@ class SpcsThreadStateT {
 
       if (opt.relax != RelaxMode::kInterleaved &&
           (opt.relax == RelaxMode::kBatchAlways ||
-           g.ttf_out_degree(v) >= kBatchRelaxMinEdges)) {
+           g.ttf_out_degree(v) >= opt.batch_min_edges)) {
         batch_.clear();
         for (std::uint32_t ei = eb; ei < ee; ++ei) {
           if (ei + 1 < ee) {

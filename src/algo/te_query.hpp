@@ -37,8 +37,10 @@ class TeTimeQueryT {
 
   /// Relax-loop phasing (algo/relax_batch.hpp). TE edges are all constant,
   /// so the "eval" phase is a vector add; bit-identical either way.
-  void set_relax_mode(RelaxMode m) { relax_mode_ = m; }
-  RelaxMode relax_mode() const { return relax_mode_; }
+  void set_relax_mode(RelaxMode m) { relax_.mode = m; }
+  RelaxMode relax_mode() const { return relax_.mode; }
+  void set_relax_options(RelaxOptions r) { relax_ = r; }
+  const RelaxOptions& relax_options() const { return relax_; }
 
  private:
   const TeGraph& g_;
@@ -46,7 +48,7 @@ class TeTimeQueryT {
   EpochArray<Time> dist_;
   EpochArray<Time> best_arrival_;  // per station, over settled arrival events
   RelaxBatch batch_;  // gather/eval scratch of the batch relax mode
-  RelaxMode relax_mode_ = default_relax_mode();
+  RelaxOptions relax_;
   StationId source_ = kInvalidStation;
   Time departure_ = 0;
   QueryStats stats_;

@@ -81,9 +81,9 @@ void TimeQueryT<Queue>::run(StationId source, Time departure,
       }
     };
 
-    if (relax_mode_ != RelaxMode::kInterleaved &&
-        (relax_mode_ == RelaxMode::kBatchAlways ||
-         g_.ttf_out_degree(v) >= kBatchRelaxMinEdges)) {
+    if (relax_.mode != RelaxMode::kInterleaved &&
+        (relax_.mode == RelaxMode::kBatchAlways ||
+         g_.ttf_out_degree(v) >= relax_.batch_min_edges)) {
       batch_.clear();
       for (std::uint32_t ei = eb; ei < ee; ++ei) {
         if (ei + 1 < ee) dist_.prefetch(heads[ei + 1]);

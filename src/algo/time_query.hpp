@@ -53,8 +53,11 @@ class TimeQueryT {
   /// Relax-loop phasing (algo/relax_batch.hpp); results and accounting are
   /// bit-identical in both modes. Defaults to batch (PCONN_NO_BATCH_RELAX
   /// flips the process default); the setter exists for A/B measurement.
-  void set_relax_mode(RelaxMode m) { relax_mode_ = m; }
-  RelaxMode relax_mode() const { return relax_mode_; }
+  void set_relax_mode(RelaxMode m) { relax_.mode = m; }
+  RelaxMode relax_mode() const { return relax_.mode; }
+  /// Full relax configuration incl. the batch_min_edges runtime knob.
+  void set_relax_options(RelaxOptions r) { relax_ = r; }
+  const RelaxOptions& relax_options() const { return relax_; }
 
  private:
   const Timetable& tt_;
@@ -68,7 +71,7 @@ class TimeQueryT {
   EpochArray<Time> dist_;
   EpochArray<NodeId> parent_;
   RelaxBatch batch_;  // gather/eval scratch of the batch relax mode
-  RelaxMode relax_mode_ = default_relax_mode();
+  RelaxOptions relax_;
   QueryStats stats_;
 };
 

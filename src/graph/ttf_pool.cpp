@@ -85,6 +85,17 @@ void TtfPool::arrival_tn_scalar(std::uint32_t f, const Time* ts, std::size_t n,
   for (std::size_t i = 0; i < n; ++i) out[i] = arrival(f, ts[i]);
 }
 
+void TtfPool::arrival_ptn_scalar(const std::uint32_t* entries, const Time* ts,
+                                 std::size_t n, Time* out) const {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + 1 < n) {
+      const std::uint32_t next = entries[i + 1];
+      if (!(next & kConstFlag)) prefetch_points(next);
+    }
+    out[i] = arrival_entry(entries[i], ts[i]);
+  }
+}
+
 void TtfPool::arrival_tn_sorted(std::uint32_t f, const Time* ts, std::size_t n,
                                 Time* out) const {
   arrival_tn_sorted_fused(
@@ -253,6 +264,90 @@ namespace {
   arrival_tn_scalar(f, ts + i, n - i, out + i);
 }
 
+// The cross-query kernel: per-lane words AND per-lane entry times. The
+// masked metadata/point gathers are arrival_n's (const lanes and empty
+// functions never read the pool arrays); the per-lane reduced time and the
+// per-lane bucket come from arrival_tn's reciprocal arithmetic, except that
+// log2b now differs per lane, so the bucket shift is the variable-count
+// _mm256_srlv_epi32 instead of a broadcast shift.
+[[gnu::target("avx2")]] void TtfPool::arrival_ptn_avx2(
+    const std::uint32_t* entries, const Time* ts, std::size_t n,
+    Time* out) const {
+  const int* const meta_base = reinterpret_cast<const int*>(meta_.data());
+  const int* const bidx_base = reinterpret_cast<const int*>(bucket_idx_.data());
+  const int* const pts_base = reinterpret_cast<const int*>(points_.data());
+  const std::uint32_t inv32 = static_cast<std::uint32_t>(inv_period_);
+
+  const __m256i vzero = _mm256_setzero_si256();
+  const __m256i vinv = _mm256_set1_epi32(static_cast<int>(inv32));
+  const __m256i vperiod = _mm256_set1_epi32(static_cast<int>(period_));
+  const __m256i vperiod_m1 = _mm256_set1_epi32(static_cast<int>(period_ - 1));
+  const __m256i v32 = _mm256_set1_epi32(32);
+  const __m256i vinf = _mm256_set1_epi32(static_cast<int>(kInfTime));
+  const __m256i vconst = _mm256_set1_epi32(static_cast<int>(kConstFlag));
+
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i w =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(entries + i));
+    const __m256i t =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ts + i));
+    const __m256i is_const = _mm256_srai_epi32(w, 31);
+    const __m256i is_ttf = _mm256_cmpeq_epi32(is_const, vzero);
+    const __m256i f4 = _mm256_slli_epi32(_mm256_andnot_si256(is_const, w), 2);
+    const __m256i first =
+        _mm256_mask_i32gather_epi32(vzero, meta_base + 0, f4, is_ttf, 4);
+    const __m256i count =
+        _mm256_mask_i32gather_epi32(vzero, meta_base + 1, f4, is_ttf, 4);
+    const __m256i bucket0 =
+        _mm256_mask_i32gather_epi32(vzero, meta_base + 2, f4, is_ttf, 4);
+    const __m256i log2b =
+        _mm256_mask_i32gather_epi32(vzero, meta_base + 3, f4, is_ttf, 4);
+    // tau = t % period per lane (see arrival_tn_avx2: the truncated
+    // reciprocal undershoots by at most one, one conditional subtract).
+    const __m256i q = mul_hi_epu32(t, vinv);
+    __m256i tau = _mm256_sub_epi32(t, _mm256_mullo_epi32(q, vperiod));
+    const __m256i over = _mm256_cmpgt_epi32(tau, vperiod_m1);
+    tau = _mm256_sub_epi32(tau, _mm256_and_si256(over, vperiod));
+    // bucket = (tau * inv) >> (32 - log2b), both operands per lane now.
+    const __m256i bucket = _mm256_srlv_epi32(_mm256_mullo_epi32(tau, vinv),
+                                             _mm256_sub_epi32(v32, log2b));
+    const __m256i live =
+        _mm256_andnot_si256(_mm256_cmpeq_epi32(count, vzero), is_ttf);
+    __m256i pos = _mm256_mask_i32gather_epi32(
+        vzero, bidx_base, _mm256_add_epi32(bucket0, bucket), live, 4);
+    const __m256i end = _mm256_add_epi32(first, count);
+    // Linear lower_bound past the bucket entry; masked-off lanes default
+    // their gathered departure to their own tau and stop immediately.
+    for (;;) {
+      const __m256i in_range =
+          _mm256_and_si256(_mm256_cmpgt_epi32(end, pos), live);
+      if (_mm256_testz_si256(in_range, in_range)) break;
+      const __m256i dep = _mm256_mask_i32gather_epi32(
+          tau, pts_base, _mm256_slli_epi32(pos, 1), in_range, 4);
+      const __m256i advance =
+          _mm256_and_si256(in_range, _mm256_cmpgt_epi32(tau, dep));
+      if (_mm256_testz_si256(advance, advance)) break;
+      pos = _mm256_sub_epi32(pos, advance);
+    }
+    pos = _mm256_blendv_epi8(first, pos, _mm256_cmpgt_epi32(end, pos));
+    const __m256i p2 = _mm256_slli_epi32(pos, 1);
+    const __m256i dep =
+        _mm256_mask_i32gather_epi32(vzero, pts_base + 0, p2, live, 4);
+    const __m256i dur =
+        _mm256_mask_i32gather_epi32(vzero, pts_base + 1, p2, live, 4);
+    const __m256i wrap = _mm256_cmpgt_epi32(tau, dep);
+    const __m256i wait = _mm256_add_epi32(_mm256_sub_epi32(dep, tau),
+                                          _mm256_and_si256(wrap, vperiod));
+    __m256i res = _mm256_add_epi32(t, _mm256_add_epi32(wait, dur));
+    res = _mm256_blendv_epi8(vinf, res, live);  // empty functions
+    const __m256i cres = _mm256_add_epi32(t, _mm256_andnot_si256(vconst, w));
+    res = _mm256_blendv_epi8(res, cres, is_const);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), res);
+  }
+  arrival_ptn_scalar(entries + i, ts + i, n - i, out + i);
+}
+
 #endif  // PCONN_HAVE_AVX2_DISPATCH
 
 void TtfPool::arrival_n(const std::uint32_t* entries, std::size_t n, Time t,
@@ -276,6 +371,18 @@ void TtfPool::arrival_tn(std::uint32_t f, const Time* ts, std::size_t n,
   }
 #endif
   arrival_tn_scalar(f, ts, n, out);
+}
+
+void TtfPool::arrival_ptn(const std::uint32_t* entries, const Time* ts,
+                          std::size_t n, Time* out) const {
+#if PCONN_HAVE_AVX2_DISPATCH
+  // Same period_ == 1 exclusion as arrival_tn (the reciprocal lanes).
+  if (n >= 8 && period_ > 1 && cpu_has_avx2()) {
+    arrival_ptn_avx2(entries, ts, n, out);
+    return;
+  }
+#endif
+  arrival_ptn_scalar(entries, ts, n, out);
 }
 
 }  // namespace pconn

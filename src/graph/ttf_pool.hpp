@@ -165,6 +165,16 @@ class TtfPool {
   void arrival_tn(std::uint32_t f, const Time* ts, std::size_t n,
                   Time* out) const;
 
+  /// Batch evaluation, many (function, entry time) pairs:
+  /// out[i] = arrival_entry(entries[i], ts[i]) — the cross-query frontier
+  /// shape (algo/multi_query.hpp), where every pending edge carries the pop
+  /// key of its own query lane. The AVX2 kernel combines arrival_n's masked
+  /// metadata/point gathers with arrival_tn's per-lane reciprocal modulo
+  /// and a per-lane variable-shift bucket; bit-identical to the scalar
+  /// entry-by-entry loop (tests/ttf_test.cpp sweeps it like the others).
+  void arrival_ptn(const std::uint32_t* entries, const Time* ts, std::size_t n,
+                   Time* out) const;
+
   /// Sorted-batch evaluation, one function at ASCENDING entry times — the
   /// LC link shape (a reduced profile's arrivals are strictly increasing).
   /// A two-pointer merge over the function's sorted points replaces the
@@ -269,12 +279,16 @@ class TtfPool {
                         Time* out) const;
   void arrival_tn_scalar(std::uint32_t f, const Time* ts, std::size_t n,
                          Time* out) const;
+  void arrival_ptn_scalar(const std::uint32_t* entries, const Time* ts,
+                          std::size_t n, Time* out) const;
 #if (defined(__x86_64__) || defined(_M_X64)) && \
     (defined(__GNUC__) || defined(__clang__))
   void arrival_n_avx2(const std::uint32_t* entries, std::size_t n, Time t,
                       Time* out) const;
   void arrival_tn_avx2(std::uint32_t f, const Time* ts, std::size_t n,
                        Time* out) const;
+  void arrival_ptn_avx2(const std::uint32_t* entries, const Time* ts,
+                        std::size_t n, Time* out) const;
 #endif
 
   Time period_ = kDayseconds;

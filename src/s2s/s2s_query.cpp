@@ -124,7 +124,8 @@ S2sQueryEngineT<Queue>::S2sQueryEngineT(const Timetable& tt, const TdGraph& g,
                                 .self_pruning = opt.self_pruning,
                                 .stopping_criterion = opt.stopping_criterion,
                                 .prune_on_relax = opt.prune_on_relax,
-                                .relax = opt.relax}),
+                                .relax = opt.relax,
+                                .batch_min_edges = opt.batch_min_edges}),
       scratch_(std::make_unique<Scratch>()) {
   scratch_->mu_hooks.resize(opt_.threads);
   scratch_->target_hooks.resize(opt_.threads);
@@ -170,7 +171,8 @@ void S2sQueryEngineT<Queue>::query_into(StationId s, StationId t,
   const SpcsOptions o{.self_pruning = opt_.self_pruning,
                       .stopping_criterion = opt_.stopping_criterion,
                       .prune_on_relax = opt_.prune_on_relax,
-                      .relax = opt_.relax};
+                      .relax = opt_.relax,
+                      .batch_min_edges = opt_.batch_min_edges};
 
   if (dt_->is_transfer(t)) {
     last_kind_ = Kind::kTargetTransfer;

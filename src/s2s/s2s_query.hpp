@@ -24,6 +24,7 @@ struct S2sOptions {
   bool target_pruning = true;   // Theorem 4 (needs target in S_trans)
   bool prune_on_relax = false;  // see SpcsOptions::prune_on_relax
   RelaxMode relax = default_relax_mode();  // see SpcsOptions::relax
+  std::uint32_t batch_min_edges = default_batch_min_edges();
 };
 
 /// Template over the SPCS queue policy (queue_policy.hpp); definitions in

@@ -66,6 +66,13 @@ class EpochArray {
 
   bool touched(std::size_t i) const { return epochs_[i] == epoch_; }
 
+  /// Bulk-snapshot support for tiled readers (multi_query's label
+  /// transpose): slot i logically holds values_data()[i] iff
+  /// epochs_data()[i] == epoch(), else the default.
+  const T* values_data() const { return values_.data(); }
+  const std::uint32_t* epochs_data() const { return epochs_.data(); }
+  std::uint32_t epoch() const { return epoch_; }
+
   /// Prefetch hint for slot i (relax-loop lookahead): the stamp word
   /// decides touched()/get(), the value line follows on set().
   void prefetch(std::size_t i) const {

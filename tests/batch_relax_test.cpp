@@ -73,6 +73,69 @@ TEST(BatchRelax, SessionAppliesRelaxOptionToEveryEngine) {
   EXPECT_EQ(session.profile_engine().options().relax, RelaxMode::kInterleaved);
 }
 
+// ------------------------------------------- batch_min_edges knob (S3) ---
+
+// The env-var seed of the runtime threshold must reject garbage loudly
+// (by falling back to the compiled default) and accept any non-negative
+// decimal.
+TEST(BatchRelax, ParseBatchMinEdgesFallsBackOnGarbage) {
+  EXPECT_EQ(parse_batch_min_edges(nullptr), kBatchRelaxMinEdges);
+  EXPECT_EQ(parse_batch_min_edges(""), kBatchRelaxMinEdges);
+  EXPECT_EQ(parse_batch_min_edges("many"), kBatchRelaxMinEdges);
+  EXPECT_EQ(parse_batch_min_edges("12edges"), kBatchRelaxMinEdges);
+  EXPECT_EQ(parse_batch_min_edges("-3"), kBatchRelaxMinEdges);
+  EXPECT_EQ(parse_batch_min_edges("0"), 0u);
+  EXPECT_EQ(parse_batch_min_edges("5"), 5u);
+  EXPECT_EQ(parse_batch_min_edges("128"), 128u);
+}
+
+// The threshold only picks which of the two equivalent loop bodies runs:
+// any value — 0 (always phased), mid, huge (never phased) — must keep
+// results AND accounting bit-identical to the default adaptive mode.
+TEST(BatchRelax, BatchMinEdgesKnobKeepsBothPathsBitIdentical) {
+  Timetable tt = test::small_city(35);
+  TdGraph g = TdGraph::build(tt);
+  Rng rng(63);
+  std::vector<std::pair<StationId, Time>> queries;
+  for (int i = 0; i < 8; ++i) {
+    queries.push_back(
+        {static_cast<StationId>(rng.next_below(tt.num_stations())),
+         static_cast<Time>(rng.next_below(kDayseconds))});
+  }
+  TimeQuery ref(tt, g);
+  ref.set_relax_options({.mode = RelaxMode::kBatch});
+  for (std::uint32_t edges : {0u, 1u, 3u, 1u << 20}) {
+    TimeQuery knob(tt, g);
+    knob.set_relax_options(
+        {.mode = RelaxMode::kBatch, .batch_min_edges = edges});
+    for (auto [s, dep] : queries) {
+      ref.run(s, dep);
+      knob.run(s, dep);
+      const std::string what = "batch_min_edges=" + std::to_string(edges);
+      expect_stats_eq(ref.stats(), knob.stats(), what);
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        ASSERT_EQ(ref.arrival_at_node(v), knob.arrival_at_node(v))
+            << what << " node " << v;
+        ASSERT_EQ(ref.parent(v), knob.parent(v)) << what << " node " << v;
+      }
+    }
+  }
+}
+
+// The session option must reach every engine family that carries the
+// threshold.
+TEST(BatchRelax, SessionAppliesBatchMinEdgesKnob) {
+  Timetable tt = test::tiny_line();
+  TdGraph g = TdGraph::build(tt);
+  QuerySessionOptions opt;
+  opt.batch_min_edges = 3;
+  QuerySession session(tt, g, opt);
+  EXPECT_EQ(session.time_engine().relax_options().batch_min_edges, 3u);
+  EXPECT_EQ(session.mc_engine().relax_options().batch_min_edges, 3u);
+  EXPECT_EQ(session.multi_engine().relax_options().batch_min_edges, 3u);
+  EXPECT_EQ(session.profile_engine().options().batch_min_edges, 3u);
+}
+
 // --------------------------------------------------------------- SPCS ---
 
 TEST(BatchRelax, SpcsOneToAllEveryPolicy) {

@@ -1,0 +1,336 @@
+// Differential tests for the throughput-mode multi-query engines
+// (algo/multi_query.hpp): a batch of K concurrent searches advanced
+// through the shared function-grouped frontier must be byte-identical —
+// every lane's distances, parents and work accounting — to a loop of warm
+// per-query engines over the same query stream, for every queue policy,
+// every RelaxMode, K in {1, 4, 32}, on the flat graph AND the contraction
+// overlay. Plus the workspace guarantee: a warm run_batch() of the same
+// batch shape performs zero heap allocations (this TU replaces the global
+// operator new/delete with counters, like tests/session_test.cpp).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "algo/contraction.hpp"
+#include "algo/multi_query.hpp"
+#include "algo/overlay_query.hpp"
+#include "algo/session.hpp"
+#include "algo/time_query.hpp"
+#include "test_util.hpp"
+#include "util/rng.hpp"
+
+// ---------------------------------------------------------------------------
+// Global allocation counters (see tests/session_test.cpp for the pattern).
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+
+void* counted_alloc(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* counted_aligned_alloc(std::size_t size, std::align_val_t al) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  const auto align = static_cast<std::size_t>(al);
+  const std::size_t rounded = (size + align - 1) / align * align;
+  if (void* p = std::aligned_alloc(align, rounded)) return p;
+  throw std::bad_alloc();
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t al) {
+  return counted_aligned_alloc(size, al);
+}
+void* operator new[](std::size_t size, std::align_val_t al) {
+  return counted_aligned_alloc(size, al);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace pconn {
+namespace {
+
+std::uint64_t alloc_count() {
+  return g_allocs.load(std::memory_order_relaxed);
+}
+
+constexpr RelaxMode kAllModes[] = {RelaxMode::kInterleaved, RelaxMode::kBatch,
+                                   RelaxMode::kBatchAlways};
+constexpr std::size_t kBatchSizes[] = {1, 4, 32};
+
+void expect_stats_eq(const QueryStats& a, const QueryStats& b,
+                     const std::string& what) {
+  EXPECT_EQ(a.settled, b.settled) << what;
+  EXPECT_EQ(a.pushed, b.pushed) << what;
+  EXPECT_EQ(a.decreased, b.decreased) << what;
+  EXPECT_EQ(a.stale_popped, b.stale_popped) << what;
+  EXPECT_EQ(a.relaxed, b.relaxed) << what;
+}
+
+/// K queries mixing one-to-all (even lanes) and targeted early-stop runs
+/// (odd lanes), departures spread over the whole period.
+std::vector<BatchQuery> make_queries(const Timetable& tt, Rng& rng,
+                                     std::size_t k) {
+  std::vector<BatchQuery> qs(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    qs[i].source = static_cast<StationId>(rng.next_below(tt.num_stations()));
+    qs[i].departure = static_cast<Time>(rng.next_below(kDayseconds));
+    qs[i].target = i % 2 == 1 ? static_cast<StationId>(
+                                    rng.next_below(tt.num_stations()))
+                              : kInvalidStation;
+  }
+  return qs;
+}
+
+// ------------------------------------------------------------- flat ---
+
+TEST(MultiQuery, FlatMatchesPerQueryEveryPolicyModeAndBatchSize) {
+  Timetable tt = test::small_city(41);
+  TdGraph g = TdGraph::build(tt);
+  Rng rng(71);
+  for (QueueKind qk : kAllQueueKinds) {
+    with_time_queue(qk, [&](auto tag) {
+      using Queue = typename decltype(tag)::type;
+      MultiQueryTimeEngineT<Queue> multi(tt, g);
+      TimeQueryT<Queue> per(tt, g);  // warm across the whole stream
+      for (RelaxMode m : kAllModes) {
+        multi.set_relax_mode(m);
+        per.set_relax_mode(m);
+        for (std::size_t k : kBatchSizes) {
+          const std::vector<BatchQuery> qs = make_queries(tt, rng, k);
+          multi.run(qs);
+          ASSERT_EQ(multi.num_queries(), k);
+          for (std::size_t q = 0; q < k; ++q) {
+            per.run(qs[q].source, qs[q].departure, qs[q].target);
+            const std::string what = std::string("flat ") +
+                                     queue_kind_name(qk) + "/" +
+                                     relax_mode_name(m) + " K=" +
+                                     std::to_string(k) + " lane " +
+                                     std::to_string(q);
+            expect_stats_eq(per.stats(), multi.stats(q), what);
+            for (NodeId v = 0; v < g.num_nodes(); ++v) {
+              ASSERT_EQ(multi.arrival_at_node(q, v), per.arrival_at_node(v))
+                  << what << " node " << v;
+              ASSERT_EQ(multi.parent(q, v), per.parent(v))
+                  << what << " node " << v;
+            }
+          }
+        }
+      }
+    });
+  }
+}
+
+// ---------------------------------------------------------- overlay ---
+
+TEST(MultiQuery, OverlayMatchesPerQueryEveryPolicyModeAndBatchSize) {
+  Timetable tt = test::small_city(42);
+  TdGraph g = TdGraph::build(tt);
+  const OverlayGraph ov = contract_graph(tt, g, {});
+  Rng rng(72);
+  for (QueueKind qk : kAllQueueKinds) {
+    with_time_queue(qk, [&](auto tag) {
+      using Queue = typename decltype(tag)::type;
+      MultiQueryOverlayTimeEngineT<Queue> multi(tt, g, ov);
+      OverlayTimeQueryT<Queue> per(tt, g, ov);
+      for (RelaxMode m : kAllModes) {
+        multi.set_relax_mode(m);
+        per.set_relax_mode(m);
+        for (std::size_t k : kBatchSizes) {
+          const std::vector<BatchQuery> qs = make_queries(tt, rng, k);
+          multi.run(qs);
+          for (std::size_t q = 0; q < k; ++q) {
+            per.run(qs[q].source, qs[q].departure, qs[q].target);
+            // Full (no-target) lanes also replay the per-lane down-sweep,
+            // extending the comparison to every contracted node.
+            const bool full = qs[q].target == kInvalidStation;
+            if (full) {
+              per.settle_contracted();
+              multi.settle_contracted(q);
+            }
+            const std::string what = std::string("overlay ") +
+                                     queue_kind_name(qk) + "/" +
+                                     relax_mode_name(m) + " K=" +
+                                     std::to_string(k) + " lane " +
+                                     std::to_string(q);
+            expect_stats_eq(per.stats(), multi.stats(q), what);
+            for (NodeId v = 0; v < ov.num_nodes(); ++v) {
+              ASSERT_EQ(multi.arrival_at_node(q, v), per.arrival_at_node(v))
+                  << what << " node " << v;
+              ASSERT_EQ(multi.parent(q, v), per.parent(v))
+                  << what << " node " << v;
+            }
+          }
+        }
+      }
+    });
+  }
+}
+
+// The cross-lane batched down-sweep (settle_contracted_batch) must agree
+// with a loop of per-query settle_contracted runs at every node — labels
+// served from the transposed sweep surface, parents with the lane
+// fall-through, and the relax accounting — for every queue policy and
+// batch size. Sweeping needs full lanes, so every query is one-to-all.
+TEST(MultiQuery, SettleContractedBatchMatchesPerQuery) {
+  Timetable tt = test::small_city(46);
+  TdGraph g = TdGraph::build(tt);
+  const OverlayGraph ov = contract_graph(tt, g, {});
+  Rng rng(75);
+  for (QueueKind qk : kAllQueueKinds) {
+    with_time_queue(qk, [&](auto tag) {
+      using Queue = typename decltype(tag)::type;
+      MultiQueryOverlayTimeEngineT<Queue> multi(tt, g, ov);
+      OverlayTimeQueryT<Queue> per(tt, g, ov);
+      for (std::size_t k : kBatchSizes) {
+        std::vector<BatchQuery> qs = make_queries(tt, rng, k);
+        for (BatchQuery& q : qs) q.target = kInvalidStation;
+        multi.run(qs);
+        multi.settle_contracted_batch();
+        for (std::size_t q = 0; q < k; ++q) {
+          per.run(qs[q].source, qs[q].departure);
+          per.settle_contracted();
+          const std::string what = std::string("sweep ") +
+                                   queue_kind_name(qk) + " K=" +
+                                   std::to_string(k) + " lane " +
+                                   std::to_string(q);
+          expect_stats_eq(per.stats(), multi.stats(q), what);
+          for (NodeId v = 0; v < ov.num_nodes(); ++v) {
+            ASSERT_EQ(multi.arrival_at_node(q, v), per.arrival_at_node(v))
+                << what << " node " << v;
+            ASSERT_EQ(multi.parent(q, v), per.parent(v))
+                << what << " node " << v;
+          }
+          // The station-level accessor must serve from the swept surface
+          // too, not the stale lane labels.
+          for (StationId s = 0; s < tt.num_stations(); ++s) {
+            ASSERT_EQ(multi.arrival_at(q, s), per.arrival_at(s))
+                << what << " station " << s;
+          }
+        }
+      }
+    });
+  }
+}
+
+// Binding an overlay contracted from a different dataset must fail loudly,
+// like the per-query engine.
+TEST(MultiQuery, OverlayGraphMismatchThrows) {
+  Timetable city = test::small_city(43);
+  TdGraph g_city = TdGraph::build(city);
+  Timetable tiny = test::tiny_line();
+  TdGraph g_tiny = TdGraph::build(tiny);
+  const OverlayGraph ov_tiny = contract_graph(tiny, g_tiny, {});
+  EXPECT_THROW((MultiQueryOverlayTimeEngine{city, g_city, ov_tiny}),
+               std::runtime_error);
+}
+
+// ------------------------------------------------- session + workspace ---
+
+// The session's matrix workload must agree with per-query earliest-arrival
+// loops, flat and overlay-routed, at a lane width that spans several waves.
+TEST(MultiQuery, DistanceTableBatchMatchesPerQueryLoops) {
+  Timetable tt = test::small_city(44);
+  TdGraph g = TdGraph::build(tt);
+  const OverlayGraph ov = contract_graph(tt, g, {});
+  Rng rng(73);
+  std::vector<StationId> sources, targets;
+  for (int i = 0; i < 9; ++i) {
+    sources.push_back(static_cast<StationId>(rng.next_below(tt.num_stations())));
+  }
+  for (int i = 0; i < 7; ++i) {
+    targets.push_back(static_cast<StationId>(rng.next_below(tt.num_stations())));
+  }
+  const Time dep = 8 * 3600;
+
+  QuerySession session(tt, g);
+  session.multi_overlay_engine(ov);
+  // lanes = 4 forces several waves over the 9 sources.
+  const std::span<const Time> flat =
+      session.distance_table_batch(sources, targets, dep, 4);
+  ASSERT_EQ(flat.size(), sources.size() * targets.size());
+  TimeQuery per(tt, g);
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    per.run(sources[i], dep);
+    for (std::size_t j = 0; j < targets.size(); ++j) {
+      EXPECT_EQ(flat[i * targets.size() + j], per.arrival_at(targets[j]))
+          << sources[i] << "->" << targets[j];
+    }
+  }
+
+  const std::span<const Time> routed =
+      session.overlay_distance_table_batch(sources, targets, dep, 4);
+  OverlayTimeQuery over(tt, g, ov);
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    over.run(sources[i], dep);
+    for (std::size_t j = 0; j < targets.size(); ++j) {
+      EXPECT_EQ(routed[i * targets.size() + j], over.arrival_at(targets[j]))
+          << sources[i] << "->" << targets[j];
+    }
+  }
+}
+
+// Zero-allocation guarantee: after warm-up, run_batch / the matrix
+// workloads of the same batch shape allocate nothing — all lane state and
+// the shared frontier live in the session workspace.
+TEST(MultiQuery, WarmRunBatchDoesNotAllocate) {
+  Timetable tt = test::small_city(45);
+  TdGraph g = TdGraph::build(tt);
+  const OverlayGraph ov = contract_graph(tt, g, {});
+  Rng rng(74);
+  const std::vector<BatchQuery> qs = make_queries(tt, rng, 8);
+  std::vector<StationId> sources, targets;
+  for (int i = 0; i < 6; ++i) {
+    sources.push_back(static_cast<StationId>(rng.next_below(tt.num_stations())));
+    targets.push_back(static_cast<StationId>(rng.next_below(tt.num_stations())));
+  }
+  const Time dep = 9 * 3600;
+
+  // The batched down-sweep needs full lanes; it rides along to pin its
+  // transpose/row buffers (and the lazy down-index) to the workspace too.
+  std::vector<BatchQuery> qs_full = qs;
+  for (BatchQuery& q : qs_full) q.target = kInvalidStation;
+
+  QuerySession session(tt, g);
+  session.multi_overlay_engine(ov);
+  std::uint64_t sink = 0;
+  const auto exercise = [&] {
+    sink += session.run_batch(qs).stats(0).settled;
+    sink += session.overlay_run_batch(qs).stats(0).settled;
+    auto& eng = session.overlay_run_batch(qs_full);
+    eng.settle_contracted_batch();
+    sink += eng.arrival_at_node(0, 0);
+    sink += session.distance_table_batch(sources, targets, dep, 4).size();
+    sink += session.overlay_distance_table_batch(sources, targets, dep, 4)
+                .size();
+  };
+  exercise();  // engine construction + capacity growth
+  exercise();  // second pass: every buffer at steady-state capacity
+  const std::uint64_t before = alloc_count();
+  exercise();
+  EXPECT_EQ(alloc_count() - before, 0u) << "warm batch queries allocated";
+  EXPECT_NE(sink, 0u);
+}
+
+}  // namespace
+}  // namespace pconn
