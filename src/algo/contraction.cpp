@@ -510,6 +510,7 @@ class ContractionBuilder {
     ov.shortcuts_ = std::move(shortcuts_);
     ov.ttfs_ = std::move(ttfs_);
     ov.build_stats_ = stats_;
+    ov.build_down_pos();
     return ov;
   }
 

@@ -25,7 +25,28 @@ MultiQueryTimeEngineT<Queue>::MultiQueryTimeEngineT(const Timetable& tt,
       ws_(ws),
       active_(ArenaAllocator<std::uint32_t>(scratch_alloc(ws))),
       frontier_(scratch_alloc(ws)),
-      batch_(scratch_alloc(ws)) {}
+      batch_(scratch_alloc(ws)),
+      stop_flags_(ArenaAllocator<std::uint8_t>(scratch_alloc(ws))) {}
+
+template <typename Queue>
+void MultiQueryTimeEngineT<Queue>::set_stop_targets(
+    std::span<const StationId> targets) {
+  stop_flags_.resize(g_.num_nodes());
+  for (const StationId s : targets) {
+    std::uint8_t& f = stop_flags_[g_.station_node(s)];
+    stop_count_ += (f == 0);  // duplicates count once
+    f = 1;
+  }
+}
+
+template <typename Queue>
+void MultiQueryTimeEngineT<Queue>::clear_stop_targets() {
+  // Reset only the set bits; the flag array stays allocated for reuse.
+  if (stop_count_ != 0) {
+    std::fill(stop_flags_.begin(), stop_flags_.end(), std::uint8_t{0});
+  }
+  stop_count_ = 0;
+}
 
 template <typename Queue>
 void MultiQueryTimeEngineT<Queue>::ensure_lanes(std::size_t k) {
@@ -66,90 +87,104 @@ void MultiQueryTimeEngineT<Queue>::pop_step(Lane& lane) {
 }
 
 template <typename Queue>
-void MultiQueryTimeEngineT<Queue>::settle_interleaved(Lane& lane) {
-  const NodeId v = lane.settled_node;
-  const Time key = lane.key;
-  const std::uint32_t eb = g_.edge_begin(v);
-  const std::uint32_t ee = g_.edge_end(v);
+void MultiQueryTimeEngineT<Queue>::run_lane(Lane& lane) {
+  // The per-query engine's fused settle loop (time_query.cpp), verbatim
+  // over this lane's sharded label pool. Hoisting the lane fields into
+  // locals and keeping pop + relax in one frame restores the per-query
+  // loop's codegen — the outlined pop_step/settle_* steps (kept for the
+  // kBatchAlways rounds, which need the split) cost ~6-10% here, which is
+  // exactly the flat station-table regression BENCH_multiquery gates.
+  auto& heap = lane.heap;
+  auto& dist = lane.dist;
+  auto& parent = lane.parent;
+  QueryStats& st = lane.stats;
+  const NodeId src = lane.src;
+  const NodeId target = lane.target_node;
+  const bool batch = relax_.mode != RelaxMode::kInterleaved;
+  const bool track = track_parents_;
+  const std::uint8_t* const stop_flags =
+      lane.targets_left != 0 ? stop_flags_.data() : nullptr;
   const NodeId* const heads = g_.heads_data();
   const std::uint32_t* const words = g_.words_data();
-  for (std::uint32_t ei = eb; ei < ee; ++ei) {
-    if (ei + 1 < ee) {
-      lane.dist.prefetch(heads[ei + 1]);
-      g_.prefetch_edge_ttf(ei + 1);
-    }
-    const NodeId head = heads[ei];
-    if (lane.dist.get(head) <= key) continue;  // t >= key >= dist: hopeless
-    const std::uint32_t w = words[ei];
-    // No transfer penalty for the very first boarding at the source.
-    const Time t = (v == lane.src && TdGraph::word_is_const(w))
-                       ? key
-                       : g_.arrival_by_word(w, key);
-    if (t == kInfTime) continue;
-    lane.stats.relaxed++;
-    if (t < lane.dist.get(head)) {
-      if constexpr (Queue::kAddressable) {
-        if (lane.heap.push_or_decrease(head, t) == QueuePush::kPushed) {
-          lane.stats.pushed++;
-        } else {
-          lane.stats.decreased++;
-        }
-      } else {
-        lane.heap.push(head, t);
-        lane.stats.pushed++;
-      }
-      lane.dist.set(head, t);
-      lane.parent.set(head, v);
-    }
-  }
-}
 
-template <typename Queue>
-void MultiQueryTimeEngineT<Queue>::settle_batched(Lane& lane) {
-  // The per-query batch relax (time_query.cpp), verbatim per lane: the
-  // whole fan shares the lane's pop key, so one arrivals_by_words call
-  // evaluates it at a single entry time — cheaper than any cross-lane
-  // mixed-entry-time grouping of the same edges.
-  const NodeId v = lane.settled_node;
-  const Time key = lane.key;
-  const std::uint32_t eb = g_.edge_begin(v);
-  const std::uint32_t ee = g_.edge_end(v);
-  const NodeId* const heads = g_.heads_data();
-  const std::uint32_t* const words = g_.words_data();
-  batch_.clear();
-  for (std::uint32_t ei = eb; ei < ee; ++ei) {
-    if (ei + 1 < ee) lane.dist.prefetch(heads[ei + 1]);
-    const NodeId head = heads[ei];
-    if (lane.dist.get(head) <= key) continue;  // t >= key >= dist: hopeless
-    std::uint32_t w = words[ei];
-    // No transfer penalty for the very first boarding at the source:
-    // rewrite to a zero-weight constant word before evaluation.
-    if (v == lane.src && TdGraph::word_is_const(w)) w = TdGraph::kConstFlag;
-    batch_.push(w, head);
-  }
-  batch_stats_.record(batch_.size());
-  Time* const out = batch_.prepare_out();
-  g_.arrivals_by_words(batch_.words(), batch_.size(), key, out);
-  for (std::size_t i = 0; i < batch_.size(); ++i) {
-    const NodeId head = batch_.aux(i);
-    if (lane.dist.get(head) <= key) continue;  // dropped by this batch
-    if (out[i] == kInfTime) continue;
-    lane.stats.relaxed++;
-    if (out[i] < lane.dist.get(head)) {
-      if constexpr (Queue::kAddressable) {
-        if (lane.heap.push_or_decrease(head, out[i]) == QueuePush::kPushed) {
-          lane.stats.pushed++;
-        } else {
-          lane.stats.decreased++;
-        }
-      } else {
-        lane.heap.push(head, out[i]);
-        lane.stats.pushed++;
+  while (!heap.empty()) {
+    const auto [v, key] = heap.pop();
+    if constexpr (!Queue::kAddressable) {
+      if (key > dist.get(v)) {
+        st.stale_popped++;
+        continue;
       }
-      lane.dist.set(head, out[i]);
-      lane.parent.set(head, v);
+    }
+    st.settled++;
+    if (target != kInvalidNode && v == target) break;
+    // Multi-target stop (table mode): the last stop-set settle finalizes
+    // every distance the caller will read.
+    if (stop_flags != nullptr && stop_flags[v] != 0 &&
+        --lane.targets_left == 0) {
+      break;
+    }
+
+    const std::uint32_t eb = g_.edge_begin(v);
+    const std::uint32_t ee = g_.edge_end(v);
+
+    const auto commit = [&](NodeId head, Time t) {
+      st.relaxed++;
+      if (t < dist.get(head)) {
+        if constexpr (Queue::kAddressable) {
+          if (heap.push_or_decrease(head, t) == QueuePush::kPushed) {
+            st.pushed++;
+          } else {
+            st.decreased++;
+          }
+        } else {
+          heap.push(head, t);
+          st.pushed++;
+        }
+        dist.set(head, t);
+        if (track) parent.set(head, v);
+      }
+    };
+
+    if (batch && g_.ttf_out_degree(v) >= relax_.batch_min_edges) {
+      batch_.clear();
+      for (std::uint32_t ei = eb; ei < ee; ++ei) {
+        if (ei + 1 < ee) dist.prefetch(heads[ei + 1]);
+        const NodeId head = heads[ei];
+        if (dist.get(head) <= key) continue;  // t >= key >= dist: hopeless
+        std::uint32_t w = words[ei];
+        // No transfer penalty for the very first boarding at the source:
+        // rewrite to a zero-weight constant word before evaluation.
+        if (v == src && TdGraph::word_is_const(w)) w = TdGraph::kConstFlag;
+        batch_.push(w, head);
+      }
+      batch_stats_.record(batch_.size());
+      Time* const out = batch_.prepare_out();
+      g_.arrivals_by_words(batch_.words(), batch_.size(), key, out);
+      for (std::size_t i = 0; i < batch_.size(); ++i) {
+        const NodeId head = batch_.aux(i);
+        if (dist.get(head) <= key) continue;  // dropped by this batch
+        if (out[i] == kInfTime) continue;
+        commit(head, out[i]);
+      }
+    } else {
+      for (std::uint32_t ei = eb; ei < ee; ++ei) {
+        if (ei + 1 < ee) {
+          dist.prefetch(heads[ei + 1]);
+          g_.prefetch_edge_ttf(ei + 1);
+        }
+        const NodeId head = heads[ei];
+        if (dist.get(head) <= key) continue;  // t >= key >= dist: hopeless
+        const std::uint32_t w = words[ei];
+        // No transfer penalty for the very first boarding at the source.
+        const Time t = (v == src && TdGraph::word_is_const(w))
+                           ? key
+                           : g_.arrival_by_word(w, key);
+        if (t == kInfTime) continue;
+        commit(head, t);
+      }
     }
   }
+  lane.done = true;
 }
 
 template <typename Queue>
@@ -197,7 +232,7 @@ void MultiQueryTimeEngineT<Queue>::commit(Lane& lane) {
         lane.stats.pushed++;
       }
       lane.dist.set(head, t);
-      lane.parent.set(head, lane.settled_node);
+      if (track_parents_) lane.parent.set(head, lane.settled_node);
     }
   }
 }
@@ -213,7 +248,6 @@ void MultiQueryTimeEngineT<Queue>::run(std::span<const BatchQuery> queries) {
   // heap through the cache each round, which on low-fan networks costs
   // more than the shared kernels recover. A tile keeps the round working
   // set cache-sized; lanes are independent, so results are unchanged.
-  const bool shared = relax_.mode != RelaxMode::kInterleaved;
   const bool lockstep = relax_.mode == RelaxMode::kBatchAlways;
   for (std::size_t tb = 0; tb < queries.size(); tb += kLaneTile) {
   const std::size_t te = std::min(tb + kLaneTile, queries.size());
@@ -230,6 +264,7 @@ void MultiQueryTimeEngineT<Queue>::run(std::span<const BatchQuery> queries) {
     lane.target_node = q.target == kInvalidStation
                            ? kInvalidNode
                            : g_.station_node(q.target);
+    lane.targets_left = stop_count_;
     lane.done = false;
     lane.dist.set(lane.src, q.departure);
     lane.heap.push(lane.src, q.departure);
@@ -239,24 +274,11 @@ void MultiQueryTimeEngineT<Queue>::run(std::span<const BatchQuery> queries) {
 
   if (!lockstep) {
     // Outside the shared-frontier mode the lanes share no relax state, so
-    // each runs to completion with per-query cache locality. Wide fans
-    // still reach the batch kernels through settle_batched() — a fan
-    // shares its lane's pop key, so the single-entry-time call is already
-    // the cheapest shape (see the header).
-    for (const std::uint32_t qi : active_) {
-      Lane& lane = *lanes_[qi];
-      for (;;) {
-        pop_step(lane);
-        if (lane.done) break;
-        lane.seg_begin = lane.seg_end = 0;
-        if (shared && g_.ttf_out_degree(lane.settled_node) >=
-                          relax_.batch_min_edges) {
-          settle_batched(lane);
-        } else {
-          settle_interleaved(lane);
-        }
-      }
-    }
+    // each runs to completion with per-query cache locality through the
+    // fused run_lane() loop. Wide fans still reach the batch kernels — a
+    // fan shares its lane's pop key, so the single-entry-time call is
+    // already the cheapest shape (see the header).
+    for (const std::uint32_t qi : active_) run_lane(*lanes_[qi]);
     continue;
   }
 
@@ -314,8 +336,7 @@ MultiQueryOverlayTimeEngineT<Queue>::MultiQueryOverlayTimeEngineT(
       row_best_tail_(ArenaAllocator<NodeId>(scratch_alloc(ws))),
       sweep_parent_(ArenaAllocator<NodeId>(scratch_alloc(ws))),
       relaxed_cnt_(ArenaAllocator<std::uint32_t>(scratch_alloc(ws))),
-      src_mask_(ArenaAllocator<std::uint8_t>(scratch_alloc(ws))),
-      down_index_(ArenaAllocator<std::uint32_t>(scratch_alloc(ws))) {
+      src_mask_(ArenaAllocator<std::uint8_t>(scratch_alloc(ws))) {
   // Same loud dataset-mismatch rejection as OverlayTimeQueryT.
   if (ov.num_nodes() != g.num_nodes() ||
       ov.num_stations() != tt.num_stations() ||
@@ -739,14 +760,8 @@ void MultiQueryOverlayTimeEngineT<Queue>::settle_contracted_batch() {
     lanes_[j]->stats.relaxed += relaxed_cnt_[j];
   }
   // No scatter back into the lanes: trans_dist_/sweep_parent_ become the
-  // result surface (the accessors read them while swept_ holds). The
-  // node -> sweep-position map they need is built once per overlay.
-  if (down_index_.empty()) {
-    down_index_.assign(n, kNoDownIndex);
-    for (std::size_t i = 0; i < ov_.num_contracted(); ++i) {
-      down_index_[ov_.down_node(i)] = static_cast<std::uint32_t>(i);
-    }
-  }
+  // result surface (the accessors read them while swept_ holds), keyed by
+  // the overlay's precomputed down_pos() map.
   kp_ = kp;
   swept_ = true;
 }

@@ -111,6 +111,28 @@ class MultiQueryTimeEngineT {
   void set_relax_options(RelaxOptions r) { relax_ = r; }
   const RelaxOptions& relax_options() const { return relax_; }
 
+  /// Arrival-only mode: skips the per-improvement parent writes (a second
+  /// EpochArray store per label). parent(q, v) is meaningless after a run
+  /// with tracking off. Distances, stats, and determinism are unchanged —
+  /// the parent array is write-only during a run. The session's
+  /// distance_table_batch waves run with tracking off (the matrix API
+  /// returns only times); run_batch always re-enables it.
+  void set_track_parents(bool on) { track_parents_ = on; }
+  bool track_parents() const { return track_parents_; }
+
+  /// Multi-target stop for table workloads: each lane stops as soon as
+  /// every station in `targets` is settled (their distances are final at
+  /// that point; the tail of the search can only touch other nodes). The
+  /// single-target BatchQuery stop generalizes, but only the table API
+  /// knows ALL its read-back columns up front — per-query engines can
+  /// stop at one target at most. Arrivals at the stop targets (and at
+  /// every node settled before the last of them) are unchanged; arrivals
+  /// elsewhere are unspecified after an early stop. Cleared by
+  /// clear_stop_targets(); a BatchQuery target still stops its lane first
+  /// if it settles earlier.
+  void set_stop_targets(std::span<const StationId> targets);
+  void clear_stop_targets();
+
  private:
   struct Lane {
     explicit Lane(ScratchAlloc alloc)
@@ -125,20 +147,25 @@ class MultiQueryTimeEngineT {
     Time key = 0;                        // its pop key
     std::uint32_t seg_begin = 0;         // this round's frontier slots
     std::uint32_t seg_end = 0;
+    std::uint32_t targets_left = 0;  // stop-set stations not yet settled
     bool done = false;
   };
 
   void ensure_lanes(std::size_t k);
+  /// Runs one lane to completion with the per-query engine's fused
+  /// pop/relax loop (kInterleaved and kBatch: lanes share no relax state,
+  /// so each is exactly a TimeQueryT run over lane-sharded label state —
+  /// outlining the per-settle steps measurably cost ~6-10% on the flat
+  /// station-table workload vs the per-query loop). flatten: this TU
+  /// instantiates eight engine variants, which exhausts the inliner's
+  /// budget right here — without the attribute, TtfPool::eval and the
+  /// heap push stay out-of-line calls in the hottest loop (a measured
+  /// ~4-5% per-settle tax the per-query engine, compiled alone in its own
+  /// TU, does not pay).
+  [[gnu::flatten]] void run_lane(Lane& lane);
   /// Pops one settleable node for the lane (per-query protocol); marks the
   /// lane done on heap exhaustion or target settle.
   void pop_step(Lane& lane);
-  /// Full per-query interleaved settle of the lane's popped node (the
-  /// kInterleaved baseline).
-  void settle_interleaved(Lane& lane);
-  /// Wide-fan settle through the per-query batch relax path (gather the
-  /// fan, one arrivals_by_words call at the lane's pop key, commit): the
-  /// kBatch default for nodes at/above RelaxOptions::batch_min_edges.
-  void settle_batched(Lane& lane);
   /// Gather phase of the cross-lane shared-frontier mode (kBatchAlways).
   void gather(Lane& lane);
   /// Commit phase: the per-query batch commit pass over the lane's slots.
@@ -154,6 +181,11 @@ class MultiQueryTimeEngineT {
   RelaxOptions relax_;
   BatchStats batch_stats_;
   std::size_t num_queries_ = 0;
+  bool track_parents_ = true;
+  // Multi-target stop set: per-node flags (only stop-target nodes set),
+  // kept empty outside set_stop_targets()/clear_stop_targets() brackets.
+  std::vector<std::uint8_t, ArenaAllocator<std::uint8_t>> stop_flags_;
+  std::uint32_t stop_count_ = 0;
 };
 
 using MultiQueryTimeEngine = MultiQueryTimeEngineT<>;
@@ -202,8 +234,8 @@ class MultiQueryOverlayTimeEngineT {
   }
   NodeId parent(std::size_t q, NodeId v) const {
     if (swept_) {
-      const std::uint32_t i = down_index_[v];
-      if (i != kNoDownIndex) {
+      const std::uint32_t i = ov_.down_pos(v);
+      if (i != OverlayGraph::kNoDownPos) {
         const NodeId p = sweep_parent_[std::size_t{i} * kp_ + q];
         // An unreached contracted node keeps its (untouched) lane value.
         if (p != kInvalidNode) return p;
@@ -267,22 +299,21 @@ class MultiQueryOverlayTimeEngineT {
   RelaxOptions relax_;
   BatchStats batch_stats_;
   std::size_t num_queries_ = 0;
-  static constexpr std::uint32_t kNoDownIndex = 0xffffffffu;
 
   // settle_contracted_batch state: node-major transposed labels
   // (lane-padded rows of kp_ = K rounded up to 8), per-edge row buffers,
-  // per-contracted-node winning tails, per-lane relax counters, the
-  // is-some-lane's-source node mask for the board-discount fix-up, and
-  // the node -> down-sweep-position map the accessors use. While swept_
-  // is set (sweep done, no newer run), trans_dist_/sweep_parent_ ARE the
-  // result surface — the sweep never scatters back into the lanes.
+  // per-contracted-node winning tails, per-lane relax counters, and the
+  // is-some-lane's-source node mask for the board-discount fix-up. While
+  // swept_ is set (sweep done, no newer run), trans_dist_/sweep_parent_
+  // ARE the result surface — the sweep never scatters back into the
+  // lanes; the node -> sweep-position map the accessors need is the
+  // overlay's own down_pos() view.
   std::vector<Time, ArenaAllocator<Time>> trans_dist_;
   std::vector<Time, ArenaAllocator<Time>> row_ts_, row_out_, row_best_;
   std::vector<NodeId, ArenaAllocator<NodeId>> row_best_tail_;
   std::vector<NodeId, ArenaAllocator<NodeId>> sweep_parent_;
   std::vector<std::uint32_t, ArenaAllocator<std::uint32_t>> relaxed_cnt_;
   std::vector<std::uint8_t, ArenaAllocator<std::uint8_t>> src_mask_;
-  std::vector<std::uint32_t, ArenaAllocator<std::uint32_t>> down_index_;
   std::size_t kp_ = 0;
   bool swept_ = false;
 };

@@ -513,10 +513,13 @@ void OverlayLcProfileQueryT<Queue>::run(StationId s) {
 
       Profile& head_pend = pending_[head];
       Profile& label = labels_[head];
-      if (!fresh_[head]) {
-        // First improving run since the head's last relax: merge eagerly,
-        // exactly the pairwise path — it keeps the label fresh, so the
-        // dominance tests below stay sharp.
+      if (!fresh_[head] && cand_.size() >= kLcEagerFoldMinRun) {
+        // First improving run since the head's last relax, and long enough
+        // to amortize re-reducing the whole label: merge eagerly, exactly
+        // the pairwise path — it keeps the label fresh, so the dominance
+        // tests below stay sharp. Shorter runs fall through to the
+        // deferred pile (kLcEagerFoldMinRun, graph/profile.hpp) so many
+        // tiny shortcut-fan runs fold in one settle-time k-way merge.
         if (label.empty()) {
           reduce_profile_into(cand_, tt_.period(), merged_);
         } else {

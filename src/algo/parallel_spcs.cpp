@@ -57,16 +57,15 @@ void ParallelSpcsT<Queue>::run_partitioned(StationId s, RangeFn fn) {
 }
 
 template <typename Queue>
-void ParallelSpcsT<Queue>::collect_raw_profile(StationId s, StationId t,
-                                               Profile& raw) const {
+void ParallelSpcsT<Queue>::collect_raw_profile_at(StationId s, NodeId vn,
+                                                  Profile& raw) const {
   auto conns = tt_.outgoing(s);
-  const NodeId tn = g_.station_node(t);
   raw.clear();
   raw.reserve(conns.size());
   for (std::size_t th = 0; th < states_.size(); ++th) {
     const std::uint32_t lo = boundaries_[th], hi = boundaries_[th + 1];
     for (std::uint32_t li = 0; li + lo < hi; ++li) {
-      raw.push_back({conns[lo + li].dep, states_[th].arrival(tn, li)});
+      raw.push_back({conns[lo + li].dep, states_[th].arrival(vn, li)});
     }
   }
 }
@@ -74,14 +73,28 @@ void ParallelSpcsT<Queue>::collect_raw_profile(StationId s, StationId t,
 template <typename Queue>
 void ParallelSpcsT<Queue>::assemble_profile_into(StationId s, StationId t,
                                                  Profile& out) {
-  collect_raw_profile(s, t, raw_scratch_);
+  collect_raw_profile_at(s, g_.station_node(t), raw_scratch_);
   reduce_profile_into(raw_scratch_, tt_.period(), out);
 }
 
 template <typename Queue>
 Profile ParallelSpcsT<Queue>::assemble_profile(StationId s, StationId t) const {
   Profile raw;
-  collect_raw_profile(s, t, raw);
+  collect_raw_profile_at(s, g_.station_node(t), raw);
+  return reduce_profile(raw, tt_.period());
+}
+
+template <typename Queue>
+void ParallelSpcsT<Queue>::node_profile_into(StationId s, NodeId v,
+                                             Profile& out) {
+  collect_raw_profile_at(s, v, raw_scratch_);
+  reduce_profile_into(raw_scratch_, tt_.period(), out);
+}
+
+template <typename Queue>
+Profile ParallelSpcsT<Queue>::node_profile(StationId s, NodeId v) const {
+  Profile raw;
+  collect_raw_profile_at(s, v, raw);
   return reduce_profile(raw, tt_.period());
 }
 

@@ -103,13 +103,20 @@ class ParallelSpcsT {
   /// Allocation-free variant: reuses `out` and an internal raw buffer.
   void assemble_profile_into(StationId s, StationId t, Profile& out);
 
+  /// Reduced profile dist(S, v, ·) at ANY graph node of the last full run
+  /// (a full flat run settles route nodes too). The overlay driver
+  /// (algo/overlay_spcs.hpp) offers the same surface after its down-sweep;
+  /// tests/overlay_spcs_test.cpp diffs the two at every node.
+  Profile node_profile(StationId s, NodeId v) const;
+  void node_profile_into(StationId s, NodeId v, Profile& out);
+
   /// Total arena footprint of the per-thread workspaces.
   std::size_t scratch_bytes_reserved() const;
 
  private:
-  /// The shared merge loop of both assemble variants: raw (unreduced)
-  /// per-connection arrivals at `t`, in partition order.
-  void collect_raw_profile(StationId s, StationId t, Profile& raw) const;
+  /// The shared merge loop of the assemble/node_profile variants: raw
+  /// (unreduced) per-connection arrivals at node `vn`, in partition order.
+  void collect_raw_profile_at(StationId s, NodeId vn, Profile& raw) const;
 
   const Timetable& tt_;
   const TdGraph& g_;

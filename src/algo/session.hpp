@@ -24,6 +24,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <memory>
 #include <span>
 
@@ -33,6 +34,7 @@
 #include "algo/mc_query.hpp"
 #include "algo/multi_query.hpp"
 #include "algo/overlay_query.hpp"
+#include "algo/overlay_spcs.hpp"
 #include "algo/parallel_spcs.hpp"
 #include "algo/te_query.hpp"
 #include "algo/time_query.hpp"
@@ -160,6 +162,19 @@ class QuerySessionT {
     return *ov_time_;
   }
 
+  /// Overlay-routed parallel SPCS (algo/overlay_spcs.hpp): the profile
+  /// engine's partitioned ascents over the contracted core, byte-identical
+  /// station profiles. Binds to the overlay passed first, like
+  /// overlay_time_engine().
+  OverlayParallelSpcsT<SpcsQueue>& overlay_spcs_engine(const OverlayGraph& ov) {
+    if (!ov_spcs_ || ov_spcs_graph_ != &ov) {
+      ov_spcs_ = std::make_unique<OverlayParallelSpcsT<SpcsQueue>>(
+          tt_, g_, ov, opt_.spcs());
+      ov_spcs_graph_ = &ov;
+    }
+    return *ov_spcs_;
+  }
+
   OverlayLcProfileQueryT<LcQueue>& overlay_lc_engine(const OverlayGraph& ov) {
     if (!ov_lc_ || ov_lc_graph_ != &ov) {
       ov_lc_ = std::make_unique<OverlayLcProfileQueryT<LcQueue>>(tt_, ov, &ws_);
@@ -234,6 +249,36 @@ class QuerySessionT {
     return station_buf_;
   }
 
+  /// One-to-all profile query routed over the contracted core; requires a
+  /// prior overlay_spcs_engine(ov) call to bind the overlay. Profiles are
+  /// byte-identical to one_to_all() (separate result buffer, so the two
+  /// can be compared directly).
+  const OneToAllResult& overlay_one_to_all(StationId s) {
+    assert(ov_spcs_ && "bind the overlay with overlay_spcs_engine(ov) first");
+    ov_spcs_->one_to_all_into(s, overlay_one_to_all_buf_);
+    return overlay_one_to_all_buf_;
+  }
+
+  /// Overlay-routed station-to-station profile query (stopping criterion
+  /// only); requires a bound overlay_spcs_engine.
+  const StationQueryResult& overlay_station_to_station(StationId s,
+                                                       StationId t) {
+    assert(ov_spcs_ && "bind the overlay with overlay_spcs_engine(ov) first");
+    ov_spcs_->station_to_station_into(s, t, overlay_station_buf_);
+    return overlay_station_buf_;
+  }
+
+  /// The conn(S) partition the session's SPCS engines (flat and overlay)
+  /// would hand their threads: boundaries[t]..boundaries[t+1] is thread
+  /// t's range. Allocation-free once `out` is warm — callers planning
+  /// per-partition work (bench breakdowns, the overlay down-sweep fan)
+  /// share the engines' exact split without running a query.
+  void overlay_partition_connections_into(StationId s,
+                                          std::vector<std::uint32_t>& out) {
+    partition_connections_into(tt_.outgoing(s), opt_.threads, opt_.partition,
+                               tt_.period(), out);
+  }
+
   /// Station-to-station profile query with the Section-4 accelerations;
   /// requires a prior s2s_engine(sg, dt) call to bind the station graph.
   const StationQueryResult& s2s_query(StationId s, StationId t) {
@@ -306,7 +351,8 @@ class QuerySessionT {
   /// batch shape.
   MultiQueryTimeEngineT<TimeQueue>& run_batch(
       std::span<const BatchQuery> queries) {
-    multi_engine().run(queries);
+    multi_engine().set_track_parents(true);  // full API incl. parent(q, v)
+    multi_->run(queries);
     return *multi_;
   }
 
@@ -324,13 +370,50 @@ class QuerySessionT {
   /// one departure, returned row-major (|sources| x |targets|, buffer
   /// overwritten by the next call). Sources advance in waves of `lanes`
   /// concurrent one-to-all searches so the shared eval stage stays wide.
+  /// `lanes` is a ceiling, not a demand: the flat path clamps each wave to
+  /// adaptive_table_lanes() so the wave's label pool stays cache-resident
+  /// (wider waves measurably regressed vs the per-query loop on dense
+  /// networks — the lane pool evicted the warm workspace faster than the
+  /// shared eval stage paid back).
   std::span<const Time> distance_table_batch(
       std::span<const StationId> sources, std::span<const StationId> targets,
       Time departure, std::size_t lanes = 64) {
     multi_engine();
     table_buf_.resize(sources.size() * targets.size());
-    run_table_waves(*multi_, sources, targets, departure, lanes);
+    // The matrix API returns only times at the listed targets: run the
+    // waves arrival-only (no per-improvement parent stores) and stop each
+    // lane once its last target station settles. run_batch() re-enables
+    // full tracking.
+    multi_->set_track_parents(false);
+    multi_->set_stop_targets(targets);
+    run_table_waves(*multi_, sources, targets, departure,
+                    adaptive_table_lanes(g_.num_nodes(), lanes));
+    multi_->clear_stop_targets();
+    multi_->set_track_parents(true);
     return table_buf_;
+  }
+
+  /// The flat wave-width policy above, exposed for tests/bench reporting:
+  /// table waves run arrival-only, so each lane owns ~8 B/node of live
+  /// label state (dist EpochArray values + epochs; parents are untracked).
+  /// The widest wave whose lane pools fit the cache budget is
+  /// budget / (nodes * 8 B) — floored at one lane tile (the engine's
+  /// lockstep width, which bounds the per-round working set on its own)
+  /// and capped at the caller's request. PCONN_TABLE_LANES overrides the
+  /// policy outright (the tuning escape hatch, read once per process like
+  /// PCONN_BATCH_MIN_EDGES).
+  static std::size_t adaptive_table_lanes(std::size_t num_nodes,
+                                          std::size_t requested) {
+    static const long env_lanes = [] {
+      const char* e = std::getenv("PCONN_TABLE_LANES");
+      return e != nullptr ? std::atol(e) : 0;
+    }();
+    if (env_lanes > 0) return static_cast<std::size_t>(env_lanes);
+    constexpr std::size_t kPerNodeBytes = 8;
+    constexpr std::size_t kCacheBudgetBytes = 24u << 20;
+    const std::size_t fit = kCacheBudgetBytes / (num_nodes * kPerNodeBytes + 1);
+    return std::min(std::max(fit, kLaneTile),
+                    requested ? requested : std::size_t{1});
   }
 
   /// Overlay-routed matrix workload (station arrivals are exact after the
@@ -353,6 +436,7 @@ class QuerySessionT {
   std::size_t scratch_bytes_reserved() const {
     std::size_t total = ws_.bytes_reserved();
     if (spcs_) total += spcs_->scratch_bytes_reserved();
+    if (ov_spcs_) total += ov_spcs_->scratch_bytes_reserved();
     if (s2s_) total += s2s_->scratch_bytes_reserved();
     if (all_to_one_) total += all_to_one_->scratch_bytes_reserved();
     return total;
@@ -401,6 +485,8 @@ class QuerySessionT {
   const OverlayGraph* ov_time_graph_ = nullptr;
   std::unique_ptr<OverlayLcProfileQueryT<LcQueue>> ov_lc_;
   const OverlayGraph* ov_lc_graph_ = nullptr;
+  std::unique_ptr<OverlayParallelSpcsT<SpcsQueue>> ov_spcs_;
+  const OverlayGraph* ov_spcs_graph_ = nullptr;
   std::unique_ptr<S2sQueryEngineT<SpcsQueue>> s2s_;
   const StationGraph* s2s_sg_ = nullptr;
   const DistanceTable* s2s_dt_ = nullptr;
@@ -412,7 +498,9 @@ class QuerySessionT {
   // Reusable result buffers for the query API above, one per query kind.
   OneToAllResult one_to_all_buf_;
   OneToAllResult all_to_one_buf_;
+  OneToAllResult overlay_one_to_all_buf_;
   StationQueryResult station_buf_;
+  StationQueryResult overlay_station_buf_;
   StationQueryResult s2s_buf_;
   Journey journey_buf_;
   std::vector<NodeId> path_scratch_;

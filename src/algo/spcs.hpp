@@ -115,6 +115,15 @@ class SpcsThreadStateT {
   std::uint32_t width() const { return width_; }
   const QueryStats& stats() const { return stats_; }
 
+  /// The (node x width) label matrix itself — slot v * width() + li, valid
+  /// iff stamped with the current epoch. The rows are already node-major,
+  /// which is exactly the surface the overlay driver's batched down-sweep
+  /// wants: it extends the matrix in place (algo/overlay_spcs.cpp) and
+  /// adds the sweep's per-lane relax accounting through stats_mutable().
+  EpochArray<Time>& label_matrix() { return arr_; }
+  const EpochArray<Time>& label_matrix() const { return arr_; }
+  QueryStats& stats_mutable() { return stats_; }
+
   /// Runs SPCS for connections [lo, hi) of `conns` (= conn(S), sorted by
   /// departure). If `target` is a valid station, the stopping criterion is
   /// applied (per thread) and relaxing stops at the target's station node.
@@ -123,6 +132,21 @@ class SpcsThreadStateT {
            std::span<const Connection> conns, std::uint32_t lo,
            std::uint32_t hi, StationId target, const SpcsOptions& opt,
            Hook& hook) {
+    run_on(g, g, tt, conns, lo, hi, target, opt, hook);
+  }
+
+  /// Graph-generalized body of run(): the settle loop streams `g` (TdGraph
+  /// or OverlayGraph — same SoA shape), while `flat` resolves the pieces
+  /// only the flat graph knows: a connection's departure route node (the
+  /// initial pushes; node ids are shared between the two graphs) and
+  /// station_of for ancestor-tracking hooks. The overlay driver
+  /// (algo/overlay_spcs.hpp) runs the ascent through this entry point;
+  /// run_on(g, g, ...) is the flat engine, byte for byte.
+  template <typename GraphT, typename Hook>
+  void run_on(const GraphT& g, const TdGraph& flat, const Timetable& tt,
+              std::span<const Connection> conns, std::uint32_t lo,
+              std::uint32_t hi, StationId target, const SpcsOptions& opt,
+              Hook& hook) {
     assert(lo <= hi && hi <= conns.size());
     stats_ = QueryStats{};
     const std::uint32_t W = hi - lo;
@@ -153,7 +177,7 @@ class SpcsThreadStateT {
     };
     for (std::uint32_t li = 0; li < W; ++li) {
       const Connection& c = conns[lo + li];
-      NodeId r = g.departure_node(tt, c);
+      NodeId r = flat.departure_node(tt, c);
       heap_.push(static_cast<std::uint32_t>(
                      static_cast<std::uint64_t>(r) * W + li),
                  make_key(c.dep, li));
@@ -280,7 +304,7 @@ class SpcsThreadStateT {
         if constexpr (Hook::kWantsAncestors) {
           if (improved) {
             const std::uint8_t new_anc =
-                (had_anc || hook.is_transfer(g.station_of(v))) ? 1 : 0;
+                (had_anc || hook.is_transfer(flat.station_of(v))) ? 1 : 0;
             if (!contained) {
               anc_.set(wid, new_anc);
               if (!new_anc) noanc_[li]++;

@@ -2,6 +2,13 @@
 
 namespace pconn {
 
+void OverlayGraph::build_down_pos() {
+  down_pos_.assign(rank_.size(), kNoDownPos);
+  for (std::size_t i = 0; i < down_node_.size(); ++i) {
+    down_pos_[down_node_[i]] = static_cast<std::uint32_t>(i);
+  }
+}
+
 std::size_t OverlayGraph::memory_bytes() const {
   std::size_t bytes = 0;
   bytes += rank_.size() * sizeof(std::uint32_t);
@@ -16,6 +23,7 @@ std::size_t OverlayGraph::memory_bytes() const {
   bytes += down_begin_.size() * sizeof(std::uint32_t);
   bytes += down_tails_.size() * sizeof(NodeId);
   bytes += down_words_.size() * sizeof(std::uint32_t);
+  bytes += down_pos_.size() * sizeof(std::uint32_t);
   bytes += ttfs_.memory_bytes();
   return bytes;
 }

@@ -150,6 +150,16 @@ class OverlayGraph {
   NodeId down_tail(std::uint32_t e) const { return down_tails_[e]; }
   std::uint32_t down_word(std::uint32_t e) const { return down_words_[e]; }
 
+  /// down_pos(v) of nodes that are core (never swept).
+  static constexpr std::uint32_t kNoDownPos =
+      std::numeric_limits<std::uint32_t>::max();
+  /// Inverse of down_node(): v's position in the down-sweep order, or
+  /// kNoDownPos for core nodes. Built once at finalize (contraction and
+  /// deserialization both), so every sweeping engine — the per-query
+  /// settle_contracted, the multi-query cross-lane sweep, the partitioned
+  /// SPCS sweep — shares one map instead of each building its own.
+  std::uint32_t down_pos(NodeId v) const { return down_pos_[v]; }
+
   const ContractionStats& build_stats() const { return build_stats_; }
 
   /// Overlay footprint in bytes: CSRs, provenance and the pooled TTFs.
@@ -161,6 +171,11 @@ class OverlayGraph {
   friend class ContractionBuilder;           // algo/contraction.cpp
   friend void save_overlay(const OverlayGraph&, std::ostream&);
   friend OverlayGraph load_overlay(std::istream&);
+
+  /// Derives down_pos_ from down_node_; the two construction paths
+  /// (ContractionBuilder::assemble, load_overlay) call it after the down
+  /// arrays are final.
+  void build_down_pos();
 
   std::size_t num_stations_ = 0;
   std::size_t num_core_ = 0;
@@ -180,6 +195,7 @@ class OverlayGraph {
   std::vector<std::uint32_t> down_begin_;     // |down_node_| + 1
   std::vector<NodeId> down_tails_;
   std::vector<std::uint32_t> down_words_;
+  std::vector<std::uint32_t> down_pos_;       // per node; kNoDownPos = core
   TtfPool ttfs_;
   ContractionStats build_stats_;
 };

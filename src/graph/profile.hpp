@@ -31,6 +31,18 @@ inline bool profile_point_less(const ProfilePoint& x, const ProfilePoint& y) {
   return x.dep != y.dep ? x.dep < y.dep : x.arr < y.arr;
 }
 
+/// Fold-scheduling policy of the overlay LC engine's deferred k-way merge
+/// (overlay_query.cpp): a candidate run shorter than this goes to the
+/// head's pending pile even when the head label is stale, instead of
+/// paying a whole-label pairwise merge per run. Sparse rail networks'
+/// shortcut fans emit mostly 1-3 point runs into hub stations; batching
+/// them into the next settle's single k-way fold is what recovers the
+/// merge cost there. Exactness does not depend on the value: the
+/// settle-time fold reduces label + pending in one pass regardless of
+/// which side a point arrived on, so any threshold yields byte-identical
+/// profiles (tests/overlay_test.cpp) — this only tunes when work happens.
+constexpr std::size_t kLcEagerFoldMinRun = 8;
+
 /// The paper's connection reduction (Section 3.1): scan backward keeping
 /// the minimum arrival; drop every point whose arrival is not strictly
 /// earlier than the best later-departing alternative. Points with

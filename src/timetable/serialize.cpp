@@ -291,6 +291,9 @@ OverlayGraph load_overlay(std::istream& in) {
   for (std::size_t e = 0; e < ov.down_tails_.size(); ++e) {
     structural(ov.down_tails_[e] < n && word_ok(ov.down_words_[e]));
   }
+  // Derived, not serialized: the node -> down-sweep-position map every
+  // sweeping engine reads (validated down_node_ makes it well-defined).
+  ov.build_down_pos();
   return ov;
 }
 

@@ -73,6 +73,14 @@ class EpochArray {
   const std::uint32_t* epochs_data() const { return epochs_.data(); }
   std::uint32_t epoch() const { return epoch_; }
 
+  /// Mutable bulk views for in-place sweeps (the overlay SPCS down-sweep
+  /// extends a thread's label matrix row by row): writing values_data()[i]
+  /// must be paired with stamping epochs_data()[i] = epoch(), exactly what
+  /// set() does — these views only exist so a row writer can do it without
+  /// per-slot bounds/epoch re-checks.
+  T* values_data() { return values_.data(); }
+  std::uint32_t* epochs_data() { return epochs_.data(); }
+
   /// Prefetch hint for slot i (relax-loop lookahead): the stamp word
   /// decides touched()/get(), the value line follows on set().
   void prefetch(std::size_t i) const {

@@ -290,6 +290,53 @@ TEST(MultiQuery, DistanceTableBatchMatchesPerQueryLoops) {
   }
 }
 
+// The table waves run arrival-only with a multi-target stop (the matrix
+// API returns only times at its listed targets); run_batch through the
+// same engine must still hand back full per-query results — parents
+// included — no matter how the two workloads interleave.
+TEST(MultiQuery, TableModeRestoresFullTracking) {
+  Timetable tt = test::small_city(46);
+  TdGraph g = TdGraph::build(tt);
+  Rng rng(75);
+  std::vector<StationId> sources, targets;
+  for (int i = 0; i < 6; ++i) {
+    sources.push_back(static_cast<StationId>(rng.next_below(tt.num_stations())));
+  }
+  for (int i = 0; i < 5; ++i) {
+    targets.push_back(static_cast<StationId>(rng.next_below(tt.num_stations())));
+  }
+  const Time dep = 7 * 3600;
+  std::vector<BatchQuery> qs;
+  for (const StationId s : sources) {
+    qs.push_back({.source = s, .departure = dep});
+  }
+
+  QuerySession session(tt, g);
+  TimeQuery per(tt, g);
+  for (int round = 0; round < 2; ++round) {
+    // Table call first: arrival-only waves with the stop set armed ...
+    const std::span<const Time> table =
+        session.distance_table_batch(sources, targets, dep, 4);
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      per.run(sources[i], dep);
+      for (std::size_t j = 0; j < targets.size(); ++j) {
+        EXPECT_EQ(table[i * targets.size() + j], per.arrival_at(targets[j]));
+      }
+    }
+    // ... then run_batch must be back to the full per-query contract:
+    // every node's distance AND parent, full (unstopped) searches.
+    auto& eng = session.run_batch(qs);
+    for (std::size_t q = 0; q < qs.size(); ++q) {
+      per.run(sources[q], dep);
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        ASSERT_EQ(eng.arrival_at_node(q, v), per.arrival_at_node(v));
+        ASSERT_EQ(eng.parent(q, v), per.parent(v));
+      }
+      ASSERT_EQ(eng.stats(q).settled, per.stats().settled);
+    }
+  }
+}
+
 // Zero-allocation guarantee: after warm-up, run_batch / the matrix
 // workloads of the same batch shape allocate nothing — all lane state and
 // the shared frontier live in the session workspace.

@@ -1,0 +1,285 @@
+// Overlay-routed parallel SPCS correctness (algo/overlay_spcs.hpp):
+//  * differential overlay-vs-flat byte-identity of the reduced profile
+//    fronts at EVERY station across {1, 2, 8} threads x 4 queue policies
+//    x 3 RelaxModes, and at EVERY flat node after the batched down-sweep;
+//  * accounting discipline: overlay stats identical across RelaxModes
+//    (including the scalar-vs-batched sweep), settled/pruned/relaxed
+//    identical across queue policies, sweep idempotency;
+//  * thread-count determinism of the overlay profiles;
+//  * station-to-station with the stopping criterion.
+#include <gtest/gtest.h>
+
+#include "algo/contraction.hpp"
+#include "algo/overlay_spcs.hpp"
+#include "algo/parallel_spcs.hpp"
+#include "test_util.hpp"
+
+namespace pconn {
+namespace {
+
+ParallelSpcsOptions spcs_opts(unsigned threads, RelaxMode mode) {
+  ParallelSpcsOptions o;
+  o.threads = threads;
+  o.relax = mode;
+  return o;
+}
+
+/// A few deterministic sources spread over the station range.
+std::vector<StationId> pick_sources(const Timetable& tt, std::uint64_t seed,
+                                    int count) {
+  Rng rng(seed);
+  std::vector<StationId> out;
+  for (int i = 0; i < count; ++i) {
+    out.push_back(static_cast<StationId>(rng.next_below(tt.num_stations())));
+  }
+  return out;
+}
+
+// ------------------------------------------------------------ differential ---
+
+/// Station profiles byte-identical to the flat driver for one
+/// (threads, queue, mode) configuration.
+template <typename Queue>
+void expect_station_identity(const Timetable& tt, const TdGraph& g,
+                             const OverlayGraph& ov, unsigned threads,
+                             RelaxMode mode, std::uint64_t seed) {
+  ParallelSpcsT<Queue> flat(tt, g, spcs_opts(threads, mode));
+  OverlayParallelSpcsT<Queue> over(tt, g, ov, spcs_opts(threads, mode));
+  for (const StationId s : pick_sources(tt, seed, 2)) {
+    const OneToAllResult rf = flat.one_to_all(s);
+    const OneToAllResult ro = over.one_to_all(s);
+    ASSERT_EQ(ro.profiles.size(), rf.profiles.size());
+    for (StationId v = 0; v < tt.num_stations(); ++v) {
+      ASSERT_EQ(ro.profiles[v], rf.profiles[v])
+          << "station " << v << " source " << s << " threads " << threads
+          << " mode " << relax_mode_name(mode);
+    }
+  }
+}
+
+TEST(OverlaySpcs, StationIdentityAcrossThreadsPoliciesModes) {
+  const Timetable tt = test::small_city(41);
+  const TdGraph g = TdGraph::build(tt);
+  const OverlayGraph ov = contract_graph(tt, g);
+  std::uint64_t seed = 9000;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    for (const RelaxMode mode : {RelaxMode::kInterleaved, RelaxMode::kBatch,
+                                 RelaxMode::kBatchAlways}) {
+      expect_station_identity<SpcsBinaryQueue>(tt, g, ov, threads, mode,
+                                               seed++);
+      expect_station_identity<SpcsQuaternaryQueue>(tt, g, ov, threads, mode,
+                                                   seed++);
+      expect_station_identity<SpcsLazyQueue>(tt, g, ov, threads, mode, seed++);
+      expect_station_identity<SpcsBucketQueue>(tt, g, ov, threads, mode,
+                                               seed++);
+    }
+  }
+}
+
+TEST(OverlaySpcs, StationIdentityOtherFixtures) {
+  {
+    const Timetable tt = test::tiny_line();
+    const TdGraph g = TdGraph::build(tt);
+    const OverlayGraph ov = contract_graph(tt, g);
+    expect_station_identity<SpcsBinaryQueue>(tt, g, ov, 2, RelaxMode::kBatch,
+                                             10001);
+  }
+  {
+    const Timetable tt = test::small_railway(42);
+    const TdGraph g = TdGraph::build(tt);
+    const OverlayGraph ov = contract_graph(tt, g);
+    expect_station_identity<SpcsBinaryQueue>(tt, g, ov, 2, RelaxMode::kBatch,
+                                             10002);
+    expect_station_identity<SpcsBucketQueue>(tt, g, ov, 8,
+                                             RelaxMode::kInterleaved, 10003);
+  }
+  Rng rng(777);
+  for (int iter = 0; iter < 3; ++iter) {
+    const Timetable tt = test::random_timetable(rng, 12, 8, 4);
+    const TdGraph g = TdGraph::build(tt);
+    const OverlayGraph ov = contract_graph(tt, g);
+    expect_station_identity<SpcsBinaryQueue>(tt, g, ov, 2, RelaxMode::kBatch,
+                                             11000 + iter);
+  }
+}
+
+/// Node-level differential: after settle_contracted() the overlay engine's
+/// reduced profile must equal the flat engine's at EVERY flat node —
+/// core, contracted, stations and route nodes alike.
+template <typename Queue>
+void expect_node_identity(const Timetable& tt, const TdGraph& g,
+                          const OverlayGraph& ov, unsigned threads,
+                          RelaxMode mode, StationId s) {
+  ParallelSpcsT<Queue> flat(tt, g, spcs_opts(threads, mode));
+  OverlayParallelSpcsT<Queue> over(tt, g, ov, spcs_opts(threads, mode));
+  flat.one_to_all(s);
+  over.one_to_all(s);
+  over.settle_contracted();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_EQ(over.node_profile(s, v), flat.node_profile(s, v))
+        << "node " << v << (ov.is_core(v) ? " (core)" : " (contracted)")
+        << " source " << s << " threads " << threads << " mode "
+        << relax_mode_name(mode);
+  }
+}
+
+TEST(OverlaySpcs, NodeIdentityAfterSweep) {
+  const Timetable tt = test::small_city(43);
+  const TdGraph g = TdGraph::build(tt);
+  const OverlayGraph ov = contract_graph(tt, g);
+  ASSERT_GT(ov.num_contracted(), 0u) << "fixture contracted nothing";
+  const StationId s = 3 % tt.num_stations();
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    expect_node_identity<SpcsBinaryQueue>(tt, g, ov, threads,
+                                          RelaxMode::kInterleaved, s);
+    expect_node_identity<SpcsBinaryQueue>(tt, g, ov, threads, RelaxMode::kBatch,
+                                          s);
+  }
+  expect_node_identity<SpcsBucketQueue>(tt, g, ov, 2, RelaxMode::kBatchAlways,
+                                        s);
+}
+
+// ------------------------------------------------------------- accounting ---
+
+void expect_same_work(const QueryStats& a, const QueryStats& b,
+                      const char* what) {
+  EXPECT_EQ(a.settled, b.settled) << what;
+  EXPECT_EQ(a.pushed, b.pushed) << what;
+  EXPECT_EQ(a.decreased, b.decreased) << what;
+  EXPECT_EQ(a.stale_popped, b.stale_popped) << what;
+  EXPECT_EQ(a.relaxed, b.relaxed) << what;
+  EXPECT_EQ(a.self_pruned, b.self_pruned) << what;
+  EXPECT_EQ(a.relax_pruned, b.relax_pruned) << what;
+  EXPECT_EQ(a.stop_pruned, b.stop_pruned) << what;
+}
+
+TEST(OverlaySpcs, AccountingIdenticalAcrossRelaxModes) {
+  // Batch phasing — ascent relax loops AND the scalar-vs-row down-sweep —
+  // must not change any work counter (the same live lanes are evaluated in
+  // the same edge order either way).
+  const Timetable tt = test::small_city(44);
+  const TdGraph g = TdGraph::build(tt);
+  const OverlayGraph ov = contract_graph(tt, g);
+  const StationId s = 1 % tt.num_stations();
+  for (const unsigned threads : {1u, 2u}) {
+    QueryStats base{};
+    bool first = true;
+    for (const RelaxMode mode : {RelaxMode::kInterleaved, RelaxMode::kBatch,
+                                 RelaxMode::kBatchAlways}) {
+      OverlayParallelSpcsT<SpcsBinaryQueue> over(tt, g, ov,
+                                                 spcs_opts(threads, mode));
+      over.one_to_all(s);
+      over.settle_contracted();
+      const QueryStats st = over.accumulated_stats();
+      if (first) {
+        base = st;
+        first = false;
+      } else {
+        expect_same_work(base, st, relax_mode_name(mode));
+      }
+    }
+  }
+}
+
+TEST(OverlaySpcs, SettleAccountingIdenticalAcrossQueuePolicies) {
+  // Policies may differ in pushed/decreased/stale_popped (that is their
+  // point) but must settle the same items and relax the same edges.
+  const Timetable tt = test::small_city(45);
+  const TdGraph g = TdGraph::build(tt);
+  const OverlayGraph ov = contract_graph(tt, g);
+  const StationId s = 2 % tt.num_stations();
+  const auto run = [&](auto tag) {
+    using Queue = decltype(tag);
+    OverlayParallelSpcsT<Queue> over(tt, g, ov,
+                                     spcs_opts(2, RelaxMode::kBatch));
+    over.one_to_all(s);
+    over.settle_contracted();
+    return over.accumulated_stats();
+  };
+  const QueryStats bin = run(SpcsBinaryQueue{});
+  for (const QueryStats& st :
+       {run(SpcsQuaternaryQueue{}), run(SpcsLazyQueue{}),
+        run(SpcsBucketQueue{})}) {
+    // Same discipline as the flat cross-policy test
+    // (tests/queue_policy_test.cpp): settled and self-pruned items are
+    // policy-invariant; `relaxed` may jitter by equal-composite-key pop
+    // order, and queue-shape counters differ by design.
+    EXPECT_EQ(bin.settled, st.settled);
+    EXPECT_EQ(bin.self_pruned, st.self_pruned);
+  }
+}
+
+TEST(OverlaySpcs, SweepIsIdempotent) {
+  const Timetable tt = test::small_city(46);
+  const TdGraph g = TdGraph::build(tt);
+  const OverlayGraph ov = contract_graph(tt, g);
+  OverlayParallelSpcsT<SpcsBinaryQueue> over(tt, g, ov,
+                                             spcs_opts(2, RelaxMode::kBatch));
+  const StationId s = 0;
+  over.one_to_all(s);
+  over.settle_contracted();
+  const QueryStats once = over.accumulated_stats();
+  const Profile p = over.node_profile(s, g.num_nodes() - 1);
+  over.settle_contracted();  // must be a no-op
+  expect_same_work(once, over.accumulated_stats(), "re-sweep");
+  EXPECT_EQ(p, over.node_profile(s, g.num_nodes() - 1));
+}
+
+// ------------------------------------------------------------ determinism ---
+
+TEST(OverlaySpcs, ProfilesDeterministicAcrossThreadCounts) {
+  const Timetable tt = test::small_city(47);
+  const TdGraph g = TdGraph::build(tt);
+  const OverlayGraph ov = contract_graph(tt, g);
+  const StationId s = 4 % tt.num_stations();
+  OverlayParallelSpcsT<SpcsBinaryQueue> one(tt, g, ov,
+                                            spcs_opts(1, RelaxMode::kBatch));
+  OverlayParallelSpcsT<SpcsBinaryQueue> two(tt, g, ov,
+                                            spcs_opts(2, RelaxMode::kBatch));
+  OverlayParallelSpcsT<SpcsBinaryQueue> eight(tt, g, ov,
+                                              spcs_opts(8, RelaxMode::kBatch));
+  const OneToAllResult r1 = one.one_to_all(s);
+  const OneToAllResult r2 = two.one_to_all(s);
+  const OneToAllResult r8 = eight.one_to_all(s);
+  for (StationId v = 0; v < tt.num_stations(); ++v) {
+    ASSERT_EQ(r1.profiles[v], r2.profiles[v]) << "station " << v;
+    ASSERT_EQ(r1.profiles[v], r8.profiles[v]) << "station " << v;
+  }
+  // And the node-level results after the sweep.
+  one.settle_contracted();
+  two.settle_contracted();
+  eight.settle_contracted();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const Profile p1 = one.node_profile(s, v);
+    ASSERT_EQ(p1, two.node_profile(s, v)) << "node " << v;
+    ASSERT_EQ(p1, eight.node_profile(s, v)) << "node " << v;
+  }
+}
+
+// -------------------------------------------------------------------- s2s ---
+
+TEST(OverlaySpcs, StationToStationMatchesFlat) {
+  const Timetable tt = test::small_city(48);
+  const TdGraph g = TdGraph::build(tt);
+  const OverlayGraph ov = contract_graph(tt, g);
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    ParallelSpcsT<SpcsBinaryQueue> flat(tt, g,
+                                        spcs_opts(threads, RelaxMode::kBatch));
+    OverlayParallelSpcsT<SpcsBinaryQueue> over(
+        tt, g, ov, spcs_opts(threads, RelaxMode::kBatch));
+    Rng rng(1200 + threads);
+    for (int i = 0; i < 4; ++i) {
+      const StationId s =
+          static_cast<StationId>(rng.next_below(tt.num_stations()));
+      const StationId t =
+          static_cast<StationId>(rng.next_below(tt.num_stations()));
+      const StationQueryResult rf = flat.station_to_station(s, t);
+      const StationQueryResult ro = over.station_to_station(s, t);
+      ASSERT_EQ(ro.profile, rf.profile)
+          << s << " -> " << t << " threads " << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pconn

@@ -331,8 +331,11 @@ TEST(QuerySession, WarmQueriesDoNotAllocate) {
   session.te_engine(te);
   session.overlay_time_engine(ov);
   session.overlay_lc_engine(ov);
+  session.overlay_spcs_engine(ov);
 
   std::vector<StationId> sources;
+  std::vector<std::uint32_t> part_buf;
+  Profile node_profile_buf;
   Rng rng(77);
   for (int i = 0; i < 4; ++i) {
     sources.push_back(
@@ -375,6 +378,18 @@ TEST(QuerySession, WarmQueriesDoNotAllocate) {
       }
       session.overlay_lc_engine(ov).run(s);
       checksum += session.overlay_lc_engine(ov).profile(target).size();
+      // Overlay-routed SPCS (this PR): partitioned ascent, the in-place
+      // batched down-sweep, node-level profile assembly and the s2s
+      // variant, all through the session's warm `_into` buffers.
+      const OneToAllResult& ro = session.overlay_one_to_all(s);
+      checksum += ro.stats.settled;
+      session.overlay_spcs_engine(ov).settle_contracted();
+      session.overlay_spcs_engine(ov).node_profile_into(
+          s, g.num_nodes() - 1, node_profile_buf);
+      checksum += node_profile_buf.size();
+      checksum += session.overlay_station_to_station(s, target).profile.size();
+      session.overlay_partition_connections_into(s, part_buf);
+      checksum += part_buf.back();
     }
   };
 
