@@ -1,0 +1,242 @@
+// Live-update subsystem — incremental re-link vs full re-contraction
+// (docs/architecture.md "Live updates").
+//
+// Per network: contract the overlay witness-free (the live configuration),
+// then apply a single-route delay event and measure
+//   * relink_ms      — relink_overlay walking the shortcut provenance DAG
+//                      and recomputing only the affected TTFs;
+//   * recontract_ms  — contract_graph from scratch on the same perturbed
+//                      timetable (what a feed without re-link would pay).
+// The re-linked overlay is verified byte-identical to the from-scratch one
+// BEFORE any timing is reported (a speedup over a wrong overlay is
+// meaningless), and an RCU reader pinned to the pre-event epoch must keep
+// answering byte-identically while the writer publishes — the "queries
+// never block on an update" property the subsystem exists for.
+//
+// JSON (--json) is archived by CI as BENCH_liveupdate.json; CI gates
+// relink_speedup (geomean of recontract_ms / relink_ms across networks)
+// >= 3.0, relink_identical, and old_epoch_served.
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "algo/contraction.hpp"
+#include "algo/time_query.hpp"
+#include "bench_common.hpp"
+#include "live/delay_feed.hpp"
+#include "live/live_overlay.hpp"
+#include "live/live_session.hpp"
+#include "util/format.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace pconn::bench {
+namespace {
+
+constexpr int kBlocks = 3;
+
+struct LiveRow {
+  std::string name;
+  double contraction_ms = 0.0;
+  double relink_ms = 0.0;
+  double recontract_ms = 0.0;
+  double speedup = 0.0;
+  std::uint64_t shortcuts = 0;
+  std::uint64_t affected_shortcuts = 0;
+  std::uint64_t recomputed_functions = 0;
+  std::uint64_t total_functions = 0;
+  std::uint64_t copied_points = 0;
+  std::uint64_t recomputed_points = 0;
+  bool identical = false;
+  bool old_epoch_served = false;
+};
+
+bool overlays_identical(const OverlayGraph& a, const OverlayGraph& b) {
+  if (a.num_nodes() != b.num_nodes() || a.num_edges() != b.num_edges() ||
+      a.num_shortcuts() != b.num_shortcuts() ||
+      a.ttfs().size() != b.ttfs().size() ||
+      a.ttfs().num_points() != b.ttfs().num_points()) {
+    return false;
+  }
+  for (std::uint32_t e = 0; e < a.num_edges(); ++e) {
+    if (a.edge_head(e) != b.edge_head(e) || a.edge_word(e) != b.edge_word(e) ||
+        a.edge_origin(e) != b.edge_origin(e)) {
+      return false;
+    }
+  }
+  for (std::uint32_t f = 0; f < static_cast<std::uint32_t>(a.ttfs().size());
+       ++f) {
+    const auto pa = a.ttfs().points(f);
+    const auto pb = b.ttfs().points(f);
+    if (pa.size() != pb.size()) return false;
+    for (std::size_t i = 0; i < pa.size(); ++i) {
+      if (pa[i].dep != pb[i].dep || pa[i].dur != pb[i].dur) return false;
+    }
+  }
+  return true;
+}
+
+/// First delay event the feed both accepts and can re-link (trip 0 is
+/// almost always enough; a trip whose delay would reorder its chain falls
+/// back to the next candidate).
+DelayEvent pick_relink_event(const Timetable& tt, const TdGraph& g,
+                             const OverlayGraph& ov) {
+  for (TrainId train = 0; train < tt.num_trips() && train < 32; ++train) {
+    for (const Time delay : {Time{60}, Time{30}, Time{5}}) {
+      const DelayEvent ev = DelayEvent::delayed(train, 0, delay);
+      try {
+        const Timetable tt_new = apply_event(tt, ev);
+        const TdGraph g_new = TdGraph::build(tt_new);
+        if (relink_overlay(tt_new, g_new, g, ov).status ==
+            RelinkStatus::kRelinked) {
+          return ev;
+        }
+      } catch (const std::invalid_argument&) {
+      }
+    }
+  }
+  std::cerr << "no re-linkable delay event found\n";
+  std::exit(1);
+}
+
+LiveRow run_network(gen::Preset preset) {
+  Network net = load_network(preset);
+  print_network_header(net);
+  LiveRow row;
+  row.name = gen::preset_name(preset);
+
+  OverlayContractionOptions copt;
+  copt.witness_settles = 0;  // the live configuration (re-link exactness)
+  Timer ct;
+  const OverlayGraph ov = contract_graph(net.tt, net.graph, copt);
+  row.contraction_ms = ct.elapsed_ms();
+  row.shortcuts = ov.num_shortcuts();
+  row.total_functions = ov.ttfs().size();
+
+  const DelayEvent ev = pick_relink_event(net.tt, net.graph, ov);
+  const Timetable tt_new = apply_event(net.tt, ev);
+  const TdGraph g_new = TdGraph::build(tt_new);
+
+  // Correctness first: the re-linked overlay must be byte-identical to a
+  // from-scratch re-contraction of the perturbed world.
+  {
+    RelinkResult r = relink_overlay(tt_new, g_new, net.graph, ov);
+    const OverlayGraph fresh = contract_graph(tt_new, g_new, copt);
+    row.identical = r.status == RelinkStatus::kRelinked &&
+                    overlays_identical(r.overlay, fresh);
+    row.affected_shortcuts = r.stats.affected_shortcuts;
+    row.recomputed_functions = r.stats.recomputed_functions;
+    row.copied_points = r.stats.copied_points;
+    row.recomputed_points = r.stats.recomputed_points;
+  }
+
+  // Timed: best of kBlocks for both paths (the contrast is orders of
+  // magnitude; best-of damps allocator noise without long runs).
+  row.relink_ms = 1e100;
+  row.recontract_ms = 1e100;
+  for (int b = 0; b < kBlocks; ++b) {
+    Timer t;
+    RelinkResult r = relink_overlay(tt_new, g_new, net.graph, ov);
+    row.relink_ms = std::min(row.relink_ms, t.elapsed_ms());
+    if (r.status != RelinkStatus::kRelinked) row.identical = false;
+  }
+  for (int b = 0; b < kBlocks; ++b) {
+    Timer t;
+    const OverlayGraph fresh = contract_graph(tt_new, g_new, copt);
+    row.recontract_ms = std::min(row.recontract_ms, t.elapsed_ms());
+    if (fresh.num_shortcuts() != row.shortcuts) row.identical = false;
+  }
+  row.speedup = row.recontract_ms / row.relink_ms;
+
+  // RCU liveness: a reader pinned before the event answers byte-
+  // identically from the retired epoch while the writer publishes.
+  {
+    LiveOverlayOptions lopt;
+    lopt.contraction = copt;
+    LiveOverlay live(net.tt, lopt);
+    LiveQuerySession reader(live);
+    reader.set_auto_refresh(false);
+    const auto stations = random_stations(net.tt, 6, 1234);
+    std::vector<Time> before;
+    for (StationId s : stations) {
+      before.push_back(reader.earliest_arrival(s, 8 * 3600, stations.back()));
+    }
+    const ApplyResult applied = live.apply(ev);
+    bool ok = applied.status == ApplyStatus::kRelinked &&
+              live.retired_pinned() == 1;
+    for (std::size_t i = 0; i < stations.size(); ++i) {
+      ok = ok && reader.earliest_arrival(stations[i], 8 * 3600,
+                                         stations.back()) == before[i];
+    }
+    row.old_epoch_served = ok;
+  }
+
+  std::cout << "  contraction " << fixed(row.contraction_ms, 1)
+            << " ms, re-link " << fixed(row.relink_ms, 2)
+            << " ms vs re-contract " << fixed(row.recontract_ms, 1)
+            << " ms  ->  " << fixed(row.speedup, 1) << "x"
+            << "  (recomputed " << format_count(row.recomputed_functions)
+            << "/" << format_count(row.total_functions) << " functions, "
+            << (row.identical ? "byte-identical" : "MISMATCH") << ", "
+            << (row.old_epoch_served ? "old epoch served" : "READER BLOCKED")
+            << ")\n";
+  return row;
+}
+
+int run(int argc, char** argv) {
+  parse_bench_args(argc, argv);
+  std::vector<gen::Preset> presets = {gen::Preset::kOahuLike,
+                                      gen::Preset::kGermanyLike};
+  if (options().smoke) presets = {gen::Preset::kOahuLike};
+
+  std::vector<LiveRow> rows;
+  for (gen::Preset p : presets) rows.push_back(run_network(p));
+
+  std::vector<double> speedups;
+  bool identical = true, served = true;
+  for (const LiveRow& r : rows) {
+    speedups.push_back(r.speedup);
+    identical = identical && r.identical;
+    served = served && r.old_epoch_served;
+  }
+  const double speedup = geomean(speedups);
+  std::cout << "\nre-link speedup (geomean): " << fixed(speedup, 1)
+            << "x, byte-identical: " << (identical ? "yes" : "NO")
+            << ", old-epoch reads: " << (served ? "served" : "BLOCKED")
+            << "\n";
+
+  if (options().json) {
+    JsonWriter w = bench_json_doc("liveupdate", "relink-vs-recontract");
+    w.key("networks").begin_array();
+    for (const LiveRow& r : rows) {
+      w.begin_object()
+          .field("name", r.name)
+          .field("contraction_ms", r.contraction_ms, 2)
+          .field("relink_ms", r.relink_ms, 3)
+          .field("recontract_ms", r.recontract_ms, 2)
+          .field("relink_speedup", r.speedup, 2)
+          .field("shortcuts", r.shortcuts)
+          .field("affected_shortcuts", r.affected_shortcuts)
+          .field("recomputed_functions", r.recomputed_functions)
+          .field("total_functions", r.total_functions)
+          .field("copied_points", r.copied_points)
+          .field("recomputed_points", r.recomputed_points)
+          .field("relink_identical", r.identical)
+          .field("old_epoch_served", r.old_epoch_served)
+          .end_object();
+    }
+    w.end_array()
+        .field("relink_speedup", speedup, 2)
+        .field("relink_identical", identical)
+        .field("old_epoch_served", served)
+        .end_object();
+    emit_json(w.str());
+  }
+  return identical && served ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace pconn::bench
+
+int main(int argc, char** argv) { return pconn::bench::run(argc, argv); }

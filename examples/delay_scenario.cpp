@@ -1,54 +1,50 @@
-// Dynamic scenario (paper Section 5.1): because the one-to-all SPCS query
-// needs no preprocessing, a delayed train simply means rebuilding the
-// timetable view and re-querying — "we can directly use this approach in a
-// fully dynamic scenario".
+// Dynamic scenario (paper Section 5.1) on the live-update subsystem
+// (docs/architecture.md "Live updates").
 //
-// This example delays a morning trip on a bus-city line, re-runs the
-// profile query, and diffs the commuter's options before and after.
+// The paper notes the SPCS query itself needs no preprocessing — "we can
+// directly use this approach in a fully dynamic scenario". With the
+// contraction overlay in front, a delayed train additionally needs the
+// overlay repaired; the live feed does that incrementally: a delay event
+// re-links only the affected shortcut TTFs (byte-identical to a fresh
+// re-contraction), the new epoch is published with one pointer swap, and a
+// reader pinned to the old epoch keeps answering throughout.
+//
+// This example delays a morning trip on a bus-city line through the feed,
+// diffs the commuter's options before and after, then inserts a relief run
+// on a new stop sequence (a structure-changing event: full re-contraction)
+// and finally demonstrates graceful degradation: an injected rebuild fault
+// publishes an overlay-less epoch that still answers exactly, and retry()
+// restores the overlay.
 #include <iostream>
-#include <vector>
 
-#include "algo/session.hpp"
+#include "live/delay_feed.hpp"
+#include "live/live_overlay.hpp"
+#include "live/live_session.hpp"
 #include "gen/generator.hpp"
-#include "timetable/builder.hpp"
+#include "util/fault_injector.hpp"
 #include "util/format.hpp"
 
 using namespace pconn;
 
 namespace {
 
-/// Rebuilds a timetable with one trip shifted later by `delay` seconds
-/// from stop `from_stop` onward (a hold at that stop).
-Timetable with_delay(const Timetable& tt, TrainId delayed, std::size_t from_stop,
-                     Time delay) {
-  TimetableBuilder b(tt.period());
-  for (StationId s = 0; s < tt.num_stations(); ++s) {
-    b.add_station(tt.station_name(s), tt.transfer_time(s));
-  }
-  for (TrainId t = 0; t < tt.num_trips(); ++t) {
-    const Trip& trip = tt.trip(t);
-    const Route& route = tt.route(trip.route);
-    std::vector<TimetableBuilder::StopTime> stops;
-    for (std::size_t k = 0; k < route.stops.size(); ++k) {
-      // Hold at from_stop: arrival there is unchanged, departure and all
-      // later stops shift by the delay.
-      Time arr_shift = (t == delayed && k > from_stop) ? delay : 0;
-      Time dep_shift = (t == delayed && k >= from_stop) ? delay : 0;
-      stops.push_back({route.stops[k], trip.arrivals[k] + arr_shift,
-                       trip.departures[k] + dep_shift});
-    }
-    b.add_trip(stops);
-  }
-  return b.finalize();
-}
-
-void print_profile_window(const Timetable& tt, const Profile& p, Time lo,
-                          Time hi) {
+void print_profile_window(const Profile& p, Time lo, Time hi) {
   for (const ProfilePoint& point : p) {
     if (point.dep < lo || point.dep > hi) continue;
     std::cout << "  depart " << format_clock(point.dep) << "  arrive "
               << format_clock(point.arr) << "\n";
   }
+}
+
+const char* status_name(ApplyStatus s) {
+  switch (s) {
+    case ApplyStatus::kRelinked: return "re-linked";
+    case ApplyStatus::kRecontracted: return "re-contracted";
+    case ApplyStatus::kDegraded: return "degraded";
+    case ApplyStatus::kRejected: return "rejected";
+    case ApplyStatus::kNoop: return "no-op";
+  }
+  return "?";
 }
 
 }  // namespace
@@ -74,34 +70,74 @@ int main() {
       victim = c.train;
     }
   }
-  std::cout << "Delaying trip " << victim << " (departs "
-            << format_clock(best) << ") by 15 minutes...\n\n";
 
-  Timetable delayed = with_delay(tt, victim, 0, 15 * 60);
-
-  QuerySessionOptions opt;
-  opt.threads = 2;
-
-  // One session per timetable world: the "before" session would keep
-  // serving the live feed, the "after" one answers the what-if.
-  TdGraph g1 = TdGraph::build(tt);
-  QuerySession session_before(tt, g1, opt);
-  const OneToAllResult& before = session_before.one_to_all(home);
-
-  TdGraph g2 = TdGraph::build(delayed);
-  QuerySession session_after(delayed, g2, opt);
-  const OneToAllResult& after = session_after.one_to_all(home);
+  // The serving side: one writer feed, one reader session.
+  FaultInjector faults;
+  LiveOverlayOptions opt;
+  opt.faults = &faults;
+  opt.relink.faults = &faults;
+  LiveOverlay feed(tt, opt);
+  LiveQuerySession reader(feed);
+  std::cout << "Live feed up: epoch " << feed.epoch() << ", overlay "
+            << (feed.degraded() ? "degraded" : "healthy") << "\n\n";
 
   std::cout << "Morning profile " << tt.station_name(home) << " -> "
-            << tt.station_name(work) << " BEFORE the delay:\n";
-  print_profile_window(tt, before.profiles[work], 8 * 3600 - 900,
-                       9 * 3600 + 900);
-  std::cout << "\nAFTER the delay:\n";
-  print_profile_window(delayed, after.profiles[work], 8 * 3600 - 900,
-                       9 * 3600 + 900);
+            << tt.station_name(work) << " BEFORE any event:\n";
+  print_profile_window(reader.one_to_all(home).profiles[work],
+                       8 * 3600 - 900, 9 * 3600 + 900);
 
-  std::cout << "\nRe-query cost (no preprocessing to repair): "
-            << format_count(after.stats.settled) << " settled connections, "
-            << after.stats.time_ms << " ms\n";
+  // --- 1. A 15-minute hold: the incremental re-link path. ---------------
+  std::cout << "\nDelaying trip " << victim << " (departs "
+            << format_clock(best) << ") by 15 minutes...\n";
+  ApplyResult r = feed.apply(DelayEvent::delayed(victim, 0, 15 * 60));
+  std::cout << "  -> " << status_name(r.status) << " into epoch " << r.epoch
+            << ": recomputed " << format_count(r.relink.recomputed_functions)
+            << " TTFs (" << format_count(r.relink.affected_shortcuts)
+            << " shortcuts affected) in " << r.relink.time_ms << " ms\n";
+
+  reader.refresh();
+  std::cout << "\nAFTER the delay (reader followed to epoch "
+            << reader.epoch() << "):\n";
+  print_profile_window(reader.one_to_all(home).profiles[work],
+                       8 * 3600 - 900, 9 * 3600 + 900);
+
+  // --- 2. A relief run on a new stop sequence: the route set changes, so
+  // --- the feed falls back to a full re-contraction. ---------------------
+  std::cout << "\nAdding a direct relief run " << tt.station_name(work)
+            << " -> " << tt.station_name(home) << "...\n";
+  using St = TimetableBuilder::StopTime;
+  r = feed.apply(DelayEvent::extra_trip(
+      {St{work, 9 * 3600, 9 * 3600}, St{home, 9 * 3600 + 1200, 0}}));
+  std::cout << "  -> " << status_name(r.status) << " into epoch " << r.epoch
+            << "\n";
+
+  // --- 3. Inject a re-link fault: graceful degradation + recovery. ------
+  std::cout << "\nInjecting a re-link fault and delaying another trip...\n";
+  faults.arm(FaultInjector::Site::kRelinkShortcut);
+  r = feed.apply(DelayEvent::delayed(victim + 1, 0, 5 * 60));
+  std::cout << "  -> " << status_name(r.status) << " into epoch " << r.epoch
+            << " (" << r.error << ")\n";
+  const Time degraded_answer = reader.earliest_arrival(home, 8 * 3600, work);
+  std::cout << "  degraded epoch still answers exactly: " << "arrive "
+            << format_clock(degraded_answer) << " (flat engines, "
+            << feed.snapshot()->bypassed_stations.size()
+            << " stations bypassing the overlay)\n";
+
+  r = feed.retry();
+  std::cout << "  retry() -> " << status_name(r.status) << " into epoch "
+            << r.epoch << "; overlay answer "
+            << format_clock(reader.earliest_arrival(home, 8 * 3600, work))
+            << (reader.earliest_arrival(home, 8 * 3600, work) ==
+                        degraded_answer
+                    ? " (identical)"
+                    : " (MISMATCH!)")
+            << "\n";
+
+  const LiveUpdateStats& st = feed.stats();
+  std::cout << "\nFeed stats: " << st.events_applied << " applied, "
+            << st.relinks << " re-linked, " << st.recontractions
+            << " re-contracted, " << st.degradations << " degraded, "
+            << st.recoveries << " recovered, " << st.epochs_retired
+            << " epochs retired\n";
   return 0;
 }

@@ -236,6 +236,9 @@ class ContractionBuilder {
     pool_.run([&](std::size_t t) {
       Worker& wk = *workers_[t];
       for (std::size_t i = t; i < batch_.size(); i += pool_.num_threads()) {
+        if (opt_.faults) {
+          opt_.faults->check(FaultInjector::Site::kContractionWorker);
+        }
         capped_[i] = simulate_node(batch_[i], wk, cand_lists_[i]) ? 0 : 1;
       }
     });
@@ -543,6 +546,226 @@ class ContractionBuilder {
 OverlayGraph contract_graph(const Timetable& tt, const TdGraph& g,
                             const OverlayContractionOptions& opt) {
   return ContractionBuilder(tt, g, opt).build();
+}
+
+// --- incremental re-link --------------------------------------------------
+
+/// Friend of OverlayGraph: assembles the re-linked overlay by copying the
+/// old one's structure vectors verbatim and swapping in the rebuilt pool —
+/// the structural half of the exactness argument (see contraction.hpp).
+class OverlayRelinker {
+ public:
+  static OverlayGraph splice(const OverlayGraph& src, TtfPool&& pool) {
+    OverlayGraph ov;
+    ov.num_stations_ = src.num_stations_;
+    ov.num_core_ = src.num_core_;
+    ov.period_ = src.period_;
+    ov.max_out_degree_ = src.max_out_degree_;
+    ov.num_base_ttfs_ = src.num_base_ttfs_;
+    ov.num_base_edges_ = src.num_base_edges_;
+    ov.rank_ = src.rank_;
+    ov.board_shift_ = src.board_shift_;
+    ov.edge_begin_ = src.edge_begin_;
+    ov.heads_ = src.heads_;
+    ov.words_ = src.words_;
+    ov.origins_ = src.origins_;
+    ov.ttf_out_degree_ = src.ttf_out_degree_;
+    ov.shortcuts_ = src.shortcuts_;
+    ov.down_node_ = src.down_node_;
+    ov.down_begin_ = src.down_begin_;
+    ov.down_tails_ = src.down_tails_;
+    ov.down_words_ = src.down_words_;
+    ov.down_pos_ = src.down_pos_;
+    ov.ttfs_ = std::move(pool);
+    ov.build_stats_ = src.build_stats_;
+    return ov;
+  }
+};
+
+namespace {
+
+bool same_points(std::span<const TtfPoint> a, std::span<const TtfPoint> b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].dep != b[i].dep || a[i].dur != b[i].dur) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+RelinkResult relink_overlay(const Timetable& tt, const TdGraph& g_new,
+                            const TdGraph& g_old, const OverlayGraph& old_ov,
+                            const RelinkOptions& opt) {
+  Timer timer;
+  RelinkResult res;
+  const auto fail = [&](RelinkStatus s) {
+    res.status = s;
+    res.stats.time_ms = timer.elapsed_ms();
+    return std::move(res);
+  };
+
+  // Witness decisions bake travel-time bounds into the overlay structure;
+  // only witness-free overlays re-link exactly (contraction.hpp).
+  if (old_ov.build_stats().witness_searches != 0) {
+    return fail(RelinkStatus::kStructureChanged);
+  }
+
+  // Structural identity of the perturbed graph: same topology, numerically
+  // identical edge words, same period/stations/transfer times, and the same
+  // TTF emptiness pattern. Any mismatch means a fresh contraction could
+  // order or cap differently — full rebuild territory.
+  const TtfPool& old_base = g_old.ttfs();
+  const TtfPool& new_base = g_new.ttfs();
+  const std::uint32_t nb_ttfs = old_ov.num_base_ttfs();
+  if (g_new.num_nodes() != g_old.num_nodes() ||
+      g_new.num_edges() != g_old.num_edges() ||
+      g_old.num_edges() != old_ov.num_base_edges() ||
+      new_base.period() != old_base.period() ||
+      new_base.period() != tt.period() || old_ov.period() != tt.period() ||
+      new_base.size() != old_base.size() || old_base.size() != nb_ttfs ||
+      tt.num_stations() != old_ov.num_stations()) {
+    return fail(RelinkStatus::kStructureChanged);
+  }
+  for (StationId s = 0; s < tt.num_stations(); ++s) {
+    if (tt.transfer_time(s) != old_ov.board_shift(s)) {
+      return fail(RelinkStatus::kStructureChanged);
+    }
+  }
+  for (NodeId v = 0; v < g_new.num_nodes(); ++v) {
+    if (g_new.edge_begin(v) != g_old.edge_begin(v)) {
+      return fail(RelinkStatus::kStructureChanged);
+    }
+  }
+  for (TdGraph::EdgeId e = 0; e < g_new.num_edges(); ++e) {
+    if (g_new.edge_head(e) != g_old.edge_head(e) ||
+        g_new.edge_word(e) != g_old.edge_word(e)) {
+      return fail(RelinkStatus::kStructureChanged);
+    }
+  }
+
+  const TtfPool& old_pool = old_ov.ttfs();
+  const std::uint32_t nrecs =
+      static_cast<std::uint32_t>(old_ov.num_shortcuts());
+  const std::uint32_t total = nb_ttfs + nrecs;
+  if (old_pool.size() != total) return fail(RelinkStatus::kStructureChanged);
+  // Record r's TTF is pool function nb_ttfs + r (add_raw and record pushes
+  // are strictly 1:1 in contract_node); the splice loop relies on it.
+  for (std::uint32_t r = 0; r < nrecs; ++r) {
+    if (old_ov.shortcut(r).word != nb_ttfs + r) {
+      return fail(RelinkStatus::kStructureChanged);
+    }
+  }
+
+  // Diff the base pools. The overlay pool's base prefix is the old base
+  // pool verbatim, so emptiness is checked against the new base directly —
+  // a function flipping between empty and non-empty changes which
+  // candidates the contraction keeps (simulate_node skips empty links).
+  std::vector<std::uint8_t> changed_base(nb_ttfs, 0);
+  for (std::uint32_t f = 0; f < nb_ttfs; ++f) {
+    if (old_base.empty_at(f) != new_base.empty_at(f)) {
+      return fail(RelinkStatus::kStructureChanged);
+    }
+    if (!same_points(old_base.points(f), new_base.points(f))) {
+      changed_base[f] = 1;
+      ++res.stats.changed_base_ttfs;
+    }
+  }
+
+  // Close the changed flat edges over the provenance DAG (reverse index):
+  // everything reachable must be recomputed, everything else splices.
+  const OverlayGraph::ProvenanceIndex pidx = old_ov.build_provenance_index();
+  std::vector<std::uint8_t> affected(nrecs, 0);
+  std::vector<std::uint32_t> frontier;  // origin keys still to expand
+  for (TdGraph::EdgeId e = 0; e < g_new.num_edges(); ++e) {
+    const std::uint32_t w = g_old.edge_word(e);
+    if (TdGraph::word_is_const(w)) continue;
+    if (!changed_base[TdGraph::word_ttf(w)]) continue;
+    ++res.stats.changed_flat_edges;
+    frontier.push_back(e);
+  }
+  while (!frontier.empty()) {
+    const std::uint32_t key = frontier.back();
+    frontier.pop_back();
+    for (const std::uint32_t r : pidx.dependents(key)) {
+      if (affected[r]) continue;
+      affected[r] = 1;
+      ++res.stats.affected_shortcuts;
+      frontier.push_back(old_ov.num_base_edges() + r);
+    }
+  }
+  if (res.stats.affected_shortcuts > opt.blast_radius_cap) {
+    return fail(RelinkStatus::kBlastRadiusExceeded);
+  }
+
+  const auto deadline_hit = [&] {
+    if (opt.faults && opt.faults->fires(FaultInjector::Site::kDeadline)) {
+      return true;
+    }
+    return opt.deadline_ms > 0.0 && timer.elapsed_ms() > opt.deadline_ms;
+  };
+  const auto origin_word = [&](std::uint32_t o) {
+    return OverlayGraph::origin_is_shortcut(o)
+               ? old_ov.shortcut(o & ~OverlayGraph::kShortcutBit).word
+               : g_new.edge_word(o);
+  };
+
+  // Rebuild the pool in function-index order — exactly the order the
+  // contraction appended in, so indices (and thus every edge word) keep
+  // their numeric values. Unchanged runs splice verbatim; affected
+  // functions recompute through the same link/merge kernels against the
+  // partially-built pool, whose lower indices are already final (records
+  // only reference earlier records).
+  TtfPool pool(tt.period(), old_pool.index_options());
+  std::uint32_t f = 0;
+  while (f < total) {
+    const bool needs =
+        f < nb_ttfs ? changed_base[f] != 0 : affected[f - nb_ttfs] != 0;
+    if (!needs) {
+      std::uint32_t j = f + 1;
+      while (j < total &&
+             !(j < nb_ttfs ? changed_base[j] != 0 : affected[j - nb_ttfs] != 0)) {
+        ++j;
+      }
+      const std::size_t before = pool.num_points();
+      pool.append_copy(old_pool, f, j);
+      res.stats.copied_points += pool.num_points() - before;
+      f = j;
+      continue;
+    }
+    if (deadline_hit()) return fail(RelinkStatus::kDeadlineExceeded);
+    if (f < nb_ttfs) {
+      if (opt.faults) opt.faults->check(FaultInjector::Site::kPoolAppend);
+      const auto pts = new_base.points(f);
+      pool.add_raw(pts);
+      res.stats.recomputed_points += pts.size();
+    } else {
+      if (opt.faults) opt.faults->check(FaultInjector::Site::kRelinkShortcut);
+      const OverlayGraph::ShortcutRec& rec = old_ov.shortcut(f - nb_ttfs);
+      const Ttf t =
+          rec.mid != kInvalidNode
+              ? link_edge_ttfs(pool, origin_word(rec.a), origin_word(rec.b))
+              : merge_edge_ttfs(pool, origin_word(rec.a), origin_word(rec.b));
+      // Base emptiness was checked invariant, which propagates through
+      // link (empty iff a leg is empty) and merge (empty iff both are) —
+      // this is defense in depth, not an expected exit.
+      if (t.empty() != old_pool.empty_at(f)) {
+        return fail(RelinkStatus::kStructureChanged);
+      }
+      if (opt.faults) opt.faults->check(FaultInjector::Site::kPoolAppend);
+      const std::uint32_t idx = pool.add_raw(t.points());
+      (void)idx;
+      assert(idx == f);
+      res.stats.recomputed_points += t.points().size();
+    }
+    ++res.stats.recomputed_functions;
+    ++f;
+  }
+
+  res.overlay = OverlayRelinker::splice(old_ov, std::move(pool));
+  res.status = RelinkStatus::kRelinked;
+  res.stats.time_ms = timer.elapsed_ms();
+  return res;
 }
 
 }  // namespace pconn

@@ -95,24 +95,61 @@ class QuerySessionT {
  public:
   QuerySessionT(const Timetable& tt, const TdGraph& g,
                 QuerySessionOptions opt = {})
-      : tt_(tt), g_(g), opt_(opt) {}
+      : tt_(&tt), g_(&g), opt_(opt) {}
 
-  const Timetable& timetable() const { return tt_; }
-  const TdGraph& graph() const { return g_; }
+  const Timetable& timetable() const { return *tt_; }
+  const TdGraph& graph() const { return *g_; }
   const QuerySessionOptions& options() const { return opt_; }
+
+  /// Rebinds the session to a new (timetable, graph) world — the epoch
+  /// transition of the live-update subsystem (src/live/). Every engine is a
+  /// view over the old world, so all engines are dropped and rebuilt lazily
+  /// on next use; the workspace arena rewinds its blocks without releasing
+  /// them and the result buffers keep their capacity, so a session returns
+  /// to its steady-state footprint instead of growing one arena per epoch.
+  /// The first query of each kind after a rebind re-warms; queries after
+  /// that are allocation-free again (tests/live_test.cpp guards this).
+  /// Must not be called while a query is running.
+  void rebind(const Timetable& tt, const TdGraph& g) {
+    tt_ = &tt;
+    g_ = &g;
+    spcs_.reset();
+    time_.reset();
+    lc_.reset();
+    mc_.reset();
+    te_.reset();
+    te_graph_ = nullptr;
+    ov_time_.reset();
+    ov_time_graph_ = nullptr;
+    ov_lc_.reset();
+    ov_lc_graph_ = nullptr;
+    ov_spcs_.reset();
+    ov_spcs_graph_ = nullptr;
+    s2s_.reset();
+    s2s_sg_ = nullptr;
+    s2s_dt_ = nullptr;
+    all_to_one_.reset();
+    multi_.reset();
+    multi_ov_.reset();
+    multi_ov_graph_ = nullptr;
+    // All engine scratch above lived in ws_ (or in per-engine workspaces
+    // that died with their engine); with the views gone the arena can
+    // rewind in place.
+    ws_.arena().reset();
+  }
 
   // --- engine views (lazily constructed, persistent, workspace-backed) ---
 
   ParallelSpcsT<SpcsQueue>& profile_engine() {
     if (!spcs_) {
-      spcs_ = std::make_unique<ParallelSpcsT<SpcsQueue>>(tt_, g_, opt_.spcs());
+      spcs_ = std::make_unique<ParallelSpcsT<SpcsQueue>>(*tt_, *g_, opt_.spcs());
     }
     return *spcs_;
   }
 
   TimeQueryT<TimeQueue>& time_engine() {
     if (!time_) {
-      time_ = std::make_unique<TimeQueryT<TimeQueue>>(tt_, g_, &ws_);
+      time_ = std::make_unique<TimeQueryT<TimeQueue>>(*tt_, *g_, &ws_);
       time_->set_relax_options(opt_.relax_options());
     }
     return *time_;
@@ -120,7 +157,7 @@ class QuerySessionT {
 
   LcProfileQueryT<LcQueue>& lc_engine() {
     if (!lc_) {
-      lc_ = std::make_unique<LcProfileQueryT<LcQueue>>(tt_, g_, &ws_);
+      lc_ = std::make_unique<LcProfileQueryT<LcQueue>>(*tt_, *g_, &ws_);
       lc_->set_relax_mode(opt_.relax);
     }
     return *lc_;
@@ -128,7 +165,7 @@ class QuerySessionT {
 
   McTimeQueryT<McQueue>& mc_engine() {
     if (!mc_) {
-      mc_ = std::make_unique<McTimeQueryT<McQueue>>(tt_, g_, &ws_);
+      mc_ = std::make_unique<McTimeQueryT<McQueue>>(*tt_, *g_, &ws_);
       mc_->set_relax_options(opt_.relax_options());
     }
     return *mc_;
@@ -155,7 +192,7 @@ class QuerySessionT {
   OverlayTimeQueryT<TimeQueue>& overlay_time_engine(const OverlayGraph& ov) {
     if (!ov_time_ || ov_time_graph_ != &ov) {
       ov_time_ =
-          std::make_unique<OverlayTimeQueryT<TimeQueue>>(tt_, g_, ov, &ws_);
+          std::make_unique<OverlayTimeQueryT<TimeQueue>>(*tt_, *g_, ov, &ws_);
       ov_time_->set_relax_options(opt_.relax_options());
       ov_time_graph_ = &ov;
     }
@@ -169,7 +206,7 @@ class QuerySessionT {
   OverlayParallelSpcsT<SpcsQueue>& overlay_spcs_engine(const OverlayGraph& ov) {
     if (!ov_spcs_ || ov_spcs_graph_ != &ov) {
       ov_spcs_ = std::make_unique<OverlayParallelSpcsT<SpcsQueue>>(
-          tt_, g_, ov, opt_.spcs());
+          *tt_, *g_, ov, opt_.spcs());
       ov_spcs_graph_ = &ov;
     }
     return *ov_spcs_;
@@ -177,7 +214,7 @@ class QuerySessionT {
 
   OverlayLcProfileQueryT<LcQueue>& overlay_lc_engine(const OverlayGraph& ov) {
     if (!ov_lc_ || ov_lc_graph_ != &ov) {
-      ov_lc_ = std::make_unique<OverlayLcProfileQueryT<LcQueue>>(tt_, ov, &ws_);
+      ov_lc_ = std::make_unique<OverlayLcProfileQueryT<LcQueue>>(*tt_, ov, &ws_);
       ov_lc_->set_relax_mode(opt_.relax);
       ov_lc_graph_ = &ov;
     }
@@ -190,7 +227,7 @@ class QuerySessionT {
   S2sQueryEngineT<SpcsQueue>& s2s_engine(const StationGraph& sg,
                                          const DistanceTable* dt) {
     if (!s2s_ || s2s_sg_ != &sg || s2s_dt_ != dt) {
-      s2s_ = std::make_unique<S2sQueryEngineT<SpcsQueue>>(tt_, g_, sg, dt,
+      s2s_ = std::make_unique<S2sQueryEngineT<SpcsQueue>>(*tt_, *g_, sg, dt,
                                                           opt_.s2s());
       s2s_sg_ = &sg;
       s2s_dt_ = dt;
@@ -203,7 +240,7 @@ class QuerySessionT {
   AllToOneProfilesT<SpcsQueue>& all_to_one_engine() {
     if (!all_to_one_) {
       all_to_one_ =
-          std::make_unique<AllToOneProfilesT<SpcsQueue>>(tt_, opt_.spcs());
+          std::make_unique<AllToOneProfilesT<SpcsQueue>>(*tt_, opt_.spcs());
     }
     return *all_to_one_;
   }
@@ -215,7 +252,7 @@ class QuerySessionT {
   MultiQueryTimeEngineT<TimeQueue>& multi_engine() {
     if (!multi_) {
       multi_ =
-          std::make_unique<MultiQueryTimeEngineT<TimeQueue>>(tt_, g_, &ws_);
+          std::make_unique<MultiQueryTimeEngineT<TimeQueue>>(*tt_, *g_, &ws_);
       multi_->set_relax_options(opt_.relax_options());
     }
     return *multi_;
@@ -227,7 +264,7 @@ class QuerySessionT {
       const OverlayGraph& ov) {
     if (!multi_ov_ || multi_ov_graph_ != &ov) {
       multi_ov_ = std::make_unique<MultiQueryOverlayTimeEngineT<TimeQueue>>(
-          tt_, g_, ov, &ws_);
+          *tt_, *g_, ov, &ws_);
       multi_ov_->set_relax_options(opt_.relax_options());
       multi_ov_graph_ = &ov;
     }
@@ -275,8 +312,8 @@ class QuerySessionT {
   /// share the engines' exact split without running a query.
   void overlay_partition_connections_into(StationId s,
                                           std::vector<std::uint32_t>& out) {
-    partition_connections_into(tt_.outgoing(s), opt_.threads, opt_.partition,
-                               tt_.period(), out);
+    partition_connections_into(tt_->outgoing(s), opt_.threads, opt_.partition,
+                               tt_->period(), out);
   }
 
   /// Station-to-station profile query with the Section-4 accelerations;
@@ -306,7 +343,7 @@ class QuerySessionT {
   /// Full journey extraction for one departure; nullptr when unreachable.
   const Journey* journey(StationId source, Time departure, StationId target) {
     time_engine().run(source, departure, target);
-    if (!extract_journey_into(tt_, g_, time_engine(), source, departure,
+    if (!extract_journey_into(*tt_, *g_, time_engine(), source, departure,
                               target, path_scratch_, journey_buf_)) {
       return nullptr;
     }
@@ -387,7 +424,7 @@ class QuerySessionT {
     multi_->set_track_parents(false);
     multi_->set_stop_targets(targets);
     run_table_waves(*multi_, sources, targets, departure,
-                    adaptive_table_lanes(g_.num_nodes(), lanes));
+                    adaptive_table_lanes(g_->num_nodes(), lanes));
     multi_->clear_stop_targets();
     multi_->set_track_parents(true);
     return table_buf_;
@@ -467,8 +504,8 @@ class QuerySessionT {
     }
   }
 
-  const Timetable& tt_;
-  const TdGraph& g_;
+  const Timetable* tt_;
+  const TdGraph* g_;
   QuerySessionOptions opt_;
 
   // Workspace of the single-threaded engines. The parallel engines own one

@@ -9,6 +9,24 @@ void OverlayGraph::build_down_pos() {
   }
 }
 
+OverlayGraph::ProvenanceIndex OverlayGraph::build_provenance_index() const {
+  ProvenanceIndex idx;
+  const std::uint32_t keys = num_origin_keys();
+  idx.begin.assign(keys + 1, 0);
+  for (const ShortcutRec& r : shortcuts_) {
+    ++idx.begin[origin_key(r.a) + 1];
+    ++idx.begin[origin_key(r.b) + 1];
+  }
+  for (std::uint32_t k = 0; k < keys; ++k) idx.begin[k + 1] += idx.begin[k];
+  idx.recs.resize(idx.begin[keys]);
+  std::vector<std::uint32_t> cursor(idx.begin.begin(), idx.begin.end() - 1);
+  for (std::uint32_t r = 0; r < shortcuts_.size(); ++r) {
+    idx.recs[cursor[origin_key(shortcuts_[r].a)]++] = r;
+    idx.recs[cursor[origin_key(shortcuts_[r].b)]++] = r;
+  }
+  return idx;
+}
+
 std::size_t OverlayGraph::memory_bytes() const {
   std::size_t bytes = 0;
   bytes += rank_.size() * sizeof(std::uint32_t);

@@ -142,6 +142,35 @@ class OverlayGraph {
     return (o & kShortcutBit) != 0;
   }
 
+  /// Dense key of an origin value in the provenance reverse index: flat
+  /// edge ids map to themselves, shortcut records to num_base_edges() +
+  /// record id. One contiguous key space so the index is a plain CSR.
+  std::uint32_t origin_key(std::uint32_t o) const {
+    return origin_is_shortcut(o) ? num_base_edges_ + (o & ~kShortcutBit) : o;
+  }
+  std::uint32_t num_origin_keys() const {
+    return num_base_edges_ + static_cast<std::uint32_t>(shortcuts_.size());
+  }
+
+  /// Reverse edge of the shortcut provenance DAG: for each origin key, the
+  /// shortcut records with that origin as their `a` or `b` leg. The
+  /// incremental re-linker (algo/contraction.hpp) seeds a traversal at the
+  /// flat edges a delay event changed and closes over dependents to find
+  /// every shortcut TTF that must be recomputed; everything outside the
+  /// closure is spliced into the new epoch verbatim (src/live/).
+  struct ProvenanceIndex {
+    std::vector<std::uint32_t> begin;  // num_origin_keys() + 1
+    std::vector<std::uint32_t> recs;   // dependent shortcut record ids
+    std::span<const std::uint32_t> dependents(std::uint32_t key) const {
+      return {recs.data() + begin[key], begin[key + 1] - begin[key]};
+    }
+  };
+  /// Builds the reverse index by counting sort over the records — O(edges +
+  /// records), no per-key allocation. Records reference only earlier
+  /// records (validated on load), so dependents of key k all have id > k's
+  /// record when k is itself a shortcut.
+  ProvenanceIndex build_provenance_index() const;
+
   // --- downward sweep (contracted nodes, descending rank) ----------------
   std::size_t num_contracted() const { return down_node_.size(); }
   NodeId down_node(std::size_t i) const { return down_node_[i]; }
@@ -169,6 +198,7 @@ class OverlayGraph {
 
  private:
   friend class ContractionBuilder;           // algo/contraction.cpp
+  friend class OverlayRelinker;              // algo/contraction.cpp (re-link)
   friend void save_overlay(const OverlayGraph&, std::ostream&);
   friend OverlayGraph load_overlay(std::istream&);
 

@@ -1,8 +1,9 @@
 #include "graph/td_graph.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 
 namespace pconn {
 
@@ -30,8 +31,16 @@ TdGraph TdGraph::build(const Timetable& tt, const TtfIndexOptions& idx) {
     NodeId head;
     std::uint32_t word;
   };
+  // The packed word encoding steals the top bit for the const flag; a
+  // weight that collides with it would silently alias a TTF index in
+  // Release builds, so reject it loudly (a transfer time this large is a
+  // data error anyway — the builder already caps it at the period).
   auto const_word = [](Time weight) {
-    assert(weight < kConstFlag);
+    if (weight >= kConstFlag) {
+      throw std::invalid_argument(
+          "td_graph: constant edge weight " + std::to_string(weight) +
+          " exceeds the encodable range");
+    }
     return kConstFlag | static_cast<std::uint32_t>(weight);
   };
   std::vector<std::vector<RawEdge>> adj(g.station_of_.size());

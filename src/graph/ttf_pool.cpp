@@ -69,6 +69,43 @@ std::uint32_t TtfPool::add_raw(std::span<const TtfPoint> pts) {
   return idx;
 }
 
+void TtfPool::append_copy(const TtfPool& src, std::uint32_t begin,
+                          std::uint32_t end) {
+  assert(&src != this);
+  assert(src.period_ == period_);
+  assert(begin <= end && end <= src.meta_.size());
+  if (begin == end) return;
+  const TtfMeta& mb = src.meta_[begin];
+  const TtfMeta& ml = src.meta_[end - 1];
+  // Functions are laid out in add order, so [begin, end) occupies one
+  // contiguous span in each of src's three arrays.
+  const std::uint32_t pts_lo = mb.first;
+  const std::uint32_t pts_hi = ml.first + ml.count;
+  const std::uint32_t bkt_lo = mb.bucket0;
+  const std::uint32_t bkt_hi = ml.bucket0 + (1u << ml.log2b);
+  assert(points_.size() + (pts_hi - pts_lo) < (std::size_t{1} << 29));
+  assert(meta_.size() + (end - begin) < (std::size_t{1} << 29));
+  const std::uint32_t point_shift =
+      static_cast<std::uint32_t>(points_.size()) - pts_lo;
+  const std::uint32_t bucket_shift =
+      static_cast<std::uint32_t>(bucket_idx_.size()) - bkt_lo;
+
+  points_.insert(points_.end(), src.points_.begin() + pts_lo,
+                 src.points_.begin() + pts_hi);
+  // Bucket entries are absolute point indices; shift them as they land.
+  bucket_idx_.reserve(bucket_idx_.size() + (bkt_hi - bkt_lo));
+  for (std::uint32_t b = bkt_lo; b < bkt_hi; ++b) {
+    bucket_idx_.push_back(src.bucket_idx_[b] + point_shift);
+  }
+  meta_.reserve(meta_.size() + (end - begin));
+  for (std::uint32_t f = begin; f < end; ++f) {
+    TtfMeta m = src.meta_[f];
+    m.first += point_shift;
+    m.bucket0 += bucket_shift;
+    meta_.push_back(m);
+  }
+}
+
 void TtfPool::arrival_n_scalar(const std::uint32_t* entries, std::size_t n,
                                Time t, Time* out) const {
   for (std::size_t i = 0; i < n; ++i) {

@@ -109,6 +109,17 @@ class TtfPool {
   /// pools without paying the pruning pass again.
   std::uint32_t add_raw(std::span<const TtfPoint> pts);
 
+  /// Bulk-appends functions [begin, end) of `src` verbatim — points, bucket
+  /// tables and metadata are range-copied with the index offsets shifted,
+  /// skipping add_raw's per-function bucket construction entirely. The
+  /// appended functions keep their relative order and spacing, so function
+  /// src[begin + k] becomes this[size() before the call + k] and evaluates
+  /// bit-identically. This is the incremental re-link fast path: unchanged
+  /// runs of a stale epoch's pool splice into the new epoch's pool in one
+  /// memcpy-shaped pass (src/live/, algo/contraction re-link). Requires
+  /// matching period and index options; src must not alias this.
+  void append_copy(const TtfPool& src, std::uint32_t begin, std::uint32_t end);
+
   std::size_t size() const { return meta_.size(); }
   std::size_t num_points() const { return points_.size(); }
   Time period() const { return period_; }

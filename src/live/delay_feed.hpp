@@ -1,0 +1,70 @@
+// Delay-feed events — the perturbation vocabulary of the live-update
+// subsystem (paper Section 5.1's dynamic scenario, docs/architecture.md
+// "Live updates").
+//
+// An event describes one real-world disruption against the *currently
+// published* timetable: trip ids refer to the timetable the event is
+// applied to, not to some original schedule — each application replays the
+// published timetable through TimetableBuilder with the perturbation
+// folded in, so the full validation pipeline (FIFO routes, monotone times,
+// id ranges) runs on every event. A malformed event therefore surfaces as
+// the builder's std::invalid_argument before anything is published, and
+// the feed rejects it without touching the serving state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "timetable/builder.hpp"
+#include "timetable/timetable.hpp"
+
+namespace pconn {
+
+struct DelayEvent {
+  enum class Kind : std::uint8_t {
+    kDelay = 0,      // hold `train` at stop `from_stop` for `delay` seconds
+    kCancel = 1,     // drop `train` entirely
+    kExtraTrip = 2,  // insert a relief run with `stops`
+  };
+
+  Kind kind = Kind::kDelay;
+  /// Trip in the timetable the event applies to (kDelay, kCancel).
+  TrainId train = 0;
+  /// kDelay: the stop held — arrival there is unchanged, its departure and
+  /// every later stop shift by `delay`.
+  std::uint32_t from_stop = 0;
+  Time delay = 0;
+  /// kExtraTrip: the relief run's stop sequence (TimetableBuilder rules).
+  std::vector<TimetableBuilder::StopTime> stops;
+
+  static DelayEvent delayed(TrainId train, std::uint32_t from_stop,
+                            Time delay) {
+    DelayEvent e;
+    e.kind = Kind::kDelay;
+    e.train = train;
+    e.from_stop = from_stop;
+    e.delay = delay;
+    return e;
+  }
+  static DelayEvent cancelled(TrainId train) {
+    DelayEvent e;
+    e.kind = Kind::kCancel;
+    e.train = train;
+    return e;
+  }
+  static DelayEvent extra_trip(std::vector<TimetableBuilder::StopTime> stops) {
+    DelayEvent e;
+    e.kind = Kind::kExtraTrip;
+    e.stops = std::move(stops);
+    return e;
+  }
+};
+
+/// Replays `tt` with `ev` folded in and returns the perturbed timetable.
+/// Throws std::invalid_argument on any malformed event — out-of-range trip
+/// or stop ids, zero or period-exceeding delays, or an extra trip the
+/// builder rejects. The input timetable is never modified; on throw there
+/// is nothing to roll back.
+Timetable apply_event(const Timetable& tt, const DelayEvent& ev);
+
+}  // namespace pconn

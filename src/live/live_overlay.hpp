@@ -1,0 +1,158 @@
+// LiveOverlay — the epoch-versioned serving state of the live-update
+// subsystem (docs/architecture.md "Live updates").
+//
+// RCU shape: readers pin an immutable LiveSnapshot (a shared_ptr copy) for
+// the duration of a query and never block; a single writer applies delay
+// events, builds the next snapshot entirely off to the side, and publishes
+// it with one pointer swap. Retired snapshots stay alive exactly as long
+// as some reader still pins them (shared_ptr refcount IS the epoch pin),
+// and the writer tracks them through weak_ptrs for observability.
+//
+// Per event, the writer tries the cheapest sufficient path:
+//   1. incremental re-link (relink_overlay) — byte-identical overlay at a
+//      fraction of a re-contraction, the expected case for delays;
+//   2. full re-contraction — when the perturbation changed the graph's
+//      structure (a cancelled trip emptying a route, an extra trip adding
+//      one, an overtaking-induced route split);
+//   3. graceful degradation — when either path overruns its deadline,
+//      trips an injected fault, runs out of memory, or the re-link blast
+//      radius exceeds its cap: the new timetable is published WITHOUT an
+//      overlay and every station is served by the flat engines (slower but
+//      exact; staleness through any changed TTF makes per-station partial
+//      bypass unsound, so bypass is global and `bypassed_stations` is
+//      metadata). retry() re-attempts the contraction with exponential
+//      backoff and republishes the overlay on success.
+//
+// Correctness never depends on which path ran: station-level answers are
+// byte-identical across all three (tests/live_test.cpp).
+//
+// Threading contract: snapshot() is safe from any thread; apply()/retry()
+// are single-writer (call them from one updater thread). Contraction
+// itself may still fan out over its own ThreadPool.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "algo/contraction.hpp"
+#include "graph/td_graph.hpp"
+#include "live/delay_feed.hpp"
+#include "timetable/timetable.hpp"
+#include "util/fault_injector.hpp"
+
+namespace pconn {
+
+/// One immutable epoch: everything a query needs, versioned together.
+/// Readers hold the snapshot (and thus all three worlds) via shared_ptr
+/// for the duration of a query; the inner shared_ptrs let consecutive
+/// snapshots share unchanged pieces (a retry() reuses the degraded
+/// epoch's timetable and graph, only the overlay is new).
+struct LiveSnapshot {
+  std::uint64_t epoch = 0;
+  std::shared_ptr<const Timetable> tt;
+  std::shared_ptr<const TdGraph> graph;
+  /// Null while degraded (or when overlays are disabled): queries route
+  /// through the flat engines — slower, still exact.
+  std::shared_ptr<const OverlayGraph> overlay;
+  bool degraded = false;
+  /// Stations currently bypassing the overlay. Bypass is global (see
+  /// header note), so this is every station while degraded and empty
+  /// otherwise — kept as a list for feed observability/dashboards.
+  std::vector<StationId> bypassed_stations;
+};
+
+struct LiveOverlayOptions {
+  /// Contraction settings of the initial build and every re-contraction.
+  /// witness_settles is forced to 0 — witness pruning bakes travel-time
+  /// bounds into the overlay structure and would break re-link exactness
+  /// (contraction.hpp).
+  OverlayContractionOptions contraction;
+  /// Re-link budget: blast-radius cap, deadline, fault hook.
+  RelinkOptions relink;
+  /// Base of the exponential retry backoff; retry attempt k sleeps
+  /// backoff_ms * 2^k before rebuilding. 0 disables sleeping (tests).
+  double backoff_ms = 0.0;
+  /// Cap on the backoff exponent (2^10 ~ 1000x base).
+  std::uint32_t max_backoff_exp = 10;
+  /// Fault hook for the contraction path (kContractionWorker); usually the
+  /// same injector as relink.faults. Null in production.
+  FaultInjector* faults = nullptr;
+};
+
+enum class ApplyStatus : std::uint8_t {
+  kRelinked = 0,      // incremental re-link succeeded
+  kRecontracted = 1,  // structure changed; full rebuild succeeded
+  kDegraded = 2,      // published flat-serving epoch; retry() recovers
+  kRejected = 3,      // malformed event; serving state untouched
+  kNoop = 4,          // retry() with nothing to recover
+};
+
+struct ApplyResult {
+  ApplyStatus status = ApplyStatus::kRejected;
+  std::uint64_t epoch = 0;       // epoch serving after the call
+  RelinkStatus relink_status = RelinkStatus::kStructureChanged;
+  RelinkStats relink;            // meaningful when a re-link was attempted
+  std::string error;             // rejection reason / captured fault
+};
+
+struct LiveUpdateStats {
+  std::uint64_t events_applied = 0;
+  std::uint64_t events_rejected = 0;
+  std::uint64_t relinks = 0;         // epochs published via re-link
+  std::uint64_t recontractions = 0;  // epochs published via full rebuild
+  std::uint64_t degradations = 0;    // epochs published without an overlay
+  std::uint64_t retries = 0;         // retry() attempts while degraded
+  std::uint64_t recoveries = 0;      // retries that restored the overlay
+  std::uint64_t epochs_retired = 0;
+  RelinkStats last_relink;
+};
+
+class LiveOverlay {
+ public:
+  /// Builds epoch 0 from `tt`: graph + contraction overlay. A fault during
+  /// the initial contraction starts the feed degraded (flat serving) — it
+  /// never throws out of the constructor for injectable faults.
+  explicit LiveOverlay(Timetable tt, LiveOverlayOptions opt = {});
+
+  /// The current epoch; copy the returned pointer ONCE per query and read
+  /// everything through it — that copy is the epoch pin.
+  std::shared_ptr<const LiveSnapshot> snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return current_;
+  }
+
+  /// Applies one delay event and publishes the next epoch (see header for
+  /// the path ladder). Single-writer.
+  ApplyResult apply(const DelayEvent& ev);
+
+  /// Re-attempts the overlay build of a degraded epoch (with backoff) and
+  /// publishes the recovered epoch on success. kNoop when not degraded.
+  ApplyResult retry();
+
+  std::uint64_t epoch() const { return snapshot()->epoch; }
+  bool degraded() const { return snapshot()->degraded; }
+  /// Consecutive failed rebuilds since the last healthy epoch (the backoff
+  /// exponent of the next retry()).
+  std::uint32_t failed_attempts() const { return failed_attempts_; }
+  /// Retired epochs still pinned by some reader (weak_ptr accounting).
+  std::size_t retired_pinned() const;
+  const LiveUpdateStats& stats() const { return stats_; }
+
+ private:
+  /// Builds the overlay for (tt, g); witness-free, fault-hooked.
+  OverlayGraph contract(const Timetable& tt, const TdGraph& g) const;
+  void publish(std::shared_ptr<const LiveSnapshot> next);
+  static std::vector<StationId> all_stations(const Timetable& tt);
+
+  LiveOverlayOptions opt_;
+  LiveUpdateStats stats_;
+  std::uint32_t failed_attempts_ = 0;
+  mutable std::mutex mutex_;  // guards current_ and retired_ only
+  std::shared_ptr<const LiveSnapshot> current_;
+  mutable std::vector<std::weak_ptr<const LiveSnapshot>> retired_;
+};
+
+}  // namespace pconn

@@ -9,9 +9,23 @@ namespace pconn {
 
 TimetableBuilder::TimetableBuilder(Time period) : period_(period) {
   if (period == 0) throw std::invalid_argument("timetable: period must be > 0");
+  // The TTF kernels compare times in signed 32-bit lanes and the pool
+  // precomputes a reciprocal of the period; keep both well away from the
+  // sign bit (mirrors the deserializer's header check).
+  if (period >= (Time{1} << 30)) {
+    throw std::invalid_argument("timetable: period " + std::to_string(period) +
+                                " exceeds the supported range (< 2^30)");
+  }
 }
 
 StationId TimetableBuilder::add_station(std::string name, Time transfer_time) {
+  // A transfer longer than the period would make boarding unreachable
+  // within any cycle (and overflow the overlay's board-shift encoding).
+  if (transfer_time >= period_) {
+    throw std::invalid_argument(
+        "station: transfer time " + std::to_string(transfer_time) +
+        " must be smaller than the period " + std::to_string(period_));
+  }
   names_.push_back(std::move(name));
   transfer_times_.push_back(transfer_time);
   return static_cast<StationId>(names_.size() - 1);
@@ -53,6 +67,13 @@ TrainId TimetableBuilder::add_trip(const std::vector<StopTime>& stops) {
   if (shift > 0) {
     for (auto& v : t.arrivals) v -= shift;
     for (auto& v : t.departures) v -= shift;
+  }
+  // After normalization every time is bounded by the trip's span; keep the
+  // whole trip inside the signed-lane-safe range the kernels assume.
+  if (t.arrivals.back() >= (Time{1} << 30)) {
+    throw std::invalid_argument(
+        "trip: spans " + std::to_string(t.arrivals.back()) +
+        " seconds from its first departure, exceeding the supported range");
   }
   raw_trips_.push_back(std::move(t));
   return static_cast<TrainId>(raw_trips_.size() - 1);
@@ -107,6 +128,20 @@ Timetable TimetableBuilder::finalize() {
       if (!placed) chains.push_back({id});
     }
     for (auto& chain : chains) {
+      // The greedy split above must leave every chain FIFO (trip i never
+      // overtakes trip i+1 at any stop) — the property the route-based
+      // engines' "scan trips in order" loops rely on. Verify it here with
+      // a descriptive error rather than trusting the split: finalize() is
+      // the last gate before queries run on this data.
+      for (std::size_t i = 1; i < chain.size(); ++i) {
+        const RawTrip& prev = raw_trips_[chain[i - 1]];
+        const RawTrip& next = raw_trips_[chain[i]];
+        if (!no_later(prev.arrivals, prev.departures, next.arrivals,
+                      next.departures)) {
+          throw std::invalid_argument(
+              "timetable: non-FIFO trip pair survived route partitioning");
+        }
+      }
       RouteId rid = static_cast<RouteId>(tt.routes_.size());
       Route route;
       route.stops = stops;

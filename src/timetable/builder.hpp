@@ -19,9 +19,13 @@ namespace pconn {
 
 class TimetableBuilder {
  public:
+  /// Throws std::invalid_argument when the period is 0 or too large for
+  /// the signed-lane arithmetic the TTF kernels use (>= 2^30).
   explicit TimetableBuilder(Time period = kDayseconds);
 
-  /// Registers a station; transfer_time is the paper's T(S).
+  /// Registers a station; transfer_time is the paper's T(S). Throws
+  /// std::invalid_argument when the transfer time is not smaller than the
+  /// period.
   StationId add_station(std::string name, Time transfer_time);
 
   struct StopTime {
@@ -33,15 +37,18 @@ class TimetableBuilder {
   /// Registers one vehicle run. Times are raw seconds, non-decreasing along
   /// the trip; the trip is normalized so its first departure lies in
   /// [0, period). Throws std::invalid_argument on malformed input:
-  /// fewer than 2 stops, unknown stations, decreasing times, consecutive
-  /// stops less than 1 second apart, or immediate self-loops.
+  /// fewer than 2 stops, unknown stations, decreasing times (the unsigned
+  /// encoding of a negative travel time), consecutive stops less than
+  /// 1 second apart, immediate self-loops, or a normalized span outside
+  /// the supported time range.
   TrainId add_trip(const std::vector<StopTime>& stops);
 
   std::size_t num_stations() const { return names_.size(); }
   std::size_t num_trips() const { return raw_trips_.size(); }
 
-  /// Validates globally, computes routes and the connection index.
-  /// The builder is left empty afterwards.
+  /// Validates globally (every emitted route must be a FIFO trip chain —
+  /// throws std::invalid_argument otherwise), computes routes and the
+  /// connection index. The builder is left empty afterwards.
   Timetable finalize();
 
  private:

@@ -22,7 +22,9 @@ void write_u32(std::ostream& out, std::uint32_t v) {
 std::uint32_t read_u32(std::istream& in) {
   char buf[4];
   in.read(buf, 4);
-  if (!in) throw std::runtime_error("timetable: truncated stream");
+  if (!in) {
+    throw LoadError(LoadError::Kind::kTruncated, "timetable: truncated stream");
+  }
   std::uint32_t v;
   std::memcpy(&v, buf, 4);
   return v;
@@ -35,10 +37,14 @@ void write_string(std::ostream& out, const std::string& s) {
 
 std::string read_string(std::istream& in) {
   std::uint32_t n = read_u32(in);
-  if (n > (1u << 20)) throw std::runtime_error("timetable: absurd string size");
+  if (n > (1u << 20)) {
+    throw LoadError(LoadError::Kind::kBadCount, "timetable: absurd string size");
+  }
   std::string s(n, '\0');
   in.read(s.data(), n);
-  if (!in) throw std::runtime_error("timetable: truncated stream");
+  if (!in) {
+    throw LoadError(LoadError::Kind::kTruncated, "timetable: truncated stream");
+  }
   return s;
 }
 
@@ -80,15 +86,49 @@ void write_u32_vector(std::ostream& out, const std::vector<T>& v) {
             static_cast<std::streamsize>(v.size() * 4));
 }
 
+// Reads a count-prefixed u32 array whose length is free (it DEFINES a
+// dimension rather than matching one); the cap bounds the resize a
+// corrupted count can cause before cross-checks catch it.
 template <typename T>
-void read_u32_vector(std::istream& in, std::vector<T>& v) {
+void read_u32_vector(std::istream& in, std::vector<T>& v,
+                     const char* section) {
   static_assert(sizeof(T) == 4);
   const std::uint32_t n = read_u32(in);
-  if (n > (1u << 28)) throw std::runtime_error("overlay: absurd array size");
+  if (n > (1u << 28)) {
+    throw LoadError(LoadError::Kind::kBadCount,
+                    std::string("overlay: absurd ") + section + " size");
+  }
   v.resize(n);
   in.read(reinterpret_cast<char*>(v.data()),
           static_cast<std::streamsize>(std::size_t{n} * 4));
-  if (!in) throw std::runtime_error("overlay: truncated stream");
+  if (!in) {
+    throw LoadError(LoadError::Kind::kTruncated,
+                    std::string("overlay: truncated ") + section);
+  }
+}
+
+// Reads a count-prefixed u32 array whose length is already implied by the
+// sections loaded before it: the count is checked against `expected`
+// BEFORE any storage is allocated, so a lying count in a corrupted file
+// fails with a diagnostic instead of a multi-GB resize.
+template <typename T>
+void read_u32_vector_expect(std::istream& in, std::vector<T>& v,
+                            std::size_t expected, const char* section) {
+  static_assert(sizeof(T) == 4);
+  const std::uint32_t n = read_u32(in);
+  if (n != expected) {
+    throw LoadError(LoadError::Kind::kBadCount,
+                    std::string("overlay: ") + section + " count " +
+                        std::to_string(n) + " != expected " +
+                        std::to_string(expected));
+  }
+  v.resize(n);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(std::size_t{n} * 4));
+  if (!in) {
+    throw LoadError(LoadError::Kind::kTruncated,
+                    std::string("overlay: truncated ") + section);
+  }
 }
 
 }  // namespace
@@ -145,13 +185,21 @@ OverlayGraph load_overlay(std::istream& in) {
   char magic[4];
   in.read(magic, 4);
   if (!in || std::memcmp(magic, kOverlayMagic, 4) != 0) {
-    throw std::runtime_error("overlay: bad magic");
+    throw LoadError(LoadError::Kind::kBadMagic, "overlay: bad magic");
   }
   const std::uint32_t version = read_u32(in);
   if (version != kOverlayVersion) {
-    throw std::runtime_error("overlay: unsupported version " +
-                             std::to_string(version));
+    throw LoadError(LoadError::Kind::kBadVersion,
+                    "overlay: unsupported version " + std::to_string(version));
   }
+  const auto structural = [](bool ok, const char* what) {
+    if (!ok) {
+      throw LoadError(LoadError::Kind::kCorrupt,
+                      std::string("overlay: inconsistent structure (") + what +
+                          ")");
+    }
+  };
+
   OverlayGraph ov;
   ov.num_stations_ = read_u32(in);
   ov.num_core_ = read_u32(in);
@@ -163,28 +211,63 @@ OverlayGraph load_overlay(std::istream& in) {
   // kernels compare times in signed 32-bit lanes; reject garbage before
   // either sees it.
   if (ov.period_ == 0 || ov.period_ >= (Time{1} << 30)) {
-    throw std::runtime_error("overlay: invalid period");
+    throw LoadError(LoadError::Kind::kCorrupt, "overlay: invalid period");
   }
 
-  read_u32_vector(in, ov.rank_);
-  read_u32_vector(in, ov.board_shift_);
-  read_u32_vector(in, ov.edge_begin_);
-  read_u32_vector(in, ov.heads_);
-  read_u32_vector(in, ov.words_);
-  read_u32_vector(in, ov.origins_);
+  // rank_ defines the node count; everything after it has an implied
+  // length and is read through the expect path (count checked before the
+  // allocation happens).
+  read_u32_vector(in, ov.rank_, "rank");
+  const std::size_t n = ov.rank_.size();
+  structural(ov.num_stations_ <= n, "stations > nodes");
+  structural(ov.num_core_ <= n, "core > nodes");
+  read_u32_vector_expect(in, ov.board_shift_, ov.num_stations_, "board_shift");
+  for (const Time shift : ov.board_shift_) {
+    structural(shift < ov.period_, "board shift >= period");
+  }
+  read_u32_vector_expect(in, ov.edge_begin_, n + 1, "edge_begin");
+  structural(ov.edge_begin_.front() == 0, "edge_begin front");
+  std::uint32_t widest = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    structural(ov.edge_begin_[v] <= ov.edge_begin_[v + 1],
+               "edge_begin not monotone");
+    widest = std::max(widest, ov.edge_begin_[v + 1] - ov.edge_begin_[v]);
+  }
+  // The engines reserve batch buffers to this; a corrupted value would
+  // turn into a surprise multi-GB allocation at bind time.
+  structural(ov.max_out_degree_ == widest, "max_out_degree mismatch");
+  const std::size_t edges = ov.edge_begin_.back();
+  read_u32_vector_expect(in, ov.heads_, edges, "heads");
+  read_u32_vector_expect(in, ov.words_, edges, "words");
+  read_u32_vector_expect(in, ov.origins_, edges, "origins");
   {
-    const std::uint32_t n = read_u32(in);
-    if (n > (1u << 28)) throw std::runtime_error("overlay: absurd array size");
+    const std::uint32_t count = read_u32(in);
+    if (count != n) {
+      throw LoadError(LoadError::Kind::kBadCount,
+                      "overlay: ttf_out_degree count " + std::to_string(count) +
+                          " != expected " + std::to_string(n));
+    }
     ov.ttf_out_degree_.resize(n);
-    in.read(reinterpret_cast<char*>(ov.ttf_out_degree_.data()), n);
-    if (!in) throw std::runtime_error("overlay: truncated stream");
+    in.read(reinterpret_cast<char*>(ov.ttf_out_degree_.data()),
+            static_cast<std::streamsize>(n));
+    if (!in) {
+      throw LoadError(LoadError::Kind::kTruncated,
+                      "overlay: truncated ttf_out_degree");
+    }
   }
 
+  const std::uint32_t num_shortcuts = read_u32(in);
+  if (num_shortcuts > (1u << 28)) {
+    throw LoadError(LoadError::Kind::kBadCount,
+                    "overlay: absurd shortcut table size");
+  }
   {
-    const std::uint32_t n = read_u32(in);
-    if (n > (1u << 28)) throw std::runtime_error("overlay: absurd table size");
-    ov.shortcuts_.reserve(n);
-    for (std::uint32_t i = 0; i < n; ++i) {
+    // The shortcut count is free (not implied by earlier sections), so a
+    // lying count on a truncated stream could request a huge reserve.
+    // Grow incrementally instead: a fabricated count then fails with
+    // kTruncated after at most one doubling step past the real data.
+    ov.shortcuts_.reserve(std::min<std::size_t>(num_shortcuts, 1u << 16));
+    for (std::uint32_t i = 0; i < num_shortcuts; ++i) {
       OverlayGraph::ShortcutRec r;
       r.word = read_u32(in);
       r.mid = read_u32(in);
@@ -194,58 +277,30 @@ OverlayGraph load_overlay(std::istream& in) {
     }
   }
 
-  read_u32_vector(in, ov.down_node_);
-  read_u32_vector(in, ov.down_begin_);
-  read_u32_vector(in, ov.down_tails_);
-  read_u32_vector(in, ov.down_words_);
-
-  ov.ttfs_.reset(ov.period_);
-  const std::uint32_t funcs = read_u32(in);
-  if (funcs > (1u << 28)) throw std::runtime_error("overlay: absurd pool");
-  std::vector<TtfPoint> pts;
-  for (std::uint32_t f = 0; f < funcs; ++f) {
-    const std::uint32_t n = read_u32(in);
-    if (n > (1u << 28)) throw std::runtime_error("overlay: absurd function");
-    pts.resize(n);
-    in.read(reinterpret_cast<char*>(pts.data()),
-            static_cast<std::streamsize>(std::size_t{n} * sizeof(TtfPoint)));
-    if (!in) throw std::runtime_error("overlay: truncated stream");
-    for (std::size_t i = 0; i < pts.size(); ++i) {
-      if (pts[i].dep >= ov.period_ || (i > 0 && pts[i - 1].dep >= pts[i].dep)) {
-        throw std::runtime_error("overlay: malformed function points");
-      }
-    }
-    ov.ttfs_.add_raw(pts);
+  read_u32_vector(in, ov.down_node_, "down_node");
+  read_u32_vector_expect(in, ov.down_begin_, ov.down_node_.size() + 1,
+                         "down_begin");
+  structural(ov.down_begin_.front() == 0, "down_begin front");
+  for (std::size_t i = 0; i < ov.down_node_.size(); ++i) {
+    structural(ov.down_begin_[i] <= ov.down_begin_[i + 1],
+               "down_begin not monotone");
   }
+  read_u32_vector_expect(in, ov.down_tails_, ov.down_begin_.back(),
+                         "down_tails");
+  read_u32_vector_expect(in, ov.down_words_, ov.down_tails_.size(),
+                         "down_words");
 
   // Cross-array structural validation: a bit-flipped or hand-edited cache
   // file must fail here with a diagnostic, not at query time with an
   // out-of-bounds relax (load_timetable gets this for free by replaying
   // through TimetableBuilder; the overlay arrays are loaded verbatim).
-  const auto structural = [](bool ok) {
-    if (!ok) throw std::runtime_error("overlay: inconsistent structure");
-  };
-  const std::size_t n = ov.rank_.size();
-  structural(ov.num_stations_ <= n);
-  structural(ov.num_core_ <= n);
-  structural(ov.board_shift_.size() == ov.num_stations_);
-  structural(ov.edge_begin_.size() == n + 1);
-  structural(ov.ttf_out_degree_.size() == n);
-  structural(ov.edge_begin_.front() == 0);
-  std::uint32_t widest = 0;
-  for (std::size_t v = 0; v < n; ++v) {
-    structural(ov.edge_begin_[v] <= ov.edge_begin_[v + 1]);
-    widest = std::max(widest, ov.edge_begin_[v + 1] - ov.edge_begin_[v]);
-  }
-  // The engines reserve batch buffers to this; a corrupted value would
-  // turn into a surprise multi-GB allocation at bind time.
-  structural(ov.max_out_degree_ == widest);
-  for (const Time shift : ov.board_shift_) structural(shift < ov.period_);
-  const std::size_t edges = ov.edge_begin_.back();
-  structural(ov.heads_.size() == edges && ov.words_.size() == edges &&
-             ov.origins_.size() == edges);
+  // Everything below runs BEFORE the TTF point payload — the dominant
+  // allocation — is touched; word references are checked against the pool
+  // size the arrays imply, and the pool read then enforces that size.
+  const std::size_t expected_funcs =
+      std::size_t{ov.num_base_ttfs_} + ov.shortcuts_.size();
   const auto word_ok = [&](std::uint32_t w) {
-    return TdGraph::word_is_const(w) || w < ov.ttfs_.size();
+    return TdGraph::word_is_const(w) || w < expected_funcs;
   };
   const auto origin_ok = [&](std::uint32_t o) {
     // Shortcut origins index the record table; flat edge ids index the
@@ -256,14 +311,15 @@ OverlayGraph load_overlay(std::istream& in) {
                : o < ov.num_base_edges_;
   };
   for (std::size_t e = 0; e < edges; ++e) {
-    structural(ov.heads_[e] < n && word_ok(ov.words_[e]) &&
-               origin_ok(ov.origins_[e]));
+    structural(ov.heads_[e] < n, "edge head out of range");
+    structural(word_ok(ov.words_[e]), "edge word out of range");
+    structural(origin_ok(ov.origins_[e]), "edge origin out of range");
   }
   for (std::size_t i = 0; i < ov.shortcuts_.size(); ++i) {
     const OverlayGraph::ShortcutRec& r = ov.shortcuts_[i];
-    structural(word_ok(r.word));
-    structural(r.mid == kInvalidNode || r.mid < n);
-    structural(origin_ok(r.a) && origin_ok(r.b));
+    structural(word_ok(r.word), "record word out of range");
+    structural(r.mid == kInvalidNode || r.mid < n, "record mid out of range");
+    structural(origin_ok(r.a) && origin_ok(r.b), "record leg out of range");
     // Records only ever reference earlier records (construction appends a
     // merge right after the link it folds in), which is what keeps the
     // journey replay's recursion finite — reject cycles here, not by
@@ -272,25 +328,57 @@ OverlayGraph load_overlay(std::istream& in) {
       return !OverlayGraph::origin_is_shortcut(o) ||
              (o & ~OverlayGraph::kShortcutBit) < i;
     };
-    structural(acyclic(r.a) && acyclic(r.b));
+    structural(acyclic(r.a) && acyclic(r.b), "record references later record");
   }
-  structural(ov.down_begin_.size() == ov.down_node_.size() + 1);
-  structural(!ov.down_begin_.empty() && ov.down_begin_.front() == 0);
-  structural(ov.down_tails_.size() == ov.down_begin_.back() &&
-             ov.down_words_.size() == ov.down_tails_.size());
   for (std::size_t i = 0; i < ov.down_node_.size(); ++i) {
-    structural(ov.down_node_[i] < n);
-    structural(ov.down_begin_[i] <= ov.down_begin_[i + 1]);
+    structural(ov.down_node_[i] < n, "down node out of range");
     // Strictly descending contraction rank — the order that makes the
     // queue-less downward sweep exact; a permuted list would pass every
     // range check and silently corrupt settle_contracted results.
-    structural(ov.rank_[ov.down_node_[i]] != kCoreRank);
+    structural(ov.rank_[ov.down_node_[i]] != kCoreRank, "core node in sweep");
     structural(i == 0 ||
-               ov.rank_[ov.down_node_[i - 1]] > ov.rank_[ov.down_node_[i]]);
+                   ov.rank_[ov.down_node_[i - 1]] > ov.rank_[ov.down_node_[i]],
+               "down sweep not rank-descending");
   }
   for (std::size_t e = 0; e < ov.down_tails_.size(); ++e) {
-    structural(ov.down_tails_[e] < n && word_ok(ov.down_words_[e]));
+    structural(ov.down_tails_[e] < n, "down tail out of range");
+    structural(word_ok(ov.down_words_[e]), "down word out of range");
   }
+
+  // Pool last: every structural fact is already established, so the only
+  // failures left are per-point (ordering/range) and truncation.
+  ov.ttfs_.reset(ov.period_);
+  const std::uint32_t funcs = read_u32(in);
+  if (funcs != expected_funcs) {
+    throw LoadError(LoadError::Kind::kBadCount,
+                    "overlay: pool size " + std::to_string(funcs) +
+                        " != base ttfs + shortcut records " +
+                        std::to_string(expected_funcs));
+  }
+  std::vector<TtfPoint> pts;
+  for (std::uint32_t f = 0; f < funcs; ++f) {
+    const std::uint32_t count = read_u32(in);
+    if (count > (1u << 28)) {
+      throw LoadError(LoadError::Kind::kBadCount,
+                      "overlay: absurd function size");
+    }
+    pts.resize(count);
+    in.read(reinterpret_cast<char*>(pts.data()),
+            static_cast<std::streamsize>(std::size_t{count} *
+                                         sizeof(TtfPoint)));
+    if (!in) {
+      throw LoadError(LoadError::Kind::kTruncated,
+                      "overlay: truncated function points");
+    }
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      if (pts[i].dep >= ov.period_ || (i > 0 && pts[i - 1].dep >= pts[i].dep)) {
+        throw LoadError(LoadError::Kind::kCorrupt,
+                        "overlay: malformed function points");
+      }
+    }
+    ov.ttfs_.add_raw(pts);
+  }
+
   // Derived, not serialized: the node -> down-sweep-position map every
   // sweeping engine reads (validated down_node_ makes it well-defined).
   ov.build_down_pos();
@@ -301,12 +389,13 @@ Timetable load_timetable(std::istream& in) {
   char magic[4];
   in.read(magic, 4);
   if (!in || std::memcmp(magic, kMagic, 4) != 0) {
-    throw std::runtime_error("timetable: bad magic");
+    throw LoadError(LoadError::Kind::kBadMagic, "timetable: bad magic");
   }
   std::uint32_t version = read_u32(in);
   if (version != kVersion) {
-    throw std::runtime_error("timetable: unsupported version " +
-                             std::to_string(version));
+    throw LoadError(LoadError::Kind::kBadVersion,
+                    "timetable: unsupported version " +
+                        std::to_string(version));
   }
   Time period = read_u32(in);
   TimetableBuilder builder(period);
@@ -319,7 +408,9 @@ Timetable load_timetable(std::istream& in) {
   std::uint32_t trips = read_u32(in);
   for (std::uint32_t t = 0; t < trips; ++t) {
     std::uint32_t stops = read_u32(in);
-    if (stops > (1u << 20)) throw std::runtime_error("timetable: absurd trip");
+    if (stops > (1u << 20)) {
+      throw LoadError(LoadError::Kind::kBadCount, "timetable: absurd trip");
+    }
     std::vector<TimetableBuilder::StopTime> seq(stops);
     for (std::uint32_t k = 0; k < stops; ++k) {
       seq[k].station = read_u32(in);

@@ -14,36 +14,66 @@
 // loaded overlay is structurally identical to the saved one and answers
 // queries byte-for-byte the same (the eval bucket index is rebuilt from
 // the process's TtfIndexOptions, which never changes results). Loading
-// cross-validates the arrays (CSR monotonicity and lengths, head/word/
-// origin/record ranges, point ordering), so a corrupted cache file fails
-// with std::runtime_error instead of an out-of-bounds relax. An overlay
-// only makes sense against the timetable/graph it was contracted from;
-// the overlay engines' constructors validate the node/station/edge/TTF
-// counts against the dataset they are given and throw std::runtime_error
-// on a mismatch — a stale cache fails loud in Release builds too.
+// validates as it goes and throws a typed LoadError: every section's
+// element count is checked against what the already-loaded sections
+// require BEFORE its storage is allocated (a corrupted count fails with a
+// diagnostic, not a multi-GB resize), and the cross-array checks (CSR
+// monotonicity, head/word/origin/record ranges, the flat-edge-origins
+// index against the header's base-edge count, record acyclicity, down
+// order, point ordering) all run before the TTF point payload — the big
+// allocation — is touched. An overlay only makes sense against the
+// timetable/graph it was contracted from; the overlay engines'
+// constructors validate the node/station/edge/TTF counts against the
+// dataset they are given and throw on a mismatch — a stale cache fails
+// loud in Release builds too.
 #pragma once
 
 #include <istream>
 #include <ostream>
+#include <stdexcept>
+#include <string>
 
 #include "graph/overlay_graph.hpp"
 #include "timetable/timetable.hpp"
 
 namespace pconn {
 
+/// Typed deserialization failure: what went wrong, machine-readable. All
+/// loaders throw this (it still IS a std::runtime_error, so existing
+/// catch sites keep working).
+class LoadError : public std::runtime_error {
+ public:
+  enum class Kind : std::uint8_t {
+    kBadMagic = 0,      // not a PCTT/PCOV stream
+    kBadVersion = 1,    // format version this build does not read
+    kTruncated = 2,     // stream ended (or failed) mid-section
+    kBadCount = 3,      // a section count contradicts loaded sections
+    kCorrupt = 4,       // values out of range / inconsistent structure
+  };
+
+  LoadError(Kind kind, const std::string& what)
+      : std::runtime_error(what), kind_(kind) {}
+  Kind kind() const { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
 /// Writes `tt` to `out`. Throws std::runtime_error on stream failure.
 void save_timetable(const Timetable& tt, std::ostream& out);
 
-/// Reads a timetable written by save_timetable. Throws std::runtime_error
-/// on bad magic, unsupported version, truncation, or stream failure.
+/// Reads a timetable written by save_timetable. Throws LoadError on bad
+/// magic, unsupported version, truncation, or stream failure (and the
+/// builder's std::invalid_argument on semantically malformed trips).
 Timetable load_timetable(std::istream& in);
 
 /// Writes a contraction overlay. Throws std::runtime_error on stream
 /// failure.
 void save_overlay(const OverlayGraph& ov, std::ostream& out);
 
-/// Reads an overlay written by save_overlay. Throws std::runtime_error on
-/// bad magic, unsupported version, truncation, or stream failure.
+/// Reads an overlay written by save_overlay. Throws LoadError on bad
+/// magic, unsupported version, truncation, or any corrupt/inconsistent
+/// section (see the header note for the validation order).
 OverlayGraph load_overlay(std::istream& in);
 
 }  // namespace pconn

@@ -1,0 +1,119 @@
+// FaultInjector — deterministic fault scheduling for the live-update
+// pipeline's degradation paths (src/live/, docs/architecture.md "Live
+// updates").
+//
+// Every recovery branch in the rebuild pipeline — a worker thread dying
+// mid-contraction, an allocation failing while shortcut TTFs are appended,
+// a re-link overrunning its deadline — is reachable in production only
+// under load or memory pressure, which makes the branches untestable by
+// waiting. The pipeline instead threads an optional injector through its
+// stages and calls check()/fires() at the named sites; tests arm a fault
+// at an exact site and occurrence count, so each degradation path runs
+// deterministically, single-threaded or not.
+//
+// check() throws the armed exception when its countdown reaches zero;
+// fires() is the non-throwing variant for sites that consult a condition
+// (the deadline check) rather than unwind. Counters are atomic: sites
+// inside ThreadPool workers hit them concurrently, and exactly one thread
+// observes the firing decrement.
+//
+// A null injector pointer is the production configuration; call sites
+// guard with `if (faults) faults->check(...)`, which keeps the hook free
+// when unused.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <new>
+#include <stdexcept>
+#include <string>
+
+namespace pconn {
+
+/// Thrown by an armed FaultInjector::Kind::kError fault (worker failures,
+/// malformed internal state). Distinct type so tests can tell an injected
+/// fault from a genuine one.
+struct InjectedFault : std::runtime_error {
+  explicit InjectedFault(const char* site)
+      : std::runtime_error(std::string("injected fault at ") + site) {}
+};
+
+class FaultInjector {
+ public:
+  /// Instrumented sites of the live-update pipeline.
+  enum class Site : std::uint8_t {
+    kRelinkShortcut = 0,   // per affected shortcut recompute (re-linker)
+    kPoolAppend = 1,       // per function appended into the epoch pool
+    kContractionWorker = 2,  // per node simulated on a contraction worker
+    kDeadline = 3,         // consulted via fires(): forces deadline exceeded
+    kCount_
+  };
+  enum class Kind : std::uint8_t {
+    kError,     // throw InjectedFault
+    kBadAlloc,  // throw std::bad_alloc (the allocation-failure path)
+  };
+
+  /// Arms `site` to fire on its (after+1)-th check from now. Re-arming a
+  /// site replaces its previous schedule; a site fires once per arm.
+  void arm(Site site, std::uint32_t after = 0, Kind kind = Kind::kError) {
+    Slot& s = slots_[index(site)];
+    s.kind = kind;
+    s.countdown.store(static_cast<std::int64_t>(after), std::memory_order_relaxed);
+    s.armed.store(true, std::memory_order_release);
+  }
+
+  /// Disarms `site` (a test's "the operator fixed the environment").
+  void disarm(Site site) {
+    slots_[index(site)].armed.store(false, std::memory_order_release);
+  }
+
+  /// Throws the armed exception when `site`'s countdown hits zero; no-op
+  /// otherwise. Safe to call concurrently — one caller fires.
+  void check(Site site) {
+    Slot& s = slots_[index(site)];
+    if (!s.armed.load(std::memory_order_acquire)) return;
+    if (s.countdown.fetch_sub(1, std::memory_order_acq_rel) != 0) return;
+    s.armed.store(false, std::memory_order_release);
+    ++fired_;
+    if (s.kind == Kind::kBadAlloc) throw std::bad_alloc();
+    throw InjectedFault(site_name(site));
+  }
+
+  /// Non-throwing probe for condition sites (kDeadline): true exactly once
+  /// when the countdown elapses.
+  bool fires(Site site) {
+    Slot& s = slots_[index(site)];
+    if (!s.armed.load(std::memory_order_acquire)) return false;
+    if (s.countdown.fetch_sub(1, std::memory_order_acq_rel) != 0) return false;
+    s.armed.store(false, std::memory_order_release);
+    ++fired_;
+    return true;
+  }
+
+  /// Faults delivered so far (test bookkeeping).
+  std::uint32_t fired() const { return fired_.load(std::memory_order_relaxed); }
+
+  static const char* site_name(Site s) {
+    switch (s) {
+      case Site::kRelinkShortcut: return "relink-shortcut";
+      case Site::kPoolAppend: return "pool-append";
+      case Site::kContractionWorker: return "contraction-worker";
+      case Site::kDeadline: return "deadline";
+      default: return "?";
+    }
+  }
+
+ private:
+  static constexpr std::size_t index(Site s) {
+    return static_cast<std::size_t>(s);
+  }
+  struct Slot {
+    std::atomic<bool> armed{false};
+    std::atomic<std::int64_t> countdown{0};
+    Kind kind = Kind::kError;
+  };
+  Slot slots_[static_cast<std::size_t>(Site::kCount_)];
+  std::atomic<std::uint32_t> fired_{0};
+};
+
+}  // namespace pconn

@@ -21,22 +21,38 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+void ThreadPool::run_task_guarded(const TaskRef& job, std::size_t index) {
+  try {
+    job(index);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+}
+
 void ThreadPool::run(TaskRef fn) {
   if (workers_.empty()) {
-    fn(0);
+    fn(0);  // single-threaded: a throw propagates directly, nothing to join
     return;
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     job_ = &fn;
     remaining_ = workers_.size();
+    first_error_ = nullptr;
     ++generation_;
   }
   start_cv_.notify_all();
-  fn(0);
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [this] { return remaining_ == 0; });
-  job_ = nullptr;
+  run_task_guarded(fn, 0);
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return remaining_ == 0; });
+    job_ = nullptr;
+    error = first_error_;
+    first_error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::worker_loop(std::size_t index) {
@@ -52,7 +68,7 @@ void ThreadPool::worker_loop(std::size_t index) {
       seen_generation = generation_;
       job = job_;
     }
-    (*job)(index);
+    run_task_guarded(*job, index);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (--remaining_ == 0) done_cv_.notify_all();

@@ -8,11 +8,23 @@
 // outlives the call by construction (fork-join), and a std::function would
 // heap-allocate its capture state on every query — the warm query path must
 // stay allocation-free (docs/architecture.md).
+//
+// Exception safety: a task that throws on any thread must not kill the
+// process (std::thread unwinding terminates) or wedge the barrier. Workers
+// catch everything, the first exception is captured, the barrier completes
+// normally, and run() rethrows the captured exception on the calling
+// thread after the join — the fork-join analogue of a plain call throwing.
+// Later exceptions of the same run are swallowed (only one can propagate);
+// the pool itself stays fully usable for the next run(). The live-update
+// rebuild pipeline leans on this: an injected worker fault surfaces at the
+// coordinator as one exception, and degradation handles it there
+// (util/fault_injector.hpp, tests/parallel_test.cpp).
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -39,11 +51,17 @@ class ThreadPool {
 
   /// Runs fn(t) for t in [0, num_threads()) — one call per worker plus the
   /// calling thread (which executes t = 0) — and blocks until all return.
-  /// fn must be safe to invoke concurrently.
+  /// fn must be safe to invoke concurrently. If any invocation throws, the
+  /// barrier still completes and the FIRST captured exception is rethrown
+  /// here; the pool remains usable afterwards.
   void run(TaskRef fn);
 
  private:
   void worker_loop(std::size_t index);
+  /// Invokes the job, routing any exception into first_error_ (first one
+  /// wins). Shared by workers and the calling thread so both sides get
+  /// identical capture semantics.
+  void run_task_guarded(const TaskRef& job, std::size_t index);
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;
@@ -53,6 +71,7 @@ class ThreadPool {
   std::uint64_t generation_ = 0;
   std::size_t remaining_ = 0;
   bool stop_ = false;
+  std::exception_ptr first_error_;  // guarded by mutex_
 };
 
 }  // namespace pconn

@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+
 #include "algo/parallel_spcs.hpp"
 #include "algo/partition.hpp"
 #include "test_util.hpp"
+#include "util/fault_injector.hpp"
+#include "util/thread_pool.hpp"
 
 namespace pconn {
 namespace {
@@ -191,6 +195,61 @@ TEST(ParallelSpcs, ThreadTimesReported) {
   OneToAllResult res = spcs.one_to_all(1);
   EXPECT_GE(res.max_thread_ms, res.min_thread_ms);
   EXPECT_GE(res.stats.time_ms, 0.0);
+}
+
+// A task throwing on a worker thread must neither terminate the process
+// (std::thread unwinding) nor wedge the fork-join barrier: the first
+// exception is rethrown on the calling thread and the pool stays usable —
+// the property the live-update rebuild pipeline's degradation relies on.
+TEST(ThreadPool, WorkerExceptionRethrownAtJoinAndPoolSurvives) {
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    ThreadPool pool(threads);
+    FaultInjector faults;
+    faults.arm(FaultInjector::Site::kContractionWorker, threads / 2);
+
+    std::atomic<std::size_t> ran{0};
+    EXPECT_THROW(pool.run([&](std::size_t) {
+      ran.fetch_add(1, std::memory_order_relaxed);
+      faults.check(FaultInjector::Site::kContractionWorker);
+    }),
+                 InjectedFault);
+    // The barrier completed: every lane entered the task exactly once.
+    EXPECT_EQ(ran.load(), pool.num_threads());
+    EXPECT_EQ(faults.fired(), 1u);
+
+    // The pool is fully reusable after the failed run.
+    std::atomic<std::size_t> again{0};
+    pool.run([&](std::size_t) { again.fetch_add(1); });
+    EXPECT_EQ(again.load(), pool.num_threads());
+  }
+}
+
+// Concurrent faults on every lane: exactly one propagates, the rest are
+// swallowed, nothing deadlocks.
+TEST(ThreadPool, FirstOfManyConcurrentExceptionsPropagates) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 8; ++round) {
+    EXPECT_THROW(
+        pool.run([&](std::size_t t) { throw std::runtime_error(
+            "lane " + std::to_string(t)); }),
+        std::runtime_error);
+  }
+  std::atomic<std::size_t> ran{0};
+  pool.run([&](std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), pool.num_threads());
+}
+
+// The allocation-failure kind surfaces as std::bad_alloc, distinct from
+// InjectedFault — the live pipeline treats both as degradation triggers.
+TEST(ThreadPool, BadAllocKindPropagatesAsBadAlloc) {
+  ThreadPool pool(2);
+  FaultInjector faults;
+  faults.arm(FaultInjector::Site::kPoolAppend, 0,
+             FaultInjector::Kind::kBadAlloc);
+  EXPECT_THROW(pool.run([&](std::size_t) {
+    faults.check(FaultInjector::Site::kPoolAppend);
+  }),
+               std::bad_alloc);
 }
 
 }  // namespace

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
+#include "algo/contraction.hpp"
 #include "graph/station_graph.hpp"
 #include "s2s/distance_table.hpp"
 #include "s2s/transfer_selection.hpp"
@@ -90,6 +92,113 @@ TEST(SerializeDistanceTable, RoundTripPreservesQueries) {
 TEST(SerializeDistanceTable, BadStreamRejected) {
   std::stringstream buf("garbage data here");
   EXPECT_THROW(DistanceTable::load(buf), std::runtime_error);
+}
+
+// ---------------------------------------------- overlay load hardening ---
+
+TEST(SerializeOverlay, TypedErrorKinds) {
+  {
+    std::stringstream buf("NOPExxxxxxxxxxxxxxxx");
+    try {
+      (void)load_overlay(buf);
+      FAIL() << "bad magic accepted";
+    } catch (const LoadError& e) {
+      EXPECT_EQ(e.kind(), LoadError::Kind::kBadMagic);
+    }
+  }
+  {
+    std::stringstream buf(std::string("PCOV") + std::string(16, '\x7f'));
+    try {
+      (void)load_overlay(buf);
+      FAIL() << "bad version accepted";
+    } catch (const LoadError& e) {
+      EXPECT_EQ(e.kind(), LoadError::Kind::kBadVersion);
+    }
+  }
+  // A LoadError still IS a std::runtime_error: pre-existing catch sites
+  // keep working.
+  std::stringstream buf("NOPE");
+  EXPECT_THROW((void)load_overlay(buf), std::runtime_error);
+}
+
+TEST(SerializeOverlay, EveryTruncationPointRejectedCleanly) {
+  const Timetable tt = test::tiny_line();
+  const TdGraph g = TdGraph::build(tt);
+  const OverlayGraph ov = contract_graph(tt, g);
+  std::stringstream buf;
+  save_overlay(ov, buf);
+  const std::string data = buf.str();
+  ASSERT_GT(data.size(), 64u);
+  // Every prefix must fail with a typed LoadError — never crash, never
+  // return a partially-initialized overlay. Sweep densely at the front
+  // (header + counts) and stride through the payload.
+  for (std::size_t cut = 0; cut < data.size();
+       cut += (cut < 256 ? 1 : 97)) {
+    std::stringstream cut_buf(data.substr(0, cut));
+    try {
+      (void)load_overlay(cut_buf);
+      FAIL() << "accepted a prefix of " << cut << " bytes";
+    } catch (const LoadError&) {
+      // expected
+    }
+  }
+}
+
+TEST(SerializeOverlay, LyingSectionCountFailsBeforeAllocating) {
+  const Timetable tt = test::tiny_line();
+  const TdGraph g = TdGraph::build(tt);
+  const OverlayGraph ov = contract_graph(tt, g);
+  std::stringstream buf;
+  save_overlay(ov, buf);
+  std::string data = buf.str();
+  // board_shift's count field sits right after the rank array (32-byte
+  // header, u32 count + payload). Claim 2^27 entries: the loader must
+  // reject the count against the header's station count before resizing,
+  // so this runs instantly instead of allocating half a gigabyte.
+  const std::size_t count_at = 32 + 4 + 4 * ov.num_nodes();
+  const std::uint32_t lie = 1u << 27;
+  std::memcpy(data.data() + count_at, &lie, 4);
+  std::stringstream lied(data);
+  try {
+    (void)load_overlay(lied);
+    FAIL() << "lying count accepted";
+  } catch (const LoadError& e) {
+    EXPECT_EQ(e.kind(), LoadError::Kind::kBadCount);
+  }
+}
+
+TEST(SerializeOverlay, BitFlipSweepNeverCrashes) {
+  const Timetable tt = test::tiny_line();
+  const TdGraph g = TdGraph::build(tt);
+  const OverlayGraph ov = contract_graph(tt, g);
+  std::stringstream buf;
+  save_overlay(ov, buf);
+  const std::string data = buf.str();
+  // Flip one bit at a stride of offsets across the whole file. Each load
+  // must either throw a typed LoadError or produce a structurally valid
+  // overlay (flips inside TTF durations can survive every structural
+  // check — they change answers, not validity). What must never happen:
+  // a crash, a sanitizer report, or an uncaught foreign exception.
+  std::size_t rejected = 0, survived = 0;
+  for (std::size_t byte = 0; byte < data.size();
+       byte += (byte < 128 ? 1 : 41)) {
+    for (const unsigned bit : {0u, 7u}) {
+      std::string flipped = data;
+      flipped[byte] = static_cast<char>(flipped[byte] ^ (1u << bit));
+      std::stringstream in(flipped);
+      try {
+        const OverlayGraph back = load_overlay(in);
+        ++survived;
+        EXPECT_EQ(back.num_nodes(), ov.num_nodes());
+      } catch (const LoadError&) {
+        ++rejected;
+      }
+    }
+  }
+  // The sweep must have exercised both outcomes (sanity: the corruption
+  // detection is neither vacuous nor absolute).
+  EXPECT_GT(rejected, 0u);
+  EXPECT_GT(survived, 0u);
 }
 
 }  // namespace

@@ -34,6 +34,28 @@ TEST(Builder, RejectsMalformedTrips) {
   EXPECT_THROW(b.add_trip({{a, 0, 100}, {c, 100, 100}}), std::invalid_argument);
 }
 
+TEST(Builder, RejectsOutOfRangeParameters) {
+  // Period 0 and periods outside the signed-lane-safe range.
+  EXPECT_THROW(TimetableBuilder{0}, std::invalid_argument);
+  EXPECT_THROW(TimetableBuilder{Time{1} << 30}, std::invalid_argument);
+  (void)TimetableBuilder{(Time{1} << 30) - 1};  // boundary is fine
+
+  // Transfer times must stay below the period.
+  TimetableBuilder b(3600);
+  EXPECT_THROW(b.add_station("X", 3600), std::invalid_argument);
+  b.add_station("X", 3599);
+
+  // A trip spanning past the supported time range (after normalization the
+  // span is what matters, not the absolute clock values).
+  TimetableBuilder day;  // kDayseconds period
+  StationId p = day.add_station("P", 0);
+  StationId q = day.add_station("Q", 0);
+  EXPECT_THROW(day.add_trip({{p, 0, 0}, {q, Time{1} << 30, 0}}),
+               std::invalid_argument);
+  day.add_trip({{p, 0, 0}, {q, 600, 0}});
+  EXPECT_EQ(day.finalize().num_trips(), 1u);
+}
+
 TEST(Builder, NormalizesFirstDepartureIntoPeriod) {
   TimetableBuilder b;
   StationId a = b.add_station("A", 0);
