@@ -1,0 +1,124 @@
+// End-to-end serving scenario (docs/server.md): an operations day in
+// miniature. Start the query server on a live overlay, stream delay-feed
+// events at it, and keep querying THROUGH THE SOCKET while the world
+// changes underneath:
+//   1. healthy epoch 0 — answers overlay-routed;
+//   2. a delay event publishes epoch 1 mid-connection (re-link path);
+//   3. a forced fault degrades epoch 2 — the server keeps answering,
+//      flagged degraded, through the flat engines;
+//   4. retry() recovers the overlay; answers drop the flag;
+//   5. SIGTERM-style drain shuts the front door and finishes in flight.
+// At every step the socket answer is checked against a direct
+// LiveQuerySession — same bytes, same truth, whatever the epoch state.
+#include <iostream>
+
+#include "gen/generator.hpp"
+#include "live/delay_feed.hpp"
+#include "live/live_overlay.hpp"
+#include "live/live_session.hpp"
+#include "server/client.hpp"
+#include "server/server.hpp"
+#include "util/fault_injector.hpp"
+#include "util/format.hpp"
+
+using namespace pconn;
+
+namespace {
+
+/// One socket query checked against the direct session; returns the
+/// socket's answer after asserting agreement.
+Time checked_query(BlockingClient& client, LiveQuerySession& direct,
+                   StationId s, Time dep, StationId t, const char* label) {
+  auto r = client.earliest_arrival(s, dep, t);
+  if (!r || r->header.status != Status::kOk) {
+    std::cerr << "[" << label << "] socket query failed\n";
+    std::exit(1);
+  }
+  const Time want = direct.earliest_arrival(s, dep, t);
+  if (r->arrival != want) {
+    std::cerr << "[" << label << "] socket answer " << r->arrival
+              << " != direct answer " << want << "\n";
+    std::exit(1);
+  }
+  std::cout << "  [" << label << "] epoch " << r->header.epoch
+            << (r->header.degraded ? " (degraded)" : "") << ": "
+            << format_clock(dep) << " -> " << format_clock(r->arrival)
+            << "  == direct session\n";
+  return r->arrival;
+}
+
+}  // namespace
+
+int main() {
+  // A small synthetic city with a live overlay on top.
+  FaultInjector faults;
+  LiveOverlayOptions lopt;
+  lopt.faults = &faults;
+  lopt.relink.faults = &faults;
+  Timetable tt = gen::make_preset(gen::Preset::kOahuLike, 0.2, 7);
+  const StationId home = 0;
+  const StationId work = static_cast<StationId>(tt.num_stations() - 1);
+  std::cout << "Network: " << tt.num_stations() << " stations, "
+            << format_count(tt.num_connections()) << " connections/day\n";
+  LiveOverlay live(std::move(tt), lopt);
+
+  // Serving front-end + one direct session as the ground truth.
+  ServerOptions sopt;
+  sopt.workers = 1;
+  QueryServer server(live, sopt);
+  server.start();
+  LiveQuerySession direct(live);
+  std::cout << "Server on 127.0.0.1:" << server.port() << " (queue "
+            << server.admission().queue_capacity << ", max conns "
+            << server.admission().max_connections << ")\n\n";
+
+  BlockingClient client("127.0.0.1", server.port());
+
+  std::cout << "Morning, healthy overlay:\n";
+  checked_query(client, direct, home, 8 * 3600, work, "epoch 0");
+
+  std::cout << "\nDelay feed: train 0 held 5 minutes — epoch transition "
+               "mid-connection:\n";
+  const ApplyResult delayed = live.apply(DelayEvent::delayed(0, 1, 300));
+  std::cout << "  apply -> "
+            << (delayed.status == ApplyStatus::kRelinked ? "re-linked"
+                                                         : "re-contracted")
+            << " epoch " << delayed.epoch << "\n";
+  checked_query(client, direct, home, 8 * 3600, work, "epoch 1");
+
+  std::cout << "\nRebuild fault injected: next event degrades to flat "
+               "serving (slower, still exact):\n";
+  faults.arm(FaultInjector::Site::kRelinkShortcut);
+  const ApplyResult degraded = live.apply(DelayEvent::delayed(0, 1, 300));
+  if (degraded.status != ApplyStatus::kDegraded) {
+    std::cerr << "expected degradation, got status "
+              << static_cast<int>(degraded.status) << "\n";
+    return 1;
+  }
+  std::cout << "  apply -> degraded epoch " << degraded.epoch << " ("
+            << degraded.error << ")\n";
+  checked_query(client, direct, home, 8 * 3600, work, "epoch 2");
+  checked_query(client, direct, home, 17 * 3600 + 1800, work, "epoch 2");
+
+  std::cout << "\nEnvironment healthy again: retry() restores the "
+               "overlay:\n";
+  const ApplyResult recovered = live.retry();
+  if (recovered.status != ApplyStatus::kRecontracted) {
+    std::cerr << "expected recovery\n";
+    return 1;
+  }
+  checked_query(client, direct, home, 8 * 3600, work, "epoch 3");
+
+  const ServerStats stats = server.stats();
+  std::cout << "\nServer stats: " << stats.requests_ok << " ok, "
+            << stats.degraded_served << " served degraded, "
+            << stats.requests_shed << " shed, " << stats.requests_malformed
+            << " malformed\n";
+
+  std::cout << "\nDrain (SIGTERM path): stop accepting, finish in "
+               "flight...\n";
+  server.request_drain();
+  server.wait();
+  std::cout << "Server drained cleanly.\n";
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "live/live_overlay.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <exception>
 #include <thread>
@@ -8,7 +9,7 @@
 namespace pconn {
 
 LiveOverlay::LiveOverlay(Timetable tt, LiveOverlayOptions opt)
-    : opt_(std::move(opt)) {
+    : opt_(std::move(opt)), backoff_rng_(opt_.backoff_seed) {
   // Witness pruning would bake cost bounds into the overlay structure and
   // break re-link exactness; live overlays always contract without it.
   opt_.contraction.witness_settles = 0;
@@ -37,6 +38,23 @@ LiveOverlay::LiveOverlay(Timetable tt, LiveOverlayOptions opt)
 OverlayGraph LiveOverlay::contract(const Timetable& tt,
                                    const TdGraph& g) const {
   return contract_graph(tt, g, opt_.contraction);
+}
+
+double LiveOverlay::next_backoff_ms(double cap) {
+  if (!opt_.backoff_jitter) {
+    const std::uint32_t exp =
+        std::min(failed_attempts_ - 1, opt_.max_backoff_exp);
+    return std::min(cap, opt_.backoff_ms * static_cast<double>(1u << exp));
+  }
+  // Decorrelated jitter: sleep_k = min(cap, uniform(base, 3 * sleep_{k-1})).
+  // First attempt sleeps exactly the base; the expected value then grows
+  // ~1.5x per attempt while successive sleeps decorrelate across feeds.
+  const double base = opt_.backoff_ms;
+  const double hi = std::max(base, 3.0 * prev_backoff_ms_);
+  const double ms =
+      std::min(cap, base + backoff_rng_.next_double() * (hi - base));
+  prev_backoff_ms_ = ms;
+  return ms;
 }
 
 std::vector<StationId> LiveOverlay::all_stations(const Timetable& tt) {
@@ -110,6 +128,7 @@ ApplyResult LiveOverlay::apply(const DelayEvent& ev) {
             std::make_shared<const OverlayGraph>(std::move(r.overlay));
         ++stats_.relinks;
         failed_attempts_ = 0;
+        prev_backoff_ms_ = 0.0;
         publish(std::move(next));
         res.status = ApplyStatus::kRelinked;
         return res;
@@ -121,6 +140,7 @@ ApplyResult LiveOverlay::apply(const DelayEvent& ev) {
             contract(*tt_new, *g_new));
         ++stats_.recontractions;
         failed_attempts_ = 0;
+        prev_backoff_ms_ = 0.0;
         publish(std::move(next));
         res.status = ApplyStatus::kRecontracted;
         return res;
@@ -156,11 +176,15 @@ ApplyResult LiveOverlay::retry() {
     return res;
   }
   ++stats_.retries;
-  if (opt_.backoff_ms > 0.0 && failed_attempts_ > 0) {
-    const std::uint32_t exp =
-        std::min(failed_attempts_ - 1, opt_.max_backoff_exp);
-    const double ms = opt_.backoff_ms * static_cast<double>(1u << exp);
-    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+  if (failed_attempts_ > 0) {
+    const double cap =
+        opt_.backoff_ms * static_cast<double>(1u << opt_.max_backoff_exp);
+    const double ms = next_backoff_ms(cap);
+    last_backoff_ms_ = ms;
+    if (opt_.backoff_ms > 0.0 && ms > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(ms));
+    }
   }
   try {
     auto next = std::make_shared<LiveSnapshot>();
@@ -171,6 +195,7 @@ ApplyResult LiveOverlay::retry() {
         contract(*cur->tt, *cur->graph));
     ++stats_.recoveries;
     failed_attempts_ = 0;
+    prev_backoff_ms_ = 0.0;
     res.epoch = next->epoch;
     publish(std::move(next));
     res.status = ApplyStatus::kRecontracted;

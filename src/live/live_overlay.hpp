@@ -42,6 +42,7 @@
 #include "live/delay_feed.hpp"
 #include "timetable/timetable.hpp"
 #include "util/fault_injector.hpp"
+#include "util/rng.hpp"
 
 namespace pconn {
 
@@ -72,11 +73,22 @@ struct LiveOverlayOptions {
   OverlayContractionOptions contraction;
   /// Re-link budget: blast-radius cap, deadline, fault hook.
   RelinkOptions relink;
-  /// Base of the exponential retry backoff; retry attempt k sleeps
+  /// Base of the exponential retry backoff; retry attempt k targets
   /// backoff_ms * 2^k before rebuilding. 0 disables sleeping (tests).
   double backoff_ms = 0.0;
   /// Cap on the backoff exponent (2^10 ~ 1000x base).
   std::uint32_t max_backoff_exp = 10;
+  /// Decorrelated jitter on the backoff (AWS-style): attempt k sleeps
+  /// uniform(backoff_ms, 3 * previous_sleep), capped at
+  /// backoff_ms * 2^max_backoff_exp. Without it, worker recoveries that
+  /// degraded on the same event retry in lockstep and the rebuild storm
+  /// re-arrives intact; jitter decorrelates them while keeping the same
+  /// expected growth. Disable for the deterministic pure-exponential
+  /// schedule.
+  bool backoff_jitter = true;
+  /// Seed of the jitter stream — deterministic in tests, so the exact
+  /// sleep sequence is reproducible per seed.
+  std::uint64_t backoff_seed = 0x9e3779b97f4a7c15ull;
   /// Fault hook for the contraction path (kContractionWorker); usually the
   /// same injector as relink.faults. Null in production.
   FaultInjector* faults = nullptr;
@@ -137,6 +149,9 @@ class LiveOverlay {
   /// Consecutive failed rebuilds since the last healthy epoch (the backoff
   /// exponent of the next retry()).
   std::uint32_t failed_attempts() const { return failed_attempts_; }
+  /// The backoff the most recent retry() computed (ms) — observable even
+  /// when backoff_ms scales it to a sub-millisecond test sleep.
+  double last_backoff_ms() const { return last_backoff_ms_; }
   /// Retired epochs still pinned by some reader (weak_ptr accounting).
   std::size_t retired_pinned() const;
   const LiveUpdateStats& stats() const { return stats_; }
@@ -147,9 +162,16 @@ class LiveOverlay {
   void publish(std::shared_ptr<const LiveSnapshot> next);
   static std::vector<StationId> all_stations(const Timetable& tt);
 
+  /// Next backoff target per the decorrelated-jitter recurrence; single-
+  /// writer like retry() itself.
+  double next_backoff_ms(double cap);
+
   LiveOverlayOptions opt_;
   LiveUpdateStats stats_;
   std::uint32_t failed_attempts_ = 0;
+  Rng backoff_rng_;
+  double prev_backoff_ms_ = 0.0;
+  double last_backoff_ms_ = 0.0;
   mutable std::mutex mutex_;  // guards current_ and retired_ only
   std::shared_ptr<const LiveSnapshot> current_;
   mutable std::vector<std::weak_ptr<const LiveSnapshot>> retired_;

@@ -1,0 +1,157 @@
+#include "server/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace pconn {
+
+BlockingClient::BlockingClient(const std::string& host, std::uint16_t port,
+                               double timeout_ms)
+    : timeout_ms_(timeout_ms) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throw std::runtime_error("client: socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("client: connect failed");
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+BlockingClient::~BlockingClient() { close(); }
+
+void BlockingClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool BlockingClient::send_raw(const std::string& bytes) {
+  std::size_t off = 0;
+  while (fd_ >= 0 && off < bytes.size()) {
+    const ssize_t w =
+        ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (w > 0) {
+      off += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    close();
+    return false;
+  }
+  return fd_ >= 0;
+}
+
+bool BlockingClient::recv_exact(char* out, std::size_t n) {
+  std::size_t got = 0;
+  while (fd_ >= 0 && got < n) {
+    pollfd pfd{fd_, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, static_cast<int>(timeout_ms_));
+    if (pr == 0) {  // timeout
+      close();
+      return false;
+    }
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      close();
+      return false;
+    }
+    const ssize_t r = ::recv(fd_, out + got, n - got, 0);
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    close();
+    return false;
+  }
+  return fd_ >= 0;
+}
+
+std::optional<std::string> BlockingClient::recv_frame() {
+  char hdr[kFrameHeaderBytes];
+  if (!recv_exact(hdr, sizeof(hdr))) return std::nullopt;
+  const std::uint32_t len = get_u32(hdr);
+  if (len > (std::uint32_t{16} << 20)) {  // sanity cap for a test client
+    close();
+    return std::nullopt;
+  }
+  std::string payload(len, '\0');
+  if (!recv_exact(payload.data(), len)) return std::nullopt;
+  return payload;
+}
+
+std::optional<DecodedResponse> BlockingClient::round_trip(
+    const std::string& frame) {
+  if (!send_raw(frame)) return std::nullopt;
+  std::optional<std::string> payload = recv_frame();
+  if (!payload) return std::nullopt;
+  return decode_response(payload->data(), payload->size());
+}
+
+std::optional<DecodedResponse> BlockingClient::ping() {
+  return round_trip(encode_ping(next_req_id_++));
+}
+
+std::optional<DecodedResponse> BlockingClient::earliest_arrival(
+    StationId source, Time departure, StationId target) {
+  return round_trip(
+      encode_earliest_arrival(next_req_id_++, source, departure, target));
+}
+
+std::optional<DecodedResponse> BlockingClient::profile(StationId source,
+                                                       StationId target) {
+  return round_trip(encode_profile(next_req_id_++, source, target));
+}
+
+std::optional<DecodedResponse> BlockingClient::server_stats() {
+  return round_trip(encode_stats(next_req_id_++));
+}
+
+bool BlockingClient::text_hello() { return send_raw("TEXT\n"); }
+
+std::optional<std::string> BlockingClient::text_command(
+    const std::string& line) {
+  if (!send_raw(line + "\n")) return std::nullopt;
+  for (;;) {
+    const std::size_t nl = line_buf_.find('\n');
+    if (nl != std::string::npos) {
+      std::string out = line_buf_.substr(0, nl);
+      line_buf_.erase(0, nl + 1);
+      if (!out.empty() && out.back() == '\r') out.pop_back();
+      return out;
+    }
+    char buf[1024];
+    pollfd pfd{fd_, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, static_cast<int>(timeout_ms_));
+    if (pr <= 0 && errno != EINTR) {
+      close();
+      return std::nullopt;
+    }
+    if (pr <= 0) continue;
+    const ssize_t r = ::recv(fd_, buf, sizeof(buf), 0);
+    if (r > 0) {
+      line_buf_.append(buf, static_cast<std::size_t>(r));
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    close();
+    return std::nullopt;
+  }
+}
+
+}  // namespace pconn

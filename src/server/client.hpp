@@ -1,0 +1,72 @@
+// BlockingClient — the minimal synchronous client of the serving
+// front-end, used by tests/server_test.cpp, bench/bench_server.cpp, and
+// examples/serve_scenario.cpp.
+//
+// One TCP connection, one outstanding request at a time: each call
+// encodes through src/server/protocol.hpp, writes the frame, and blocks
+// (with a poll() timeout) for the response. send_raw()/recv_frame()
+// expose the raw byte layer for the fuzz sweep and the byte-identity
+// oracle; text_command() drives the newline-delimited mode.
+//
+// Not a production client — it exists so every rung of the server's
+// resilience ladder can be exercised from a few lines of test code.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "server/protocol.hpp"
+
+namespace pconn {
+
+class BlockingClient {
+ public:
+  /// Connects immediately; throws std::runtime_error on failure.
+  BlockingClient(const std::string& host, std::uint16_t port,
+                 double timeout_ms = 10'000.0);
+  ~BlockingClient();
+
+  BlockingClient(const BlockingClient&) = delete;
+  BlockingClient& operator=(const BlockingClient&) = delete;
+
+  // --- binary mode ------------------------------------------------------
+
+  /// nullopt on connection loss / timeout / undecodable frame.
+  std::optional<DecodedResponse> ping();
+  std::optional<DecodedResponse> earliest_arrival(StationId source,
+                                                  Time departure,
+                                                  StationId target);
+  std::optional<DecodedResponse> profile(StationId source, StationId target);
+  std::optional<DecodedResponse> server_stats();
+
+  // --- raw byte layer (fuzzing, byte-identity) --------------------------
+
+  /// True when all bytes were written.
+  bool send_raw(const std::string& bytes);
+  /// One length-prefixed frame payload, or nullopt on loss/timeout.
+  std::optional<std::string> recv_frame();
+
+  // --- text mode --------------------------------------------------------
+
+  /// Sends the "TEXT\n" hello; call once, before any text_command().
+  bool text_hello();
+  /// Sends one command line and returns the response line (no newline),
+  /// or nullopt on loss/timeout.
+  std::optional<std::string> text_command(const std::string& line);
+
+  /// True until a send/recv observed a closed connection.
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+ private:
+  std::optional<DecodedResponse> round_trip(const std::string& frame);
+  bool recv_exact(char* out, std::size_t n);
+
+  int fd_ = -1;
+  double timeout_ms_;
+  std::uint32_t next_req_id_ = 1;
+  std::string line_buf_;  // text-mode carry-over
+};
+
+}  // namespace pconn

@@ -1,0 +1,175 @@
+#include "server/protocol.hpp"
+
+namespace pconn {
+
+const char* status_name(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kMalformed: return "malformed";
+    case Status::kBadRequest: return "bad-request";
+    case Status::kOverloaded: return "overloaded";
+    case Status::kDeadlineExceeded: return "deadline-exceeded";
+    case Status::kShuttingDown: return "shutting-down";
+    case Status::kInternal: return "internal";
+  }
+  return "?";
+}
+
+std::size_t request_payload_bytes(Opcode op) {
+  switch (op) {
+    case Opcode::kPing: return kRequestPrefixBytes;
+    case Opcode::kEarliestArrival: return kRequestPrefixBytes + 12;
+    case Opcode::kProfile: return kRequestPrefixBytes + 8;
+    case Opcode::kStats: return kRequestPrefixBytes;
+  }
+  return 0;
+}
+
+namespace {
+
+std::string request_prefix(Opcode op, std::uint32_t req_id,
+                           std::size_t arg_bytes) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + kRequestPrefixBytes + arg_bytes);
+  put_u32(out, static_cast<std::uint32_t>(kRequestPrefixBytes + arg_bytes));
+  put_u8(out, static_cast<std::uint8_t>(op));
+  put_u32(out, req_id);
+  return out;
+}
+
+}  // namespace
+
+std::string encode_ping(std::uint32_t req_id) {
+  return request_prefix(Opcode::kPing, req_id, 0);
+}
+
+std::string encode_earliest_arrival(std::uint32_t req_id, StationId source,
+                                    Time departure, StationId target) {
+  std::string out = request_prefix(Opcode::kEarliestArrival, req_id, 12);
+  put_u32(out, source);
+  put_u32(out, departure);
+  put_u32(out, target);
+  return out;
+}
+
+std::string encode_profile(std::uint32_t req_id, StationId source,
+                           StationId target) {
+  std::string out = request_prefix(Opcode::kProfile, req_id, 8);
+  put_u32(out, source);
+  put_u32(out, target);
+  return out;
+}
+
+std::string encode_stats(std::uint32_t req_id) {
+  return request_prefix(Opcode::kStats, req_id, 0);
+}
+
+std::string encode_response_header(const ResponseHeader& h,
+                                   std::size_t body_bytes) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + kResponseHeaderBytes + body_bytes);
+  put_u32(out,
+          static_cast<std::uint32_t>(kResponseHeaderBytes + body_bytes));
+  put_u8(out, static_cast<std::uint8_t>(h.status));
+  put_u8(out, static_cast<std::uint8_t>(h.opcode));
+  put_u8(out, h.degraded ? 1 : 0);
+  put_u8(out, 0);
+  put_u32(out, h.req_id);
+  put_u64(out, h.epoch);
+  return out;
+}
+
+std::string encode_ea_response(const ResponseHeader& h, Time arrival) {
+  std::string out = encode_response_header(h, 4);
+  put_u32(out, arrival);
+  return out;
+}
+
+std::string encode_profile_response(const ResponseHeader& h,
+                                    const Profile& profile) {
+  std::string out = encode_response_header(h, 4 + 8 * profile.size());
+  put_u32(out, static_cast<std::uint32_t>(profile.size()));
+  for (const ProfilePoint& p : profile) {
+    put_u32(out, p.dep);
+    put_u32(out, p.arr);
+  }
+  return out;
+}
+
+std::string encode_overloaded(const ResponseHeader& h,
+                              std::uint32_t retry_after_ms) {
+  std::string out = encode_response_header(h, 4);
+  put_u32(out, retry_after_ms);
+  return out;
+}
+
+std::string encode_stats_response(const ResponseHeader& h,
+                                  std::uint64_t requests_ok,
+                                  std::uint64_t requests_shed,
+                                  std::uint64_t requests_deadline,
+                                  std::uint64_t requests_malformed,
+                                  std::uint64_t queue_depth) {
+  std::string out = encode_response_header(h, 5 * 8);
+  put_u64(out, requests_ok);
+  put_u64(out, requests_shed);
+  put_u64(out, requests_deadline);
+  put_u64(out, requests_malformed);
+  put_u64(out, queue_depth);
+  return out;
+}
+
+std::optional<DecodedResponse> decode_response(const char* payload,
+                                               std::size_t len) {
+  if (len < kResponseHeaderBytes) return std::nullopt;
+  DecodedResponse r;
+  const auto status = static_cast<std::uint8_t>(payload[0]);
+  const auto opcode = static_cast<std::uint8_t>(payload[1]);
+  if (status > static_cast<std::uint8_t>(Status::kInternal)) {
+    return std::nullopt;
+  }
+  if (opcode > static_cast<std::uint8_t>(Opcode::kStats)) {
+    return std::nullopt;
+  }
+  r.header.status = static_cast<Status>(status);
+  r.header.opcode = static_cast<Opcode>(opcode);
+  r.header.degraded = payload[2] != 0;
+  r.header.req_id = get_u32(payload + 4);
+  r.header.epoch = get_u64(payload + 8);
+  const char* body = payload + kResponseHeaderBytes;
+  const std::size_t body_len = len - kResponseHeaderBytes;
+  if (r.header.status == Status::kOverloaded) {
+    if (body_len != 4) return std::nullopt;
+    r.retry_after_ms = get_u32(body);
+    return r;
+  }
+  if (r.header.status != Status::kOk) {
+    return body_len == 0 ? std::optional<DecodedResponse>(r) : std::nullopt;
+  }
+  switch (r.header.opcode) {
+    case Opcode::kPing:
+      if (body_len != 0) return std::nullopt;
+      return r;
+    case Opcode::kEarliestArrival:
+      if (body_len != 4) return std::nullopt;
+      r.arrival = get_u32(body);
+      return r;
+    case Opcode::kProfile: {
+      if (body_len < 4) return std::nullopt;
+      const std::uint32_t n = get_u32(body);
+      if (body_len != 4 + std::size_t{8} * n) return std::nullopt;
+      r.profile.resize(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        r.profile[i].dep = get_u32(body + 4 + 8 * i);
+        r.profile[i].arr = get_u32(body + 8 + 8 * i);
+      }
+      return r;
+    }
+    case Opcode::kStats:
+      if (body_len != 5 * 8) return std::nullopt;
+      for (int i = 0; i < 5; ++i) r.stats[i] = get_u64(body + 8 * i);
+      return r;
+  }
+  return std::nullopt;
+}
+
+}  // namespace pconn

@@ -1,0 +1,118 @@
+// BoundedMpmcQueue — the fixed-capacity request queue between the IO
+// thread and the worker pool (docs/server.md "Admission control").
+//
+// Vyukov-style bounded MPMC ring: each cell carries a sequence number and
+// producers/consumers claim slots by atomically advancing their index —
+// the same atomic-index pickup idiom the throughput-mode engines use for
+// work distribution, lifted to a queue so that a full ring REFUSES the
+// push instead of blocking or growing. That refusal is the server's
+// backpressure point: try_push failing is what turns into a typed
+// kOverloaded response, so memory stays bounded by construction rather
+// than by hope.
+//
+// try_pop never blocks either; the server pairs the queue with a counting
+// semaphore so idle workers sleep instead of spinning. Capacity is
+// rounded up to a power of two (sequence arithmetic needs it); T must be
+// movable and is stored by value.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+namespace pconn {
+
+template <typename T>
+class BoundedMpmcQueue {
+ public:
+  explicit BoundedMpmcQueue(std::size_t capacity)
+      : mask_(round_up_pow2(capacity) - 1),
+        cells_(std::make_unique<Cell[]>(mask_ + 1)) {
+    for (std::size_t i = 0; i <= mask_; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// False when the ring is full — the caller sheds the request.
+  bool try_push(T v) {
+    Cell* cell;
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      const auto dif = static_cast<std::ptrdiff_t>(seq) -
+                       static_cast<std::ptrdiff_t>(pos);
+      if (dif == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return false;  // full
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = std::move(v);
+    cell->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// False when the ring is empty.
+  bool try_pop(T& out) {
+    Cell* cell;
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      const auto dif = static_cast<std::ptrdiff_t>(seq) -
+                       static_cast<std::ptrdiff_t>(pos + 1);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return false;  // empty
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+    out = std::move(cell->value);
+    cell->seq.store(pos + mask_ + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Racy depth estimate for observability and Retry-After hints only —
+  /// never for correctness decisions.
+  std::size_t size_approx() const {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    return head >= tail ? head - tail : 0;
+  }
+
+ private:
+  static std::size_t round_up_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p < 2 ? 2 : p;
+  }
+
+  struct Cell {
+    std::atomic<std::size_t> seq{0};
+    T value{};
+  };
+
+  // Head/tail on separate cache lines from the cells and each other; the
+  // ring is contended by exactly one producer (IO thread) and N workers.
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  const std::size_t mask_;
+  std::unique_ptr<Cell[]> cells_;
+};
+
+}  // namespace pconn

@@ -1,7 +1,9 @@
 #include "timetable/gtfs.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <set>
@@ -15,9 +17,13 @@ namespace pconn::gtfs {
 
 Time parse_time(const std::string& text) {
   unsigned h = 0, m = 0, s = 0;
+  // kMaxHours keeps h*3600 far from Time overflow even after the builder
+  // adds period-relative offsets (a week of after-midnight hours is plenty).
+  constexpr unsigned kMaxHours = 24 * 7;
   if (std::sscanf(text.c_str(), "%u:%u:%u", &h, &m, &s) != 3 || m >= 60 ||
-      s >= 60) {
-    throw std::runtime_error("gtfs: malformed time '" + text + "'");
+      s >= 60 || h > kMaxHours) {
+    throw LoadError(LoadError::Kind::kCorrupt,
+                    "gtfs: malformed time '" + text + "'");
   }
   return h * 3600 + m * 60 + s;
 }
@@ -31,10 +37,43 @@ std::string render_time(Time t) {
 
 namespace {
 
+/// Caps on the entity counts a feed may declare, checked BEFORE the
+/// corresponding storage is sized. Far above any real network (Europe-scale
+/// is ~50K stations / ~10M stop events) yet small enough that a lying file
+/// cannot drive a multi-GB resize.
+constexpr std::size_t kMaxStops = std::size_t{1} << 24;
+constexpr std::size_t kMaxTrips = std::size_t{1} << 24;
+
 CsvTable read_table(const std::filesystem::path& file) {
   std::ifstream in(file);
-  if (!in) throw std::runtime_error("gtfs: cannot open " + file.string());
-  return CsvTable::parse(in);
+  if (!in) {
+    throw LoadError(LoadError::Kind::kMissingFile,
+                    "gtfs: cannot open " + file.string());
+  }
+  try {
+    return CsvTable::parse(in);
+  } catch (const std::runtime_error& e) {
+    // The CSV layer's structural failures (ragged rows, oversized fields,
+    // row-count caps) become typed load errors with the file named.
+    throw LoadError(LoadError::Kind::kCorrupt,
+                    file.filename().string() + ": " + e.what());
+  }
+}
+
+/// Bounded unsigned parse: rejects empty, non-numeric, negative and
+/// > `max` values with a typed error instead of std::stoul's unbounded
+/// std::invalid_argument / std::out_of_range (or silent wraparound).
+std::uint64_t parse_uint_field(const std::string& text, std::uint64_t max,
+                               const char* what) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (text.empty() || end != text.c_str() + text.size() || errno == ERANGE ||
+      v > max) {
+    throw LoadError(LoadError::Kind::kCorrupt,
+                    std::string("gtfs: bad ") + what + " '" + text + "'");
+  }
+  return v;
 }
 
 }  // namespace
@@ -47,10 +86,17 @@ Timetable load(const std::filesystem::path& dir, const LoadOptions& opt) {
   CsvTable stops = read_table(dir / "stops.txt");
   std::map<std::string, StationId> stop_ids;
   std::vector<std::string> stop_names;
+  if (stops.num_rows() > kMaxStops) {
+    throw LoadError(LoadError::Kind::kBadCount,
+                    "gtfs: stops.txt declares " +
+                        std::to_string(stops.num_rows()) + " stops (cap " +
+                        std::to_string(kMaxStops) + ")");
+  }
   for (std::size_t r = 0; r < stops.num_rows(); ++r) {
     const std::string& id = stops.cell(r, "stop_id");
     if (stop_ids.count(id)) {
-      throw std::runtime_error("gtfs: duplicate stop_id " + id);
+      throw LoadError(LoadError::Kind::kCorrupt,
+                      "gtfs: duplicate stop_id " + id);
     }
     stop_ids[id] = static_cast<StationId>(stop_names.size());
     stop_names.push_back(stops.cell_or(r, "stop_name", id));
@@ -66,7 +112,10 @@ Timetable load(const std::filesystem::path& dir, const LoadOptions& opt) {
       auto it = stop_ids.find(from);
       if (it == stop_ids.end()) continue;
       std::string mtt = tr.cell_or(r, "min_transfer_time", "");
-      if (!mtt.empty()) transfer[it->second] = static_cast<Time>(std::stoul(mtt));
+      if (!mtt.empty()) {
+        transfer[it->second] = static_cast<Time>(
+            parse_uint_field(mtt, kDayseconds, "min_transfer_time"));
+      }
     }
   }
 
@@ -89,12 +138,19 @@ Timetable load(const std::filesystem::path& dir, const LoadOptions& opt) {
 
   // trips.txt gives the set of trip ids; stop_times.txt their schedules.
   CsvTable trips = read_table(dir / "trips.txt");
+  if (trips.num_rows() > kMaxTrips) {
+    throw LoadError(LoadError::Kind::kBadCount,
+                    "gtfs: trips.txt declares " +
+                        std::to_string(trips.num_rows()) + " trips (cap " +
+                        std::to_string(kMaxTrips) + ")");
+  }
   std::map<std::string, std::size_t> trip_index;
   std::set<std::string> skipped_trips;
   for (std::size_t r = 0; r < trips.num_rows(); ++r) {
     const std::string& id = trips.cell(r, "trip_id");
     if (trip_index.count(id)) {
-      throw std::runtime_error("gtfs: duplicate trip_id " + id);
+      throw LoadError(LoadError::Kind::kCorrupt,
+                      "gtfs: duplicate trip_id " + id);
     }
     if (opt.weekday >= 0) {
       auto it = service_active.find(trips.cell_or(r, "service_id", ""));
@@ -117,15 +173,17 @@ Timetable load(const std::filesystem::path& dir, const LoadOptions& opt) {
     auto ti = trip_index.find(trip_id);
     if (ti == trip_index.end()) {
       if (skipped_trips.count(trip_id)) continue;  // filtered by calendar
-      throw std::runtime_error("gtfs: stop_times references unknown trip " +
-                               trip_id);
+      throw LoadError(LoadError::Kind::kCorrupt,
+                      "gtfs: stop_times references unknown trip " + trip_id);
     }
     auto si = stop_ids.find(stop_times.cell(r, "stop_id"));
     if (si == stop_ids.end()) {
-      throw std::runtime_error("gtfs: stop_times references unknown stop");
+      throw LoadError(LoadError::Kind::kCorrupt,
+                      "gtfs: stop_times references unknown stop");
     }
     Stop s;
-    s.seq = std::stol(stop_times.cell(r, "stop_sequence"));
+    s.seq = static_cast<long>(parse_uint_field(
+        stop_times.cell(r, "stop_sequence"), 1u << 20, "stop_sequence"));
     s.st.station = si->second;
     s.st.arrival = parse_time(stop_times.cell(r, "arrival_time"));
     s.st.departure = parse_time(stop_times.cell(r, "departure_time"));

@@ -13,11 +13,21 @@
 //  * transfers.txt rows with from_stop_id == to_stop_id and transfer_type 2
 //    provide the per-station minimum transfer time T(S); everything else is
 //    ignored and `default_transfer_time` applies.
+//
+// Robustness: load() never crashes on a bad feed. Every failure — a missing
+// or unreadable file, malformed CSV, an out-of-range number, a row count
+// that would imply an absurd allocation — throws a typed LoadError
+// (timetable/load_error.hpp) before any oversized storage is touched, and
+// semantically invalid trips still surface as TimetableBuilder's
+// std::invalid_argument. tests/gtfs_test.cpp sweeps truncated and
+// bit-flipped feeds over this contract, the same way serialize_test sweeps
+// the binary formats.
 #pragma once
 
 #include <filesystem>
 #include <string>
 
+#include "timetable/load_error.hpp"
 #include "timetable/timetable.hpp"
 
 namespace pconn::gtfs {
@@ -35,13 +45,14 @@ struct LoadOptions {
 };
 
 /// Parses "HH:MM:SS" (HH may exceed 23 for after-midnight times) into
-/// seconds. Throws std::runtime_error on malformed input.
+/// seconds. Throws LoadError(kCorrupt) on malformed or out-of-range input.
 Time parse_time(const std::string& text);
 
 /// Renders seconds as "HH:MM:SS" with HH allowed to exceed 23.
 std::string render_time(Time t);
 
 /// Loads <dir>/stops.txt, trips.txt, stop_times.txt[, transfers.txt].
+/// Throws LoadError on any malformed input (see header note).
 Timetable load(const std::filesystem::path& dir, const LoadOptions& opt = {});
 
 /// Writes stops.txt, routes.txt, trips.txt, stop_times.txt, transfers.txt.

@@ -30,34 +30,13 @@
 
 #include <istream>
 #include <ostream>
-#include <stdexcept>
 #include <string>
 
 #include "graph/overlay_graph.hpp"
+#include "timetable/load_error.hpp"
 #include "timetable/timetable.hpp"
 
 namespace pconn {
-
-/// Typed deserialization failure: what went wrong, machine-readable. All
-/// loaders throw this (it still IS a std::runtime_error, so existing
-/// catch sites keep working).
-class LoadError : public std::runtime_error {
- public:
-  enum class Kind : std::uint8_t {
-    kBadMagic = 0,      // not a PCTT/PCOV stream
-    kBadVersion = 1,    // format version this build does not read
-    kTruncated = 2,     // stream ended (or failed) mid-section
-    kBadCount = 3,      // a section count contradicts loaded sections
-    kCorrupt = 4,       // values out of range / inconsistent structure
-  };
-
-  LoadError(Kind kind, const std::string& what)
-      : std::runtime_error(what), kind_(kind) {}
-  Kind kind() const { return kind_; }
-
- private:
-  Kind kind_;
-};
 
 /// Writes `tt` to `out`. Throws std::runtime_error on stream failure.
 void save_timetable(const Timetable& tt, std::ostream& out);

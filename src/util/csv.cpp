@@ -4,7 +4,8 @@
 
 namespace pconn {
 
-std::optional<std::vector<std::string>> read_csv_record(std::istream& in) {
+std::optional<std::vector<std::string>> read_csv_record(std::istream& in,
+                                                        const CsvLimits& lim) {
   if (in.peek() == std::char_traits<char>::eof()) return std::nullopt;
   std::vector<std::string> fields;
   std::string field;
@@ -14,6 +15,14 @@ std::optional<std::vector<std::string>> read_csv_record(std::istream& in) {
   while ((ch = in.get()) != std::char_traits<char>::eof()) {
     char c = static_cast<char>(ch);
     saw_any = true;
+    if (field.size() >= lim.max_field_bytes) {
+      throw std::runtime_error("csv: field exceeds " +
+                               std::to_string(lim.max_field_bytes) + " bytes");
+    }
+    if (fields.size() >= lim.max_columns) {
+      throw std::runtime_error("csv: record exceeds " +
+                               std::to_string(lim.max_columns) + " columns");
+    }
     if (in_quotes) {
       if (c == '"') {
         if (in.peek() == '"') {
@@ -63,9 +72,9 @@ void write_csv_record(std::ostream& out, const std::vector<std::string>& rec) {
   out << '\n';
 }
 
-CsvTable CsvTable::parse(std::istream& in) {
+CsvTable CsvTable::parse(std::istream& in, const CsvLimits& lim) {
   CsvTable t;
-  auto header = read_csv_record(in);
+  auto header = read_csv_record(in, lim);
   if (!header) throw std::runtime_error("csv: empty input");
   for (std::size_t i = 0; i < header->size(); ++i) {
     std::string name = (*header)[i];
@@ -76,12 +85,16 @@ CsvTable CsvTable::parse(std::istream& in) {
     }
     t.col_index_[name] = i;
   }
-  while (auto rec = read_csv_record(in)) {
+  while (auto rec = read_csv_record(in, lim)) {
     if (rec->size() == 1 && (*rec)[0].empty()) continue;  // blank line
     if (rec->size() != header->size()) {
       throw std::runtime_error("csv: ragged row with " +
                                std::to_string(rec->size()) + " fields, header has " +
                                std::to_string(header->size()));
+    }
+    if (t.rows_.size() >= lim.max_rows) {
+      throw std::runtime_error("csv: table exceeds " +
+                               std::to_string(lim.max_rows) + " rows");
     }
     t.rows_.push_back(std::move(*rec));
   }

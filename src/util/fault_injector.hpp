@@ -46,6 +46,11 @@ class FaultInjector {
     kPoolAppend = 1,       // per function appended into the epoch pool
     kContractionWorker = 2,  // per node simulated on a contraction worker
     kDeadline = 3,         // consulted via fires(): forces deadline exceeded
+    // Serving front-end sites (src/server/, docs/server.md).
+    kAccept = 4,          // per accept(): forces a transient accept failure
+    kServerWorker = 5,    // per request executed: worker throws mid-query
+    kQueueOverflow = 6,   // consulted via fires(): forces admission shed
+    kWorkerDeadline = 7,  // consulted via fires(): forces deadline overrun
     kCount_
   };
   enum class Kind : std::uint8_t {
@@ -99,6 +104,10 @@ class FaultInjector {
       case Site::kPoolAppend: return "pool-append";
       case Site::kContractionWorker: return "contraction-worker";
       case Site::kDeadline: return "deadline";
+      case Site::kAccept: return "accept";
+      case Site::kServerWorker: return "server-worker";
+      case Site::kQueueOverflow: return "queue-overflow";
+      case Site::kWorkerDeadline: return "worker-deadline";
       default: return "?";
     }
   }

@@ -150,5 +150,135 @@ TEST_F(GtfsTest, UnknownReferencesThrow) {
   EXPECT_THROW(gtfs::load(dir_), std::runtime_error);
 }
 
+// --- hardening: a bad feed must load valid or throw typed, never crash ---
+
+TEST_F(GtfsTest, TypedErrors) {
+  // Missing directory entirely.
+  try {
+    gtfs::load(dir_ / "nope");
+    FAIL() << "expected LoadError";
+  } catch (const LoadError& e) {
+    EXPECT_EQ(e.kind(), LoadError::Kind::kMissingFile);
+  }
+  // Malformed numeric fields are kCorrupt, not std::stoul's surprises.
+  std::ofstream(dir_ / "stops.txt") << "stop_id,stop_name\nX,X\nY,Y\n";
+  std::ofstream(dir_ / "trips.txt") << "route_id,service_id,trip_id\nR,wk,T\n";
+  std::ofstream(dir_ / "stop_times.txt")
+      << "trip_id,arrival_time,departure_time,stop_id,stop_sequence\n"
+         "T,08:00:00,08:00:00,X,99999999999999999999\n"
+         "T,08:10:00,08:10:00,Y,2\n";
+  try {
+    gtfs::load(dir_);
+    FAIL() << "expected LoadError";
+  } catch (const LoadError& e) {
+    EXPECT_EQ(e.kind(), LoadError::Kind::kCorrupt);
+  }
+  std::ofstream(dir_ / "stop_times.txt")
+      << "trip_id,arrival_time,departure_time,stop_id,stop_sequence\n"
+         "T,08:00:00,notatime,X,1\nT,08:10:00,08:10:00,Y,2\n";
+  EXPECT_THROW(gtfs::load(dir_), LoadError);
+  // Ragged CSV rows become kCorrupt with the file named.
+  std::ofstream(dir_ / "stop_times.txt")
+      << "trip_id,arrival_time,departure_time,stop_id,stop_sequence\n"
+         "T,08:00:00,08:00:00\n";
+  try {
+    gtfs::load(dir_);
+    FAIL() << "expected LoadError";
+  } catch (const LoadError& e) {
+    EXPECT_EQ(e.kind(), LoadError::Kind::kCorrupt);
+    EXPECT_NE(std::string(e.what()).find("stop_times.txt"),
+              std::string::npos);
+  }
+  // A min_transfer_time beyond a day is rejected, not silently truncated.
+  std::ofstream(dir_ / "stop_times.txt")
+      << "trip_id,arrival_time,departure_time,stop_id,stop_sequence\n"
+         "T,08:00:00,08:00:00,X,1\nT,08:10:00,08:10:00,Y,2\n";
+  std::ofstream(dir_ / "transfers.txt")
+      << "from_stop_id,to_stop_id,transfer_type,min_transfer_time\n"
+         "X,X,2,999999999\n";
+  EXPECT_THROW(gtfs::load(dir_), LoadError);
+}
+
+TEST_F(GtfsTest, CsvLimitsBoundAllocation) {
+  // A single absurd field trips the CSV cap instead of growing a string
+  // toward the file size.
+  {
+    std::ofstream out(dir_ / "stops.txt");
+    out << "stop_id,stop_name\nX,";
+    std::string big(2 << 20, 'a');
+    out << big << "\n";
+  }
+  std::ofstream(dir_ / "trips.txt") << "route_id,service_id,trip_id\n";
+  std::ofstream(dir_ / "stop_times.txt")
+      << "trip_id,arrival_time,departure_time,stop_id,stop_sequence\n";
+  try {
+    gtfs::load(dir_);
+    FAIL() << "expected LoadError";
+  } catch (const LoadError& e) {
+    EXPECT_EQ(e.kind(), LoadError::Kind::kCorrupt);
+  }
+}
+
+// The PR 8 discipline applied to the text loaders: every truncation of a
+// valid feed either loads a valid timetable or throws a typed error.
+TEST_F(GtfsTest, TruncationSweepNeverCrashes) {
+  Timetable tt = test::tiny_line();
+  gtfs::write(tt, dir_);
+  std::ifstream in(dir_ / "stop_times.txt", std::ios::binary);
+  std::string full((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(full.size(), 100u);
+  int loaded = 0, thrown = 0;
+  for (std::size_t cut = 0; cut <= full.size(); cut += 3) {
+    {
+      std::ofstream out(dir_ / "stop_times.txt", std::ios::binary);
+      out << full.substr(0, cut);
+    }
+    try {
+      Timetable back = gtfs::load(dir_);
+      EXPECT_TRUE(validate(back).ok()) << "cut at " << cut;
+      ++loaded;
+    } catch (const std::runtime_error&) {
+      ++thrown;  // LoadError or the builder's invalid_argument: both typed
+    }
+  }
+  // The sweep must have exercised both outcomes.
+  EXPECT_GT(loaded, 0);
+  EXPECT_GT(thrown, 0);
+}
+
+// Random single-byte corruptions across the whole feed directory: loads
+// are valid-or-thrown, never a crash or an invalid timetable.
+TEST_F(GtfsTest, BitFlipSweepNeverCrashes) {
+  Timetable tt = test::tiny_line();
+  gtfs::write(tt, dir_);
+  Rng rng(20260808);
+  for (const char* name : {"stops.txt", "stop_times.txt", "transfers.txt"}) {
+    std::ifstream in(dir_ / name, std::ios::binary);
+    std::string full((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    in.close();
+    for (int trial = 0; trial < 40; ++trial) {
+      std::string bad = full;
+      const std::size_t pos = rng.next_below(bad.size());
+      bad[pos] = static_cast<char>(rng.next_below(256));
+      {
+        std::ofstream out(dir_ / name, std::ios::binary);
+        out << bad;
+      }
+      try {
+        Timetable back = gtfs::load(dir_);
+        EXPECT_TRUE(validate(back).ok())
+            << name << " flipped at " << pos;
+      } catch (const std::runtime_error&) {
+        // typed rejection is the other acceptable outcome
+      }
+    }
+    std::ofstream out(dir_ / name, std::ios::binary);
+    out << full;
+  }
+}
+
 }  // namespace
 }  // namespace pconn

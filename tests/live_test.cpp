@@ -515,6 +515,73 @@ TEST(LiveOverlay, RetryOnHealthyFeedIsANoop) {
   EXPECT_EQ(live.stats().retries, 0u);
 }
 
+namespace {
+
+/// Keeps a feed failing across `attempts` retries (re-arming the
+/// contraction fault each time) and returns the backoff each retry chose.
+std::vector<double> failing_backoff_sequence(LiveOverlayOptions opt,
+                                             int attempts) {
+  FaultInjector faults;
+  faults.arm(FaultInjector::Site::kContractionWorker);  // initial build fails
+  opt.faults = &faults;
+  LiveOverlay live(test::tiny_line(), opt);
+  EXPECT_TRUE(live.degraded());
+  std::vector<double> seq;
+  for (int k = 0; k < attempts; ++k) {
+    faults.arm(FaultInjector::Site::kContractionWorker);
+    EXPECT_EQ(live.retry().status, ApplyStatus::kDegraded);
+    seq.push_back(live.last_backoff_ms());
+  }
+  return seq;
+}
+
+}  // namespace
+
+TEST(LiveOverlay, RetryBackoffUsesDecorrelatedJitter) {
+  LiveOverlayOptions opt;
+  opt.backoff_ms = 0.001;  // microsecond-scale sleeps: observable, not slow
+  opt.max_backoff_exp = 6;
+  opt.backoff_seed = 11;
+  const double base = opt.backoff_ms;
+  const double cap = base * 64;
+
+  std::vector<double> a = failing_backoff_sequence(opt, 6);
+  std::vector<double> b = failing_backoff_sequence(opt, 6);
+  opt.backoff_seed = 12;
+  std::vector<double> c = failing_backoff_sequence(opt, 6);
+
+  // Deterministic per seed, decorrelated across seeds (two feeds that
+  // degraded on the same event must not retry in lockstep).
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+
+  // Decorrelated-jitter envelope: sleep_k in [base, min(cap, 3*sleep_{k-1})]
+  // with the first attempt pinned to the base.
+  EXPECT_DOUBLE_EQ(a.front(), base);
+  double prev = 0.0;
+  for (double ms : a) {
+    EXPECT_GE(ms, base);
+    EXPECT_LE(ms, cap + 1e-12);
+    EXPECT_LE(ms, std::max(base, 3.0 * prev) + 1e-12);
+    prev = ms;
+  }
+}
+
+TEST(LiveOverlay, RetryBackoffPureExponentialWhenJitterDisabled) {
+  LiveOverlayOptions opt;
+  opt.backoff_ms = 0.001;
+  opt.max_backoff_exp = 3;
+  opt.backoff_jitter = false;
+  std::vector<double> seq = failing_backoff_sequence(opt, 6);
+  // base * 2^min(k, max_exp): 1, 2, 4, 8, 8, 8 (in base units).
+  const std::vector<double> expect = {0.001, 0.002, 0.004,
+                                      0.008, 0.008, 0.008};
+  ASSERT_EQ(seq.size(), expect.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_DOUBLE_EQ(seq[i], expect[i]) << "attempt " << i;
+  }
+}
+
 TEST(LiveOverlay, EventStreamKeepsServingExactly) {
   // A stream mixing every event kind; after each publication the live
   // session must agree with a from-scratch oracle on the same timetable.
