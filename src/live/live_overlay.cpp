@@ -35,6 +35,33 @@ LiveOverlay::LiveOverlay(Timetable tt, LiveOverlayOptions opt)
   current_ = std::move(snap);
 }
 
+LiveOverlay::LiveOverlay(Timetable tt, OverlayGraph overlay,
+                         LiveOverlayOptions opt)
+    : opt_(std::move(opt)), backoff_rng_(opt_.backoff_seed) {
+  opt_.contraction.witness_settles = 0;  // same invariant as the build path
+  opt_.contraction.faults = opt_.faults;
+
+  auto tt_ptr = std::make_shared<const Timetable>(std::move(tt));
+  auto g_ptr = std::make_shared<const TdGraph>(TdGraph::build(*tt_ptr));
+  // The engine constructors re-validate these counts at bind time; check
+  // here too so a stale snapshot fails at adoption, before the first
+  // query pins the epoch.
+  if (overlay.num_nodes() != g_ptr->num_nodes() ||
+      overlay.num_stations() != tt_ptr->num_stations() ||
+      overlay.num_base_ttfs() != g_ptr->ttfs().size() ||
+      overlay.num_base_edges() != g_ptr->num_edges()) {
+    throw std::runtime_error(
+        "live: adopted overlay does not match the timetable "
+        "(snapshot from a different dataset?)");
+  }
+  auto snap = std::make_shared<LiveSnapshot>();
+  snap->epoch = 0;
+  snap->tt = tt_ptr;
+  snap->graph = g_ptr;
+  snap->overlay = std::make_shared<const OverlayGraph>(std::move(overlay));
+  current_ = std::move(snap);
+}
+
 OverlayGraph LiveOverlay::contract(const Timetable& tt,
                                    const TdGraph& g) const {
   return contract_graph(tt, g, opt_.contraction);

@@ -129,6 +129,14 @@ class LiveOverlay {
   /// never throws out of the constructor for injectable faults.
   explicit LiveOverlay(Timetable tt, LiveOverlayOptions opt = {});
 
+  /// Adopts a pre-built overlay (a MappedSnapshot load) as epoch 0,
+  /// skipping the initial contraction entirely — the fast path a restarted
+  /// shard takes to be serving warm in milliseconds. The overlay must
+  /// match `tt` (same dataset); counts are validated eagerly and a
+  /// mismatch throws std::runtime_error — a stale snapshot must fail at
+  /// startup, not at query time.
+  LiveOverlay(Timetable tt, OverlayGraph overlay, LiveOverlayOptions opt = {});
+
   /// The current epoch; copy the returned pointer ONCE per query and read
   /// everything through it — that copy is the epoch pin.
   std::shared_ptr<const LiveSnapshot> snapshot() const {

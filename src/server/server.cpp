@@ -1,6 +1,7 @@
 #include "server/server.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/epoll.h>
@@ -162,30 +163,51 @@ void QueryServer::start() {
     plan_.max_connections = opt_.max_connections;
   }
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
-                        0);
-  if (listen_fd_ < 0) throw std::runtime_error("server: socket() failed");
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (opt_.listen_fd >= 0) {
+    // Adopt a pre-bound, already-listening socket (the supervisor's
+    // SO_REUSEPORT shard path). The fd may have been inherited blocking
+    // across posix_spawn — the epoll loop requires non-blocking.
+    listen_fd_ = opt_.listen_fd;
+    const int flags = ::fcntl(listen_fd_, F_GETFL, 0);
+    if (flags < 0 ||
+        ::fcntl(listen_fd_, F_SETFL, flags | O_NONBLOCK) < 0) {
+      throw std::runtime_error("server: cannot adopt listen fd");
+    }
+    sockaddr_in addr{};
+    socklen_t alen = sizeof(addr);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                      &alen) == 0) {
+      port_ = ntohs(addr.sin_port);
+    }
+  } else {
+    listen_fd_ = ::socket(AF_INET,
+                          SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (listen_fd_ < 0) throw std::runtime_error("server: socket() failed");
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (opt_.reuse_port) {
+      ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one));
+    }
 
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(opt_.port);
-  if (::inet_pton(AF_INET, opt_.host.c_str(), &addr.sin_addr) != 1) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    throw std::runtime_error("server: bad host " + opt_.host);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(opt_.port);
+    if (::inet_pton(AF_INET, opt_.host.c_str(), &addr.sin_addr) != 1) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      throw std::runtime_error("server: bad host " + opt_.host);
+    }
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+            0 ||
+        ::listen(listen_fd_, 128) < 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      throw std::runtime_error("server: bind/listen failed");
+    }
+    socklen_t alen = sizeof(addr);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &alen);
+    port_ = ntohs(addr.sin_port);
   }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-          0 ||
-      ::listen(listen_fd_, 128) < 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    throw std::runtime_error("server: bind/listen failed");
-  }
-  socklen_t alen = sizeof(addr);
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &alen);
-  port_ = ntohs(addr.sin_port);
 
   wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
   epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
@@ -290,14 +312,29 @@ void QueryServer::io_main() {
   Clock::time_point drain_deadline{};
 
   for (;;) {
+    // EINTR is routine here once the shard runs under a supervisor that
+    // delivers SIGTERM (drain) and test harnesses that storm signals:
+    // treat it as a zero-event wakeup — the drain flag and timer sweeps
+    // below still run — and never let it look like an epoll failure.
     const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, 50);
+    if (n < 0 && errno != EINTR) {
+      // Unrecoverable epoll failure (EBADF and friends): drain rather
+      // than spin on a broken loop.
+      draining_.store(true, std::memory_order_release);
+    }
     const Clock::time_point now = Clock::now();
 
     for (int i = 0; i < n; ++i) {
       const int fd = events[i].data.fd;
       if (fd == wake_fd_) {
-        std::uint64_t tick;
-        while (::read(wake_fd_, &tick, sizeof(tick)) > 0) {
+        // Drain the eventfd counter; EINTR restarts (a signal between
+        // wakeups must not leave the counter set and the loop blind).
+        for (;;) {
+          std::uint64_t tick;
+          const ssize_t rr = ::read(wake_fd_, &tick, sizeof(tick));
+          if (rr > 0) continue;
+          if (rr < 0 && errno == EINTR) continue;
+          break;  // EAGAIN: drained
         }
         continue;
       }

@@ -64,6 +64,16 @@ struct ServerOptions {
   std::uint16_t port = 0;  // 0 = ephemeral; read the bound port via port()
   unsigned workers = 1;
 
+  /// >= 0: adopt this already-bound, already-listening socket instead of
+  /// creating one (the supervisor passes each shard its SO_REUSEPORT
+  /// listener this way; the fd is made non-blocking and owned — closed on
+  /// stop). host/port/reuse_port are ignored when set.
+  int listen_fd = -1;
+  /// Sets SO_REUSEPORT on the listener the server creates itself, so
+  /// multiple processes can bind one address and let the kernel
+  /// load-balance connections (docs/server.md "Sharding & supervision").
+  bool reuse_port = false;
+
   /// Memory budget the admission plan divides between worker scratch,
   /// queued requests, and connection buffers (docs/server.md).
   std::size_t memory_budget_bytes = std::size_t{64} << 20;
@@ -147,6 +157,9 @@ class QueryServer {
   /// Blocks until the IO loop has exited (drain finished or stop()).
   void wait();
   bool running() const { return running_.load(std::memory_order_acquire); }
+  /// True once a drain was requested (signal or call) — lets an embedding
+  /// process (the shard main loop) notice SIGTERM-initiated drains.
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
 
   /// Hard stop: request_drain() + join everything. Idempotent; the
   /// destructor calls it.

@@ -1,0 +1,9 @@
+// pconn_shardd — one shard of the supervised serving fleet. All logic
+// lives in shard_process_main() (shard_run.cpp) so tests can link it;
+// this translation unit only exists to give it a process entry point and
+// is excluded from the pconn library (CMakeLists.txt).
+#include "supervisor/supervisor.hpp"
+
+int main(int argc, char** argv) {
+  return pconn::shard_process_main(argc, argv);
+}

@@ -1,0 +1,562 @@
+#include "timetable/snapshot.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "timetable/serialize.hpp"
+
+namespace pconn {
+
+namespace {
+
+constexpr char kSnapMagic[4] = {'P', 'C', 'S', 'N'};
+constexpr std::uint32_t kSnapVersion = 1;
+
+// Section tags. Fixed enumeration, versioned with the file: every section
+// except kOverlay is required, and each one's byte size is implied by the
+// kMeta counts — the loader refuses a section whose recorded size does not
+// match before it copies a single byte.
+enum : std::uint32_t {
+  kSecMeta = 1,            // u32[6]: period, stations, trips, routes,
+                           //         connections, total stop-times
+  kSecNameOffsets = 2,     // u32[stations + 1]
+  kSecNameBytes = 3,       // char[name_offsets.back()]
+  kSecTransferTimes = 4,   // u32[stations]
+  kSecRouteStopBegin = 5,  // u32[routes + 1]
+  kSecRouteStops = 6,      // u32[route_stop_begin.back()]
+  kSecRouteTripBegin = 7,  // u32[routes + 1]
+  kSecRouteTrips = 8,      // u32[trips]
+  kSecTripRoute = 9,       // u32[trips]
+  kSecTripBegin = 10,      // u32[trips + 1]
+  kSecTripArrivals = 11,   // u32[total stop-times]
+  kSecTripDepartures = 12, // u32[total stop-times]
+  kSecConnections = 13,    // Connection[connections]
+  kSecConnBegin = 14,      // u32[stations + 1]
+  kSecOverlay = 15,        // verbatim PCOV stream (optional)
+};
+
+struct SectionEntry {
+  std::uint32_t tag = 0;
+  std::uint32_t pad = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+};
+static_assert(sizeof(SectionEntry) == 24);
+
+constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 4 + 4;  // magic..pad
+constexpr std::size_t kAlign = 8;
+
+std::size_t aligned(std::size_t n) { return (n + kAlign - 1) & ~(kAlign - 1); }
+
+[[noreturn]] void fail(LoadError::Kind kind, const std::string& what) {
+  throw LoadError(kind, "snapshot: " + what);
+}
+
+/// Read-only streambuf over the mapped overlay section, so the embedded
+/// PCOV stream replays through load_overlay() — same bytes, same
+/// validation ladder as the standalone file format. setg wants char*;
+/// the const_cast is sound because a get-only streambuf never writes.
+class MemStreambuf : public std::streambuf {
+ public:
+  MemStreambuf(const char* data, std::size_t size) {
+    char* p = const_cast<char*>(data);
+    setg(p, p, p + size);
+  }
+};
+
+static_assert(std::is_trivially_copyable_v<Connection> &&
+                  sizeof(Connection) == 24,
+              "snapshot stores Connection[] verbatim");
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// save_snapshot
+
+void save_snapshot(const Timetable& tt, const OverlayGraph* ov,
+                   const std::string& path) {
+  const std::size_t n = tt.num_stations();
+  const std::size_t num_trips = tt.num_trips();
+  const std::size_t num_routes = tt.num_routes();
+
+  // Flatten the finalized pieces into the exact arrays the loader adopts.
+  std::vector<std::uint32_t> name_off(n + 1, 0);
+  std::string name_bytes;
+  std::vector<std::uint32_t> transfer(n);
+  for (StationId s = 0; s < n; ++s) {
+    name_bytes += tt.station_name(s);
+    name_off[s + 1] = static_cast<std::uint32_t>(name_bytes.size());
+    transfer[s] = tt.transfer_time(s);
+  }
+
+  std::vector<std::uint32_t> route_stop_begin(num_routes + 1, 0);
+  std::vector<std::uint32_t> route_stops;
+  std::vector<std::uint32_t> route_trip_begin(num_routes + 1, 0);
+  std::vector<std::uint32_t> route_trips;
+  for (RouteId r = 0; r < num_routes; ++r) {
+    const Route& route = tt.route(r);
+    route_stops.insert(route_stops.end(), route.stops.begin(),
+                       route.stops.end());
+    route_trips.insert(route_trips.end(), route.trips.begin(),
+                       route.trips.end());
+    route_stop_begin[r + 1] = static_cast<std::uint32_t>(route_stops.size());
+    route_trip_begin[r + 1] = static_cast<std::uint32_t>(route_trips.size());
+  }
+
+  std::vector<std::uint32_t> trip_route(num_trips);
+  std::vector<std::uint32_t> trip_begin(num_trips + 1, 0);
+  std::vector<std::uint32_t> arrivals;
+  std::vector<std::uint32_t> departures;
+  for (TrainId t = 0; t < num_trips; ++t) {
+    const Trip& trip = tt.trip(t);
+    trip_route[t] = trip.route;
+    arrivals.insert(arrivals.end(), trip.arrivals.begin(),
+                    trip.arrivals.end());
+    departures.insert(departures.end(), trip.departures.begin(),
+                      trip.departures.end());
+    trip_begin[t + 1] = static_cast<std::uint32_t>(arrivals.size());
+  }
+
+  std::vector<std::uint32_t> conn_begin(n + 1, 0);
+  for (StationId s = 0; s < n; ++s) conn_begin[s] = tt.outgoing_offset(s);
+  conn_begin[n] = static_cast<std::uint32_t>(tt.num_connections());
+
+  std::string overlay_bytes;
+  if (ov != nullptr) {
+    std::ostringstream os(std::ios::binary);
+    save_overlay(*ov, os);
+    overlay_bytes = std::move(os).str();
+  }
+
+  const std::uint32_t meta[6] = {
+      tt.period(),
+      static_cast<std::uint32_t>(n),
+      static_cast<std::uint32_t>(num_trips),
+      static_cast<std::uint32_t>(num_routes),
+      static_cast<std::uint32_t>(tt.num_connections()),
+      static_cast<std::uint32_t>(arrivals.size()),
+  };
+
+  struct Payload {
+    std::uint32_t tag;
+    const char* data;
+    std::size_t size;
+  };
+  const auto vec = [](const std::vector<std::uint32_t>& v) {
+    return reinterpret_cast<const char*>(v.data());
+  };
+  std::vector<Payload> sections = {
+      {kSecMeta, reinterpret_cast<const char*>(meta), sizeof(meta)},
+      {kSecNameOffsets, vec(name_off), name_off.size() * 4},
+      {kSecNameBytes, name_bytes.data(), name_bytes.size()},
+      {kSecTransferTimes, vec(transfer), transfer.size() * 4},
+      {kSecRouteStopBegin, vec(route_stop_begin), route_stop_begin.size() * 4},
+      {kSecRouteStops, vec(route_stops), route_stops.size() * 4},
+      {kSecRouteTripBegin, vec(route_trip_begin), route_trip_begin.size() * 4},
+      {kSecRouteTrips, vec(route_trips), route_trips.size() * 4},
+      {kSecTripRoute, vec(trip_route), trip_route.size() * 4},
+      {kSecTripBegin, vec(trip_begin), trip_begin.size() * 4},
+      {kSecTripArrivals, vec(arrivals), arrivals.size() * 4},
+      {kSecTripDepartures, vec(departures), departures.size() * 4},
+      {kSecConnections,
+       reinterpret_cast<const char*>(tt.connections().data()),
+       tt.num_connections() * sizeof(Connection)},
+      {kSecConnBegin, vec(conn_begin), conn_begin.size() * 4},
+  };
+  if (!overlay_bytes.empty()) {
+    sections.push_back({kSecOverlay, overlay_bytes.data(),
+                        overlay_bytes.size()});
+  }
+
+  std::vector<SectionEntry> table(sections.size());
+  std::size_t offset =
+      aligned(kHeaderBytes + sections.size() * sizeof(SectionEntry));
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    table[i].tag = sections[i].tag;
+    table[i].offset = offset;
+    table[i].size = sections[i].size;
+    offset += aligned(sections[i].size);
+  }
+  const std::uint64_t file_size = offset;
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("snapshot: cannot open " + path);
+  const auto put = [&out](const void* p, std::size_t bytes) {
+    out.write(static_cast<const char*>(p),
+              static_cast<std::streamsize>(bytes));
+  };
+  const auto pad_to = [&](std::size_t target) {
+    static const char zeros[kAlign] = {};
+    const auto pos = static_cast<std::size_t>(out.tellp());
+    if (pos < target) put(zeros, target - pos);
+  };
+  put(kSnapMagic, 4);
+  const std::uint32_t version = kSnapVersion;
+  put(&version, 4);
+  put(&file_size, 8);
+  const std::uint32_t count = static_cast<std::uint32_t>(sections.size());
+  put(&count, 4);
+  const std::uint32_t zero = 0;
+  put(&zero, 4);
+  put(table.data(), table.size() * sizeof(SectionEntry));
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    pad_to(table[i].offset);
+    put(sections[i].data, sections[i].size);
+  }
+  pad_to(file_size);
+  out.flush();
+  if (!out) throw std::runtime_error("snapshot: write failure on " + path);
+}
+
+// ---------------------------------------------------------------------------
+// MappedSnapshot
+
+MappedSnapshot::MappedSnapshot(const std::string& path,
+                               FaultInjector* faults) {
+  if (faults != nullptr) faults->check(FaultInjector::Site::kSnapshotMap);
+
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    fail(LoadError::Kind::kMissingFile,
+         "cannot open " + path + ": " + std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    fail(LoadError::Kind::kMissingFile, "fstat failed on " + path);
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  if (size_ < kHeaderBytes) {
+    ::close(fd);
+    fail(LoadError::Kind::kTruncated, "file smaller than the header");
+  }
+  void* map = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  if (map == MAP_FAILED) {
+    fail(LoadError::Kind::kMissingFile, "mmap failed on " + path);
+  }
+  base_ = static_cast<const char*>(map);
+
+  // Header + section table: everything below is checked before any
+  // section payload is dereferenced. A throwing constructor never runs
+  // the destructor, so unmap by hand on the reject paths.
+  try {
+    if (std::memcmp(base_, kSnapMagic, 4) != 0) {
+      fail(LoadError::Kind::kBadMagic, "bad magic");
+    }
+    std::uint32_t version;
+    std::memcpy(&version, base_ + 4, 4);
+    if (version != kSnapVersion) {
+      fail(LoadError::Kind::kBadVersion,
+           "unsupported version " + std::to_string(version));
+    }
+    std::uint64_t recorded_size;
+    std::memcpy(&recorded_size, base_ + 8, 8);
+    if (recorded_size != size_) {
+      fail(LoadError::Kind::kTruncated,
+           "recorded size " + std::to_string(recorded_size) +
+               " != file size " + std::to_string(size_));
+    }
+    std::uint32_t count;
+    std::memcpy(&count, base_ + 16, 4);
+    if (count == 0 || count > 64) {
+      fail(LoadError::Kind::kBadCount, "absurd section count");
+    }
+    if (kHeaderBytes + std::size_t{count} * sizeof(SectionEntry) > size_) {
+      fail(LoadError::Kind::kTruncated, "section table past end of file");
+    }
+    for (std::uint32_t i = 0; i < count; ++i) {
+      SectionEntry e;
+      std::memcpy(&e, base_ + kHeaderBytes + i * sizeof(SectionEntry),
+                  sizeof(e));
+      if (e.offset % kAlign != 0 || e.offset > size_ ||
+          e.size > size_ - e.offset) {
+        fail(LoadError::Kind::kTruncated, "section bounds past end of file");
+      }
+      if (e.tag == kSecOverlay) overlay_size_ = e.size;
+    }
+  } catch (...) {
+    ::munmap(const_cast<char*>(base_), size_);
+    base_ = nullptr;
+    throw;
+  }
+}
+
+MappedSnapshot::~MappedSnapshot() {
+  if (base_ != nullptr) {
+    ::munmap(const_cast<char*>(base_), size_);
+  }
+}
+
+const char* MappedSnapshot::section(std::uint32_t tag,
+                                    std::size_t* size_out) const {
+  std::uint32_t count;
+  std::memcpy(&count, base_ + 16, 4);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    SectionEntry e;
+    std::memcpy(&e, base_ + kHeaderBytes + i * sizeof(SectionEntry),
+                sizeof(e));
+    if (e.tag == tag) {
+      *size_out = e.size;
+      return base_ + e.offset;
+    }
+  }
+  fail(LoadError::Kind::kCorrupt,
+       "missing section " + std::to_string(tag));
+}
+
+Timetable MappedSnapshot::load_timetable() const {
+  const auto corrupt = [](bool ok, const char* what) {
+    if (!ok) fail(LoadError::Kind::kCorrupt, what);
+  };
+  // Fetches a u32 section whose element count is implied by kMeta; the
+  // recorded byte size must match BEFORE anything is copied, so a lying
+  // count can never size an allocation beyond the mapped file itself.
+  const auto u32_section = [this](std::uint32_t tag, std::size_t expected,
+                                  std::vector<std::uint32_t>& out,
+                                  const char* what) {
+    std::size_t bytes = 0;
+    const char* p = section(tag, &bytes);
+    if (bytes != expected * 4) {
+      fail(LoadError::Kind::kBadCount,
+           std::string(what) + " section size " + std::to_string(bytes) +
+               " != expected " + std::to_string(expected * 4));
+    }
+    out.resize(expected);
+    std::memcpy(out.data(), p, bytes);
+  };
+
+  std::size_t meta_bytes = 0;
+  const char* meta_p = section(kSecMeta, &meta_bytes);
+  if (meta_bytes != 6 * 4) fail(LoadError::Kind::kBadCount, "meta size");
+  std::uint32_t meta[6];
+  std::memcpy(meta, meta_p, sizeof(meta));
+  const Time period = meta[0];
+  const std::size_t n = meta[1];
+  const std::size_t num_trips = meta[2];
+  const std::size_t num_routes = meta[3];
+  const std::size_t num_conns = meta[4];
+  const std::size_t total_times = meta[5];
+  corrupt(period > 0 && period < (Time{1} << 30), "invalid period");
+  // Dimension sanity: every per-element section size is re-derived from
+  // these, and the section-size check above bounds them by the file size —
+  // the cap here just keeps the arithmetic below overflow-free.
+  for (int i = 1; i < 6; ++i) {
+    if (meta[i] > (1u << 28)) {
+      fail(LoadError::Kind::kBadCount, "absurd meta count");
+    }
+  }
+  corrupt(total_times >= num_trips &&
+              num_conns == total_times - num_trips,
+          "connection count != stop-times - trips");
+
+  std::vector<std::uint32_t> name_off, transfer, route_stop_begin,
+      route_stops, route_trip_begin, route_trips, trip_route, trip_begin,
+      arrivals, departures, conn_begin;
+  u32_section(kSecNameOffsets, n + 1, name_off, "name offsets");
+  u32_section(kSecTransferTimes, n, transfer, "transfer times");
+  u32_section(kSecRouteStopBegin, num_routes + 1, route_stop_begin,
+              "route stop begin");
+  corrupt(route_stop_begin.front() == 0, "route stop begin front");
+  for (std::size_t r = 0; r < num_routes; ++r) {
+    corrupt(route_stop_begin[r] <= route_stop_begin[r + 1],
+            "route stop begin not monotone");
+    corrupt(route_stop_begin[r + 1] - route_stop_begin[r] >= 2,
+            "route with fewer than 2 stops");
+  }
+  u32_section(kSecRouteStops, route_stop_begin.back(), route_stops,
+              "route stops");
+  u32_section(kSecRouteTripBegin, num_routes + 1, route_trip_begin,
+              "route trip begin");
+  corrupt(route_trip_begin.front() == 0 &&
+              route_trip_begin.back() == num_trips,
+          "route trip begin bounds");
+  for (std::size_t r = 0; r < num_routes; ++r) {
+    corrupt(route_trip_begin[r] <= route_trip_begin[r + 1],
+            "route trip begin not monotone");
+  }
+  u32_section(kSecRouteTrips, num_trips, route_trips, "route trips");
+  u32_section(kSecTripRoute, num_trips, trip_route, "trip route");
+  u32_section(kSecTripBegin, num_trips + 1, trip_begin, "trip begin");
+  corrupt(trip_begin.front() == 0 && trip_begin.back() == total_times,
+          "trip begin bounds");
+  u32_section(kSecTripArrivals, total_times, arrivals, "trip arrivals");
+  u32_section(kSecTripDepartures, total_times, departures,
+              "trip departures");
+  u32_section(kSecConnBegin, n + 1, conn_begin, "conn begin");
+
+  std::size_t name_bytes_size = 0;
+  const char* name_bytes = section(kSecNameBytes, &name_bytes_size);
+  corrupt(name_off.back() == name_bytes_size, "name offsets vs bytes");
+  for (std::size_t s = 0; s < n; ++s) {
+    corrupt(name_off[s] <= name_off[s + 1], "name offsets not monotone");
+    corrupt(transfer[s] < period, "transfer time >= period");
+  }
+
+  // Stop sequences: ids in range, no immediate self-loops (the builder
+  // rejects both, and TdGraph::build indexes stations by these).
+  for (std::size_t i = 0; i < route_stops.size(); ++i) {
+    corrupt(route_stops[i] < n, "route stop out of range");
+  }
+  for (std::size_t r = 0; r < num_routes; ++r) {
+    for (std::size_t i = route_stop_begin[r] + 1; i < route_stop_begin[r + 1];
+         ++i) {
+      corrupt(route_stops[i - 1] != route_stops[i], "immediate self-loop");
+    }
+  }
+
+  // Trip <-> route bijection: every trip listed exactly once, under the
+  // route it claims, with a time row exactly as long as the stop sequence.
+  {
+    std::vector<bool> seen(num_trips, false);
+    for (std::size_t r = 0; r < num_routes; ++r) {
+      for (std::size_t i = route_trip_begin[r]; i < route_trip_begin[r + 1];
+           ++i) {
+        const std::uint32_t t = route_trips[i];
+        corrupt(t < num_trips, "route trip out of range");
+        corrupt(!seen[t], "trip listed twice");
+        seen[t] = true;
+        corrupt(trip_route[t] == r, "trip route mismatch");
+      }
+    }
+  }
+  for (std::size_t t = 0; t < num_trips; ++t) {
+    corrupt(trip_route[t] < num_routes, "trip route out of range");
+    corrupt(trip_begin[t] <= trip_begin[t + 1], "trip begin not monotone");
+    const std::size_t len = trip_begin[t + 1] - trip_begin[t];
+    const std::uint32_t r = trip_route[t];
+    corrupt(len == route_stop_begin[r + 1] - route_stop_begin[r],
+            "trip length != route length");
+    // Raw times: non-decreasing along the trip with >= 1 s between stops,
+    // in the signed range the TTF kernels assume. The builder pins the
+    // endpoints — arrivals[0] == departures[0] and departures[len-1] ==
+    // arrivals[len-1] — so equality is required, not just dwell order
+    // (timetable/builder.cpp; validate() checks the same invariants on
+    // the adopted arrays).
+    const std::uint32_t* arr = arrivals.data() + trip_begin[t];
+    const std::uint32_t* dep = departures.data() + trip_begin[t];
+    corrupt(dep[0] < period, "first departure >= period");
+    for (std::size_t k = 0; k < len; ++k) {
+      corrupt(arr[k] < (1u << 31) && dep[k] < (1u << 31),
+              "trip time out of range");
+    }
+    corrupt(arr[0] == dep[0], "first arrival != first departure");
+    corrupt(dep[len - 1] == arr[len - 1], "last departure != last arrival");
+    for (std::size_t k = 1; k < len; ++k) {
+      corrupt(arr[k] >= dep[k - 1] + 1, "non-increasing trip times");
+      corrupt(dep[k] >= arr[k], "negative dwell time");
+    }
+  }
+
+  // FIFO (non-overtaking) within each route: consecutive trips must be
+  // component-wise ordered at every stop — the property that makes the
+  // per-edge TTFs FIFO, which every query engine assumes.
+  for (std::size_t r = 0; r < num_routes; ++r) {
+    const std::size_t len = route_stop_begin[r + 1] - route_stop_begin[r];
+    for (std::size_t i = route_trip_begin[r] + 1; i < route_trip_begin[r + 1];
+         ++i) {
+      const std::uint32_t t1 = route_trips[i - 1];
+      const std::uint32_t t2 = route_trips[i];
+      for (std::size_t k = 0; k < len; ++k) {
+        corrupt(departures[trip_begin[t1] + k] <=
+                        departures[trip_begin[t2] + k] &&
+                    arrivals[trip_begin[t1] + k] <=
+                        arrivals[trip_begin[t2] + k],
+                "route not FIFO");
+      }
+    }
+  }
+
+  // Connections: the sorted per-station index, cross-checked against the
+  // trip that claims each one — a bit flip in either world fails here.
+  std::size_t conn_bytes = 0;
+  const char* conn_p = section(kSecConnections, &conn_bytes);
+  if (conn_bytes != num_conns * sizeof(Connection)) {
+    fail(LoadError::Kind::kBadCount, "connections section size");
+  }
+  std::vector<Connection> conns(num_conns);
+  if (num_conns > 0) std::memcpy(conns.data(), conn_p, conn_bytes);
+  corrupt(conn_begin.front() == 0 && conn_begin.back() == num_conns,
+          "conn begin bounds");
+  std::vector<bool> conn_seen(total_times, false);
+  for (std::size_t s = 0; s < n; ++s) {
+    corrupt(conn_begin[s] <= conn_begin[s + 1], "conn begin not monotone");
+    for (std::size_t i = conn_begin[s]; i < conn_begin[s + 1]; ++i) {
+      const Connection& c = conns[i];
+      corrupt(c.from == s, "connection filed under wrong station");
+      corrupt(c.to < n, "connection head out of range");
+      corrupt(c.train < num_trips, "connection train out of range");
+      const std::uint32_t r = trip_route[c.train];
+      const std::size_t len = route_stop_begin[r + 1] - route_stop_begin[r];
+      corrupt(std::size_t{c.pos} + 1 < len, "connection pos out of range");
+      corrupt(route_stops[route_stop_begin[r] + c.pos] == c.from &&
+                  route_stops[route_stop_begin[r] + c.pos + 1] == c.to,
+              "connection endpoints vs route");
+      const std::size_t row = trip_begin[c.train];
+      const std::uint32_t t_dep = departures[row + c.pos];
+      const std::uint32_t t_arr = arrivals[row + c.pos + 1];
+      corrupt(c.dep == t_dep % period && c.arr >= c.dep &&
+                  c.arr - c.dep == t_arr - t_dep,
+              "connection times vs trip");
+      corrupt(!conn_seen[row + c.pos], "duplicate connection");
+      conn_seen[row + c.pos] = true;
+      corrupt(i == conn_begin[s] || conns[i - 1].dep < c.dep ||
+                  (conns[i - 1].dep == c.dep && conns[i - 1].arr <= c.arr),
+              "connections not sorted");
+    }
+  }
+
+  // Everything checked: adopt. This is the fast restart path — no route
+  // partitioning, no connection sort, just copies of validated arrays.
+  Timetable tt;
+  tt.period_ = period;
+  tt.station_names_.resize(n);
+  tt.transfer_times_.assign(transfer.begin(), transfer.end());
+  for (std::size_t s = 0; s < n; ++s) {
+    tt.station_names_[s].assign(name_bytes + name_off[s],
+                                name_off[s + 1] - name_off[s]);
+  }
+  tt.routes_.resize(num_routes);
+  for (std::size_t r = 0; r < num_routes; ++r) {
+    tt.routes_[r].stops.assign(
+        route_stops.begin() + route_stop_begin[r],
+        route_stops.begin() + route_stop_begin[r + 1]);
+    tt.routes_[r].trips.assign(
+        route_trips.begin() + route_trip_begin[r],
+        route_trips.begin() + route_trip_begin[r + 1]);
+  }
+  tt.trips_.resize(num_trips);
+  for (std::size_t t = 0; t < num_trips; ++t) {
+    tt.trips_[t].route = trip_route[t];
+    tt.trips_[t].arrivals.assign(arrivals.begin() + trip_begin[t],
+                                 arrivals.begin() + trip_begin[t + 1]);
+    tt.trips_[t].departures.assign(departures.begin() + trip_begin[t],
+                                   departures.begin() + trip_begin[t + 1]);
+  }
+  tt.connections_ = std::move(conns);
+  tt.conn_begin_.assign(conn_begin.begin(), conn_begin.end());
+  return tt;
+}
+
+OverlayGraph MappedSnapshot::load_overlay() const {
+  if (!has_overlay()) {
+    throw std::logic_error("snapshot: no overlay section");
+  }
+  std::size_t bytes = 0;
+  const char* p = section(kSecOverlay, &bytes);
+  MemStreambuf buf(p, bytes);
+  std::istream in(&buf);
+  return pconn::load_overlay(in);
+}
+
+}  // namespace pconn

@@ -1,0 +1,86 @@
+// Single-file, mmap-able serving snapshot: the timetable's finalized
+// arrays plus (optionally) the contraction overlay, in one "PCSN" file
+// that a shard process maps read-only and adopts without replaying the
+// builder.
+//
+// Why a second format next to PCTT/PCOV (timetable/serialize.hpp): the
+// supervisor restarts a crashed shard under live traffic, and the restart
+// path must be warm in milliseconds. Loading PCTT replays every trip
+// through TimetableBuilder — route partitioning, FIFO splitting, and a
+// sort over all connections — which is exactly the work a finalized
+// timetable already did. The snapshot instead stores the *finalized*
+// arrays (routes, trips, the sorted connection index) and load_timetable()
+// adopts them directly after a linear validation pass. Because the file is
+// mapped MAP_PRIVATE read-only, N shards mapping the same snapshot share
+// one page-cache copy of the dominant payload.
+//
+// Validation reuses the hardened LoadError ladder end to end:
+//   - header/section table: magic, version, recorded file size, section
+//     bounds — all checked before any section is dereferenced;
+//   - timetable sections: counts checked against each other BEFORE any
+//     allocation sized from them; every CSR monotone; every id in range;
+//     per-trip times non-decreasing; routes FIFO (non-overtaking); every
+//     connection cross-checked against the trip that claims it;
+//   - overlay section: the verbatim PCOV byte stream, replayed through
+//     load_overlay() via an in-memory streambuf — the snapshot path gets
+//     the PCOV validation ladder (CSR/range/acyclicity/point-order
+//     checks) for free, and stays byte-identical with save_overlay.
+//
+// The contract is valid-or-thrown: any truncation or bit flip yields a
+// typed LoadError (or the builder-equivalent std::invalid_argument),
+// never a crash — tests/serialize_test.cpp sweeps both.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "graph/overlay_graph.hpp"
+#include "timetable/load_error.hpp"
+#include "timetable/timetable.hpp"
+#include "util/fault_injector.hpp"
+
+namespace pconn {
+
+/// Writes `tt` (+ `ov`, when non-null) as one snapshot file at `path`.
+/// Throws std::runtime_error on IO failure. The overlay must have been
+/// built from `tt` — load-time engine binding validates the counts.
+void save_snapshot(const Timetable& tt, const OverlayGraph* ov,
+                   const std::string& path);
+
+/// A read-only mapping of a snapshot file. The constructor maps and
+/// validates the header + section table; load_timetable()/load_overlay()
+/// validate and materialize their sections. Throws LoadError (see the
+/// ladder above); fault site kSnapshotMap forces the map-failure path.
+class MappedSnapshot {
+ public:
+  explicit MappedSnapshot(const std::string& path,
+                          FaultInjector* faults = nullptr);
+  ~MappedSnapshot();
+
+  MappedSnapshot(const MappedSnapshot&) = delete;
+  MappedSnapshot& operator=(const MappedSnapshot&) = delete;
+
+  /// Adopts the finalized arrays into a Timetable (linear validation, no
+  /// builder replay). Throws LoadError on any inconsistency.
+  Timetable load_timetable() const;
+
+  /// True when the snapshot carries a contraction overlay section.
+  bool has_overlay() const { return overlay_size_ > 0; }
+
+  /// Replays the embedded PCOV stream through load_overlay() — the full
+  /// serialize.hpp validation ladder applies. Throws LoadError; throws
+  /// std::logic_error when has_overlay() is false.
+  OverlayGraph load_overlay() const;
+
+  std::size_t file_size() const { return size_; }
+
+ private:
+  const char* section(std::uint32_t tag, std::size_t* size_out) const;
+
+  const char* base_ = nullptr;  // mmap'd, read-only
+  std::size_t size_ = 0;
+  std::size_t overlay_size_ = 0;  // cached from the section table
+};
+
+}  // namespace pconn

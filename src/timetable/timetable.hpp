@@ -73,6 +73,11 @@ class Timetable {
 
  private:
   friend class TimetableBuilder;
+  // The mmap snapshot loader adopts finalized arrays directly (after its
+  // own linear validation) instead of replaying through the builder —
+  // that is what makes a restarted shard warm in milliseconds
+  // (timetable/snapshot.hpp).
+  friend class MappedSnapshot;
 
   Time period_ = kDayseconds;
   std::vector<std::string> station_names_;

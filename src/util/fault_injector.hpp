@@ -51,6 +51,10 @@ class FaultInjector {
     kServerWorker = 5,    // per request executed: worker throws mid-query
     kQueueOverflow = 6,   // consulted via fires(): forces admission shed
     kWorkerDeadline = 7,  // consulted via fires(): forces deadline overrun
+    // Process-level sites (src/supervisor/, docs/server.md "Sharding").
+    kShardCrash = 8,    // consulted via fires(): shard process exits abruptly
+    kShardHang = 9,     // consulted via fires(): shard stops beating (SIGSTOP)
+    kSnapshotMap = 10,  // per MappedSnapshot open: map/validation failure
     kCount_
   };
   enum class Kind : std::uint8_t {
@@ -108,6 +112,9 @@ class FaultInjector {
       case Site::kServerWorker: return "server-worker";
       case Site::kQueueOverflow: return "queue-overflow";
       case Site::kWorkerDeadline: return "worker-deadline";
+      case Site::kShardCrash: return "shard-crash";
+      case Site::kShardHang: return "shard-hang";
+      case Site::kSnapshotMap: return "snapshot-map";
       default: return "?";
     }
   }

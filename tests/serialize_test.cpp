@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <atomic>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -10,7 +13,9 @@
 #include "s2s/transfer_selection.hpp"
 #include "test_util.hpp"
 #include "timetable/serialize.hpp"
+#include "timetable/snapshot.hpp"
 #include "timetable/validation.hpp"
+#include "util/fault_injector.hpp"
 
 namespace pconn {
 namespace {
@@ -199,6 +204,181 @@ TEST(SerializeOverlay, BitFlipSweepNeverCrashes) {
   // detection is neither vacuous nor absolute).
   EXPECT_GT(rejected, 0u);
   EXPECT_GT(survived, 0u);
+}
+
+// ------------------------- PCSN mmap snapshot (timetable/snapshot.hpp) ---
+
+/// A snapshot written to a unique temp file, removed on destruction.
+struct SnapshotTempFile {
+  SnapshotTempFile(const Timetable& tt, const OverlayGraph* ov) {
+    static std::atomic<int> counter{0};
+    path = "serialize_snap_" + std::to_string(::getpid()) + "_" +
+           std::to_string(counter.fetch_add(1)) + ".pcsn";
+    save_snapshot(tt, ov, path);
+  }
+  ~SnapshotTempFile() { std::remove(path.c_str()); }
+
+  std::string read_bytes() const {
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  }
+  void write_bytes(const std::string& bytes) const {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  std::string path;
+};
+
+TEST(Snapshot, RoundTripBitExactAgainstInMemoryBuild) {
+  for (auto make : {+[] { return test::tiny_line(); },
+                    +[] { return test::small_city(95); }}) {
+    const Timetable tt = make();
+    TdGraph g = TdGraph::build(tt);
+    const OverlayGraph ov = contract_graph(tt, g);
+    SnapshotTempFile snap(tt, &ov);
+
+    MappedSnapshot mapped(snap.path);
+    ASSERT_TRUE(mapped.has_overlay());
+    const Timetable tt_back = mapped.load_timetable();
+    const OverlayGraph ov_back = mapped.load_overlay();
+    EXPECT_TRUE(validate(tt_back).ok());
+
+    // Bit-exactness through the canonical serializers: a snapshot-loaded
+    // timetable/overlay must re-serialize to exactly the bytes of the
+    // in-memory original — adoption lost and invented nothing.
+    std::stringstream a, b;
+    save_timetable(tt, a);
+    save_timetable(tt_back, b);
+    EXPECT_EQ(a.str(), b.str());
+    std::stringstream c, d;
+    save_overlay(ov, c);
+    save_overlay(ov_back, d);
+    EXPECT_EQ(c.str(), d.str());
+  }
+}
+
+TEST(Snapshot, WithoutOverlaySection) {
+  const Timetable tt = test::tiny_line();
+  SnapshotTempFile snap(tt, nullptr);
+  MappedSnapshot mapped(snap.path);
+  EXPECT_FALSE(mapped.has_overlay());
+  EXPECT_TRUE(validate(mapped.load_timetable()).ok());
+  EXPECT_THROW((void)mapped.load_overlay(), std::logic_error);
+}
+
+TEST(Snapshot, TypedErrorKinds) {
+  const Timetable tt = test::tiny_line();
+  TdGraph g = TdGraph::build(tt);
+  const OverlayGraph ov = contract_graph(tt, g);
+  SnapshotTempFile snap(tt, &ov);
+  const std::string data = snap.read_bytes();
+
+  {  // file that cannot be opened
+    try {
+      MappedSnapshot missing("no_such_snapshot_file.pcsn");
+      FAIL() << "missing file accepted";
+    } catch (const LoadError& e) {
+      EXPECT_EQ(e.kind(), LoadError::Kind::kMissingFile);
+    }
+  }
+  {  // wrong magic
+    std::string bad = data;
+    bad[0] = 'X';
+    snap.write_bytes(bad);
+    try {
+      MappedSnapshot m(snap.path);
+      FAIL() << "bad magic accepted";
+    } catch (const LoadError& e) {
+      EXPECT_EQ(e.kind(), LoadError::Kind::kBadMagic);
+    }
+  }
+  {  // version this build does not read (u32 at offset 4)
+    std::string bad = data;
+    bad[4] = '\x7f';
+    snap.write_bytes(bad);
+    try {
+      MappedSnapshot m(snap.path);
+      FAIL() << "bad version accepted";
+    } catch (const LoadError& e) {
+      EXPECT_EQ(e.kind(), LoadError::Kind::kBadVersion);
+    }
+  }
+}
+
+TEST(Snapshot, FaultSiteForcesMapFailure) {
+  const Timetable tt = test::tiny_line();
+  SnapshotTempFile snap(tt, nullptr);
+  FaultInjector faults;
+  faults.arm(FaultInjector::Site::kSnapshotMap, 0);
+  EXPECT_THROW(MappedSnapshot(snap.path, &faults), InjectedFault);
+  // Single-shot: the next open of the same valid file succeeds (the
+  // shard-restart path after a transient map failure).
+  MappedSnapshot m(snap.path, &faults);
+  EXPECT_TRUE(validate(m.load_timetable()).ok());
+}
+
+TEST(Snapshot, EveryTruncationPointRejectedCleanly) {
+  const Timetable tt = test::tiny_line();
+  TdGraph g = TdGraph::build(tt);
+  const OverlayGraph ov = contract_graph(tt, g);
+  SnapshotTempFile snap(tt, &ov);
+  const std::string data = snap.read_bytes();
+  ASSERT_GT(data.size(), 128u);
+
+  // The header records the file size, so EVERY strict prefix must be
+  // rejected at map time with a typed LoadError — never a crash, never a
+  // partially-adopted timetable. Dense at the front, strided after.
+  for (std::size_t cut = 0; cut < data.size();
+       cut += (cut < 256 ? 1 : 113)) {
+    snap.write_bytes(data.substr(0, cut));
+    try {
+      MappedSnapshot m(snap.path);
+      (void)m.load_timetable();
+      if (m.has_overlay()) (void)m.load_overlay();
+      FAIL() << "accepted a prefix of " << cut << " bytes";
+    } catch (const LoadError&) {
+      // expected
+    }
+  }
+}
+
+TEST(Snapshot, BitFlipSweepValidOrThrown) {
+  const Timetable tt = test::tiny_line();
+  TdGraph g = TdGraph::build(tt);
+  const OverlayGraph ov = contract_graph(tt, g);
+  SnapshotTempFile snap(tt, &ov);
+  const std::string data = snap.read_bytes();
+
+  // Flip one bit across the file. Each load must either throw a typed
+  // LoadError or produce structures that pass full validation — flips in
+  // padding or name bytes can survive; nothing may crash or adopt
+  // inconsistent arrays. (This is the supervisor's restart guarantee: a
+  // corrupt snapshot becomes a typed config-fatal exit, not a shard that
+  // serves garbage.)
+  std::size_t rejected = 0;
+  for (std::size_t byte = 0; byte < data.size();
+       byte += (byte < 128 ? 1 : 37)) {
+    for (const unsigned bit : {0u, 6u}) {
+      std::string flipped = data;
+      flipped[byte] = static_cast<char>(flipped[byte] ^ (1u << bit));
+      snap.write_bytes(flipped);
+      try {
+        MappedSnapshot m(snap.path);
+        const Timetable back = m.load_timetable();
+        EXPECT_TRUE(validate(back).ok()) << "byte " << byte;
+        if (m.has_overlay()) {
+          const OverlayGraph ov_back = m.load_overlay();
+          EXPECT_EQ(ov_back.num_nodes(), ov.num_nodes());
+        }
+      } catch (const LoadError&) {
+        ++rejected;
+      }
+    }
+  }
+  EXPECT_GT(rejected, 0u);
 }
 
 }  // namespace

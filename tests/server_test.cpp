@@ -10,7 +10,11 @@
 //    clean close, SIGTERM-installed drain shuts the listener;
 //  * plan_admission() math.
 #include <gtest/gtest.h>
+#include <pthread.h>
+#include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <csignal>
 #include <memory>
 #include <optional>
@@ -563,6 +567,77 @@ TEST(Server, EpochTransitionVisibleThroughSocket) {
   LiveQuerySession direct(live);
   EXPECT_EQ(after->arrival, direct.earliest_arrival(0, 8 * 3600, 2));
   server.stop();
+}
+
+TEST(Server, SurvivesSignalStormDuringPipelinedFlood) {
+  // EINTR regression for every syscall in the serving path: a thread
+  // hammers the process with a handler-installed, non-SA_RESTART signal
+  // while a pipelined flood runs, so epoll_wait / accept4 / recv / send /
+  // eventfd reads keep getting interrupted mid-call. Every response must
+  // still arrive complete and correct — no short writes, no dropped
+  // frames, no spun-out IO loop.
+  struct sigaction sa {};
+  sa.sa_handler = +[](int) {};
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // deliberately NOT SA_RESTART: syscalls fail EINTR
+  struct sigaction old_sa {};
+  ASSERT_EQ(sigaction(SIGUSR1, &sa, &old_sa), 0);
+
+  LiveOverlay live(test::tiny_line());
+  QueryServer server(live, fast_opts());
+  server.start();  // server threads inherit an unblocked SIGUSR1
+
+  // Block SIGUSR1 on this thread BEFORE spawning the storm thread (which
+  // inherits the blocked mask): process-directed kill() then has only the
+  // server's IO and worker threads left to deliver to.
+  sigset_t block, old_mask;
+  sigemptyset(&block);
+  sigaddset(&block, SIGUSR1);
+  ASSERT_EQ(pthread_sigmask(SIG_BLOCK, &block, &old_mask), 0);
+
+  std::atomic<bool> stop{false};
+  std::thread storm([&stop] {
+    while (!stop.load(std::memory_order_acquire)) {
+      ::kill(::getpid(), SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  });
+
+  LiveQuerySession direct(live);
+  const Time expected = direct.earliest_arrival(0, 8 * 3600, 2);
+  BlockingClient client(kHost, server.port());
+  constexpr int kBursts = 20;
+  constexpr std::uint32_t kPerBurst = 16;
+  std::uint32_t req_id = 1;
+  for (int burst = 0; burst < kBursts; ++burst) {
+    // Pipelined: write the whole burst, then collect every response.
+    std::string frames;
+    for (std::uint32_t i = 0; i < kPerBurst; ++i) {
+      frames += encode_earliest_arrival(req_id + i, 0, 8 * 3600, 2);
+    }
+    ASSERT_TRUE(client.send_raw(frames));
+    for (std::uint32_t i = 0; i < kPerBurst; ++i) {
+      auto payload = client.recv_frame();
+      ASSERT_TRUE(payload.has_value())
+          << "burst " << burst << " frame " << i << ": "
+          << client_error_name(client.last_error());
+      auto res = decode_response(payload->data(), payload->size());
+      ASSERT_TRUE(res.has_value());
+      EXPECT_EQ(res->header.status, Status::kOk);
+      EXPECT_EQ(res->header.req_id, req_id + i);
+      EXPECT_EQ(res->arrival, expected);
+    }
+    req_id += kPerBurst;
+  }
+
+  stop.store(true, std::memory_order_release);
+  storm.join();
+  EXPECT_GE(server.stats().requests_ok,
+            static_cast<std::uint64_t>(kBursts) * kPerBurst);
+  server.stop();
+
+  ASSERT_EQ(pthread_sigmask(SIG_SETMASK, &old_mask, nullptr), 0);
+  ASSERT_EQ(sigaction(SIGUSR1, &old_sa, nullptr), 0);
 }
 
 }  // namespace pconn
